@@ -1,0 +1,47 @@
+//! Micro-benchmark: CJOIN admission cost (virtual time) — batched admission
+//! vs per-query cost growth with dimension selectivity (§3.1/§5.2.2: "the
+//! cost of the admission phase of CJOIN is increased as more tuples are
+//! selected").
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use workshare_core::{harness::run_batch, workload, Dataset, NamedConfig, RunConfig};
+
+/// Virtual admission seconds for `n` queries at nation-disjunction width `w`.
+fn admission_secs(dataset: &Dataset, n: usize, w: usize) -> f64 {
+    let mut r = workload::rng(9);
+    let queries: Vec<_> = (0..n)
+        .map(|i| workload::ssb_q3_2_wide(i as u64, &mut r, w, w))
+        .collect();
+    let cfg = RunConfig::named(NamedConfig::Cjoin);
+    run_batch(dataset, &cfg, &queries, false).admission_secs()
+}
+
+fn bench(c: &mut Criterion) {
+    let dataset = Dataset::ssb(0.5, 42);
+    let mut g = c.benchmark_group("cjoin_admission_virtual_time");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    for (label, n, w) in [("narrow_8q", 8usize, 1usize), ("wide_8q", 8, 12), ("narrow_32q", 32, 1)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &(n, w), |b, &(n, w)| {
+            b.iter_custom(|iters| {
+                let mut total = 0.0;
+                for _ in 0..iters {
+                    total += admission_secs(&dataset, n, w) * 1e9;
+                }
+                Duration::from_nanos(total as u64)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Micro-benchmark: QueryBitmap primitives at the widths the GQP uses
+//! (64 / 256 / 512 query slots).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use workshare_common::QueryBitmap;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitmap_ops");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    for bits in [64usize, 256, 512] {
+        let mut a = QueryBitmap::zeros(bits);
+        let mut e = QueryBitmap::zeros(bits);
+        for i in (0..bits).step_by(3) {
+            a.set(i);
+        }
+        for i in (0..bits).step_by(2) {
+            e.set(i);
+        }
+        let referencing = QueryBitmap::ones(bits);
+        g.bench_with_input(BenchmarkId::new("and_filtered", bits), &bits, |b, _| {
+            b.iter(|| {
+                let mut t = a.clone();
+                std::hint::black_box(t.and_filtered(Some(&e), &referencing))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("clone", bits), &bits, |b, _| {
+            b.iter(|| std::hint::black_box(a.clone()))
+        });
+        g.bench_with_input(BenchmarkId::new("iter_ones", bits), &bits, |b, _| {
+            b.iter(|| std::hint::black_box(a.iter_ones().sum::<usize>()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Micro-benchmark: circular scan vs independent scans (virtual makespan).
+//!
+//! The I/O-layer half of the paper's Table 1: one shared circular scan
+//! serves K consumers with one disk stream; K independent scans interleave
+//! K streams (paying seeks) and re-read pages.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use workshare_core::{
+    harness::run_batch, workload, Dataset, IoMode, NamedConfig, RunConfig,
+};
+
+fn run(engine: NamedConfig, n: usize, dataset: &Dataset) -> f64 {
+    let mut r = workload::rng(3);
+    let queries: Vec<_> = (0..n)
+        .map(|i| workload::ssb_q3_2(i as u64, &mut r))
+        .collect();
+    let mut cfg = RunConfig::named(engine);
+    cfg.io_mode = IoMode::BufferedDisk;
+    run_batch(dataset, &cfg, &queries, false).makespan_secs * 1e9
+}
+
+fn bench(c: &mut Criterion) {
+    let dataset = Dataset::ssb(0.25, 42);
+    let mut g = c.benchmark_group("scan_sharing_virtual_makespan");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [4usize, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("independent", n),
+            &n,
+            |b, &n| {
+                b.iter_custom(|iters| {
+                    let mut total = 0.0;
+                    for _ in 0..iters {
+                        total += run(NamedConfig::Qpipe, n, &dataset);
+                    }
+                    Duration::from_nanos(total as u64)
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("circular", n), &n, |b, &n| {
+            b.iter_custom(|iters| {
+                let mut total = 0.0;
+                for _ in 0..iters {
+                    total += run(NamedConfig::QpipeCs, n, &dataset);
+                }
+                Duration::from_nanos(total as u64)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

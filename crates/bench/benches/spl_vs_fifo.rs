@@ -1,0 +1,118 @@
+//! Micro-benchmark: SPL vs push-FIFO exchange under fan-out, plus the SPL
+//! max-size ablation (§4: "changing the maximum size of the SPL does not
+//! heavily affect performance").
+//!
+//! Measured in *virtual time* via `iter_custom`: the reported duration is
+//! the simulated makespan of pushing a fixed page stream to K consumers —
+//! exactly the quantity the paper's Figure 6 compares.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use workshare_common::{CostModel, Value};
+use workshare_qpipe::batch::TupleBatch;
+use workshare_qpipe::exchange::{Exchange, ExchangeKind};
+use workshare_sim::{Machine, MachineConfig};
+
+fn run_fanout(kind: ExchangeKind, consumers: usize, pages: usize, cap: usize) -> f64 {
+    let m = Machine::new(MachineConfig {
+        cores: 24,
+        ..Default::default()
+    });
+    let ex = Exchange::new(kind, &m, CostModel::default(), cap);
+    let readers: Vec<_> = (0..consumers).map(|_| ex.attach(None)).collect();
+    let exp = ex.clone();
+    m.spawn("coord", move |ctx| {
+        let producer = {
+            let exp = exp.clone();
+            ctx.machine().spawn("prod", move |ctx| {
+                for i in 0..pages {
+                    let rows: Vec<_> = (0..200)
+                        .map(|j| vec![Value::Int((i * 200 + j) as i64)])
+                        .collect();
+                    exp.emit(ctx, Arc::new(TupleBatch::new(rows)));
+                }
+                exp.close();
+            })
+        };
+        let cs: Vec<_> = readers
+            .into_iter()
+            .map(|mut r| {
+                ctx.machine().spawn("c", move |ctx| {
+                    while let Some(b) = r.next(ctx) {
+                        // Consumers do per-tuple work, as real operators do.
+                        ctx.charge(
+                            workshare_sim::CostKind::Misc,
+                            50.0 * b.len() as f64,
+                        );
+                    }
+                })
+            })
+            .collect();
+        producer.join().unwrap();
+        for c in cs {
+            c.join().unwrap();
+        }
+    })
+    .join()
+    .unwrap();
+    m.now_ns()
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exchange_fanout_virtual_time");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    for consumers in [1usize, 4, 16] {
+        for (label, kind) in [("fifo", ExchangeKind::Fifo), ("spl", ExchangeKind::Spl)] {
+            g.bench_with_input(
+                BenchmarkId::new(label, consumers),
+                &consumers,
+                |b, &consumers| {
+                    b.iter_custom(|iters| {
+                        let mut total = 0.0;
+                        for _ in 0..iters {
+                            total += run_fanout(kind, consumers, 50, 8);
+                        }
+                        Duration::from_nanos(total as u64)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_spl_cap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spl_max_size_virtual_time");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    // Paper §4: 8 consumers, cap swept; response barely moves.
+    for cap_pages in [2usize, 8, 64, 512] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(cap_pages),
+            &cap_pages,
+            |b, &cap| {
+                b.iter_custom(|iters| {
+                    let mut total = 0.0;
+                    for _ in 0..iters {
+                        total += run_fanout(ExchangeKind::Spl, 8, 50, cap);
+                    }
+                    Duration::from_nanos(total as u64)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_fanout, bench_spl_cap
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation — the "to share or not to share" prediction model (Johnson et
+//! al. [14], discussed in paper §1.3/§4): under push-based SP, a run-time
+//! model decides per arrival whether to share; the paper's SPL makes the
+//! model unnecessary.
+//!
+//! Four lines over identical TPC-H Q1 batches:
+//!
+//! * `No SP (FIFO)` — never share.
+//! * `CS (FIFO)` — always share (pays the serialization point when idle
+//!   cores were available).
+//! * `Predict (FIFO)` — share only once in-flight queries ≥ cores
+//!   (the paper §6 "simple heuristic: the point when resources become
+//!   saturated").
+//! * `CS (SPL)` — pull-based sharing: no model needed, never worse.
+
+use workshare_bench::{banner, pow2_sweep, secs, TextTable};
+use workshare_core::{
+    harness::run_batch_on, workload, Dataset, ExchangeKind, NamedConfig, RunConfig,
+};
+
+fn main() {
+    banner(
+        "Ablation — prediction model for push-based SP vs SPL",
+        "Predict(FIFO) tracks the better of NoSP/CS per concurrency; \
+         CS(SPL) matches or beats it everywhere with no model",
+    );
+    let dataset = Dataset::tpch(0.5, 42);
+    let sweep = pow2_sweep(64);
+
+    let mut table = TextTable::new(&[
+        "queries",
+        "No SP (FIFO)",
+        "CS (FIFO)",
+        "Predict (FIFO)",
+        "CS (SPL)",
+    ]);
+    for &n in &sweep {
+        let queries: Vec<_> = (0..n).map(|i| workload::tpch_q1(i as u64)).collect();
+        let mut cells = vec![n.to_string()];
+        for (engine, kind, predict) in [
+            (NamedConfig::Qpipe, ExchangeKind::Fifo, false),
+            (NamedConfig::QpipeCs, ExchangeKind::Fifo, false),
+            (NamedConfig::QpipeCs, ExchangeKind::Fifo, true),
+            (NamedConfig::QpipeCs, ExchangeKind::Spl, false),
+        ] {
+            let mut cfg = RunConfig::named(engine);
+            cfg.exchange = kind;
+            cfg.cs_prediction = predict;
+            let rep = run_batch_on(&dataset, &cfg, "lineitem", &queries, false);
+            cells.push(secs(rep.mean_latency_secs()));
+        }
+        table.row(cells);
+    }
+    println!("\nResponse time (virtual seconds):");
+    table.print();
+}

@@ -1,0 +1,44 @@
+//! Ablation — DataPath-style shared aggregation (paper §2.4): folding
+//! tuples into per-query aggregators inside the CJOIN distributor, instead
+//! of streaming joined pages to query-centric aggregation packets.
+//!
+//! Saves one exchange hop and one packet thread per query; the effect grows
+//! with concurrency (fewer threads contending for virtual cores).
+
+use workshare_bench::{banner, f2, pow2_sweep, secs, TextTable};
+use workshare_core::{harness::run_batch, workload, Dataset, NamedConfig, RunConfig};
+
+fn main() {
+    banner(
+        "Ablation — shared aggregation in the GQP distributor",
+        "CJOIN+shared-agg <= CJOIN, gap grows with concurrency",
+    );
+    let dataset = Dataset::ssb(1.0, 42);
+    let mut table = TextTable::new(&[
+        "queries",
+        "CJOIN",
+        "CJOIN+shared-agg",
+        "CJOIN-SP",
+        "CJOIN-SP+shared-agg",
+        "Δ cores",
+    ]);
+    for &n in &pow2_sweep(128)[2..] {
+        let queries = workload::limited_plans(n, 16, 9, workload::ssb_q3_2);
+        let mut cells = vec![n.to_string()];
+        let mut cores = Vec::new();
+        for engine in [NamedConfig::Cjoin, NamedConfig::CjoinSp] {
+            for shared_agg in [false, true] {
+                let mut cfg = RunConfig::named(engine);
+                cfg.cjoin_shared_agg = shared_agg;
+                let rep = run_batch(&dataset, &cfg, &queries, false);
+                cells.push(secs(rep.mean_latency_secs()));
+                cores.push(rep.avg_cores_used);
+            }
+        }
+        // Reorder cells: currently [n, cj, cj+sa, cjsp, cjsp+sa]
+        cells.push(f2(cores[1] - cores[0]));
+        table.row(cells);
+    }
+    println!("\nResponse time (virtual seconds):");
+    table.print();
+}

@@ -1,0 +1,112 @@
+//! Figure 6 — Sharing vs. Parallelism: push-based SP (FIFO) vs pull-based
+//! SP (SPL) on identical TPC-H Q1 queries, memory-resident, SF 1.
+//!
+//! * Fig. 6a: `No SP (FIFO)` vs `CS (FIFO)` response times, 1–64 queries.
+//! * Fig. 6b: `No SP (SPL)` vs `CS (SPL)`.
+//! * Fig. 6c: speedup of CS over No-SP for both models, low concurrency.
+//! * §4 extra: SPL max-size sweep (insensitivity check).
+//!
+//! Paper: CS(FIFO) hurts at low concurrency (serialization point: 3.1 cores
+//! at 64 queries) while No-SP saturates 24 cores at ≥32 queries; CS(SPL) is
+//! never worse than No-SP and cuts response times by 82–86 % vs CS(FIFO) at
+//! high concurrency.
+
+use workshare_bench::{banner, f2, full_scale, pow2_sweep, secs, TextTable};
+use workshare_core::{
+    harness::run_batch_on, workload, Dataset, ExchangeKind, NamedConfig, RunConfig,
+};
+
+fn main() {
+    banner(
+        "Figure 6 — identical TPC-H Q1: push SP (FIFO) vs pull SP (SPL)",
+        "CS(FIFO) serializes (worse than No-SP at low concurrency); \
+         CS(SPL) always >= No-SP; SPL -82..86% vs FIFO at 64 queries",
+    );
+    let sf = if full_scale() { 1.0 } else { 0.5 };
+    let dataset = Dataset::tpch(sf, 42);
+    let max_q = if full_scale() { 64 } else { 64 };
+    let sweep = pow2_sweep(max_q);
+
+    let variants: [(&str, NamedConfig, ExchangeKind); 4] = [
+        ("No SP (FIFO)", NamedConfig::Qpipe, ExchangeKind::Fifo),
+        ("CS (FIFO)", NamedConfig::QpipeCs, ExchangeKind::Fifo),
+        ("No SP (SPL)", NamedConfig::Qpipe, ExchangeKind::Spl),
+        ("CS (SPL)", NamedConfig::QpipeSp, ExchangeKind::Spl),
+    ];
+
+    let mut table = TextTable::new(&[
+        "queries",
+        "No SP (FIFO)",
+        "CS (FIFO)",
+        "No SP (SPL)",
+        "CS (SPL)",
+        "cores CS(FIFO)",
+        "cores CS(SPL)",
+    ]);
+    let mut results: Vec<Vec<f64>> = Vec::new();
+    for &n in &sweep {
+        let queries: Vec<_> = (0..n).map(|i| workload::tpch_q1(i as u64)).collect();
+        let mut row_times = Vec::new();
+        let mut cores = Vec::new();
+        for (_, engine, kind) in &variants {
+            let mut cfg = RunConfig::named(*engine);
+            cfg.exchange = *kind;
+            let rep = run_batch_on(&dataset, &cfg, "lineitem", &queries, false);
+            row_times.push(rep.mean_latency_secs());
+            cores.push(rep.avg_cores_used);
+        }
+        table.row(vec![
+            n.to_string(),
+            secs(row_times[0]),
+            secs(row_times[1]),
+            secs(row_times[2]),
+            secs(row_times[3]),
+            f2(cores[1]),
+            f2(cores[3]),
+        ]);
+        results.push(row_times);
+    }
+    println!("\nResponse time (virtual seconds), mean over the batch:");
+    table.print();
+
+    // Fig 6c: speedups at low concurrency.
+    println!("\nFig. 6c — speedup of CS over No-SP (values > 1 favor sharing):");
+    let mut sp = TextTable::new(&["queries", "(NoSP/CS) FIFO", "(NoSP/CS) SPL"]);
+    for (i, &n) in sweep.iter().enumerate() {
+        if n > 16 {
+            break;
+        }
+        let r = &results[i];
+        sp.row(vec![
+            n.to_string(),
+            f2(r[0] / r[1].max(1e-12)),
+            f2(r[2] / r[3].max(1e-12)),
+        ]);
+    }
+    sp.print();
+
+    // High-concurrency reduction (the 82–86 % claim).
+    if let Some(last) = results.last() {
+        let reduction = 100.0 * (1.0 - last[3] / last[1].max(1e-12));
+        println!(
+            "\nAt {} queries: CS(SPL) reduces response time vs CS(FIFO) by {:.0}% \
+             (paper: 82–86%)",
+            sweep.last().unwrap(),
+            reduction
+        );
+    }
+
+    // §4: SPL max-size insensitivity (8 queries, varying cap). The cap is a
+    // compile-time default (8 pages); we emulate the sweep by observing that
+    // response time is already bound by compute, reporting the single point
+    // plus the queue-capacity ablation in the criterion benches.
+    let queries: Vec<_> = (0..8).map(|i| workload::tpch_q1(i as u64)).collect();
+    let mut cfg = RunConfig::named(NamedConfig::QpipeSp);
+    cfg.exchange = ExchangeKind::Spl;
+    let rep = run_batch_on(&dataset, &cfg, "lineitem", &queries, false);
+    println!(
+        "\n§4 SPL-size check (8 queries, 256 KB cap): {:.3}s mean response — \
+         see `spl_vs_fifo` criterion bench for the cap sweep.",
+        rep.mean_latency_secs()
+    );
+}

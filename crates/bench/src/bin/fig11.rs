@@ -1,0 +1,83 @@
+//! Figure 11 — Impact of selectivity: 8 concurrent modified-Q3.2 queries
+//! (nation disjunctions), memory-resident SF 10, fact selectivity swept
+//! 0.1 % → 30 %.
+//!
+//! Paper: both degrade with selectivity, but CJOIN is always worse than
+//! QPipe-SP at this low concurrency because of (a) admission cost growing
+//! with selected dimension tuples, (b) shared-operator bookkeeping (bitmap
+//! ANDs, union hash tables — visible as a larger `Joins` CPU component),
+//! (c) pipeline synchronization. QPipe-SP's `Hashing` CPU grows faster with
+//! selectivity (it does not share the hash work).
+
+use workshare_bench::{banner, breakdown_line, f2, full_scale, secs, TextTable};
+use workshare_core::{
+    harness::run_batch, workload, Dataset, NamedConfig, RunConfig,
+};
+
+fn main() {
+    banner(
+        "Figure 11 — selectivity sweep, 8 queries, memory-resident",
+        "CJOIN > QPipe-SP response time at 8 queries for every selectivity; \
+         CJOIN admission grows with selectivity; Joins CPU dominated by \
+         shared-operator bookkeeping",
+    );
+    let sf = if full_scale() { 10.0 } else { 2.0 };
+    let dataset = Dataset::ssb(sf, 42);
+    // (label, customer nations, supplier nations): sel = nc*ns/625.
+    let points: [(&str, usize, usize); 5] = [
+        ("0.16%", 1, 1),
+        ("0.96%", 2, 3),
+        ("10.2%", 8, 8),
+        ("19.4%", 11, 11),
+        ("29.1%", 14, 13),
+    ];
+
+    let mut table = TextTable::new(&[
+        "selectivity",
+        "QPipe-SP",
+        "CJOIN",
+        "CJOIN admission",
+    ]);
+    let mut breakdowns = Vec::new();
+    for (label, nc, ns) in points {
+        let mut r = workload::rng(11);
+        let queries: Vec<_> = (0..8)
+            .map(|i| workload::ssb_q3_2_wide(i as u64, &mut r, nc, ns))
+            .collect();
+        let sp = run_batch(
+            &dataset,
+            &RunConfig::named(NamedConfig::QpipeSp),
+            &queries,
+            false,
+        );
+        let cj = run_batch(
+            &dataset,
+            &RunConfig::named(NamedConfig::Cjoin),
+            &queries,
+            false,
+        );
+        table.row(vec![
+            label.to_string(),
+            secs(sp.mean_latency_secs()),
+            secs(cj.mean_latency_secs()),
+            secs(cj.admission_secs()),
+        ]);
+        breakdowns.push((label, sp, cj));
+    }
+    println!("\nResponse time (virtual seconds):");
+    table.print();
+
+    println!("\nCPU-time breakdowns (virtual CPU seconds across all cores):");
+    for (label, sp, cj) in &breakdowns {
+        println!("  sel {label:>6}  QPipe-SP: {}", breakdown_line(&sp.cpu));
+        println!("  sel {label:>6}  CJOIN   : {}", breakdown_line(&cj.cpu));
+    }
+
+    if let Some((_, sp, cj)) = breakdowns.last() {
+        println!(
+            "\nAt 30% selectivity: cores used QPipe-SP={} CJOIN={} (paper: 17.79 vs 18.86)",
+            f2(sp.avg_cores_used),
+            f2(cj.avg_cores_used),
+        );
+    }
+}

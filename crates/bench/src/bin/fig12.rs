@@ -1,0 +1,78 @@
+//! Figure 12 — Shared operators at high concurrency: 16–256 queries at 30 %
+//! selectivity, memory-resident SF 10.
+//!
+//! Paper: at high concurrency the query-centric operators of QPipe-SP
+//! contend for resources (every CPU component scales superlinearly with the
+//! query count) while CJOIN's `Hashing` CPU stays flat — the hashing is
+//! shared — letting CJOIN overtake QPipe-SP.
+
+use workshare_bench::{banner, breakdown_line, f2, full_scale, secs, TextTable};
+use workshare_core::{
+    harness::run_batch, workload, Dataset, NamedConfig, RunConfig,
+};
+use workshare_sim::CostKind;
+
+fn main() {
+    banner(
+        "Figure 12 — 30% selectivity, concurrency sweep",
+        "QPipe-SP CPU scales with query count; CJOIN Hashing stays flat; \
+         CJOIN wins at high concurrency",
+    );
+    let sf = if full_scale() { 10.0 } else { 2.0 };
+    let dataset = Dataset::ssb(sf, 42);
+    let sweep: Vec<usize> = if full_scale() {
+        vec![16, 32, 64, 128, 256]
+    } else {
+        vec![16, 32, 64, 128]
+    };
+
+    let mut table = TextTable::new(&[
+        "queries",
+        "QPipe-SP",
+        "CJOIN",
+        "CJOIN admission",
+        "SP hashing CPU",
+        "CJOIN hashing CPU",
+    ]);
+    let mut last = None;
+    for &n in &sweep {
+        let mut r = workload::rng(13);
+        let queries: Vec<_> = (0..n)
+            .map(|i| workload::ssb_q3_2_wide(i as u64, &mut r, 14, 13))
+            .collect();
+        let sp = run_batch(
+            &dataset,
+            &RunConfig::named(NamedConfig::QpipeSp),
+            &queries,
+            false,
+        );
+        let cj = run_batch(
+            &dataset,
+            &RunConfig::named(NamedConfig::Cjoin),
+            &queries,
+            false,
+        );
+        table.row(vec![
+            n.to_string(),
+            secs(sp.mean_latency_secs()),
+            secs(cj.mean_latency_secs()),
+            secs(cj.admission_secs()),
+            f2(sp.cpu.secs(CostKind::Hashing)),
+            f2(cj.cpu.secs(CostKind::Hashing)),
+        ]);
+        last = Some((sp, cj));
+    }
+    println!("\nResponse time (virtual seconds) and hashing CPU:");
+    table.print();
+
+    if let Some((sp, cj)) = last {
+        println!("\nBreakdowns at {} queries:", sweep.last().unwrap());
+        println!("  QPipe-SP: {}", breakdown_line(&sp.cpu));
+        println!("  CJOIN   : {}", breakdown_line(&cj.cpu));
+        println!(
+            "  cores used: QPipe-SP={} CJOIN={} (paper: 22.86 vs 17.73)",
+            f2(sp.avg_cores_used),
+            f2(cj.avg_cores_used)
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 14 — Impact of similarity: 16 possible Q3.2 plans (selectivity
+//! 0.02–0.05 %), disk-resident SF 1, 1–256 concurrent queries, configurations
+//! QPipe-CS / QPipe-SP / CJOIN / CJOIN-SP.
+//!
+//! Paper: QPipe-SP evaluates at most 16 distinct plans and reuses results
+//! for the rest (it even beats CJOIN); CJOIN evaluates identical queries
+//! redundantly; CJOIN-SP shares identical CJOIN packets (239 shares at 256
+//! queries) and wins overall. Endpoint times ~50s / 13s / 14s / 12s.
+
+use workshare_bench::{banner, f2, full_scale, pow2_sweep, secs, TextTable};
+use workshare_core::{
+    harness::run_batch, workload, Dataset, IoMode, NamedConfig, RunConfig,
+};
+
+fn main() {
+    banner(
+        "Figure 14 — 16 possible plans, disk SF 1, concurrency sweep",
+        "QPipe-SP < CJOIN (high similarity favors SP); CJOIN-SP best; \
+         QPipe-CS worst at high concurrency",
+    );
+    let dataset = Dataset::ssb(1.0, 42);
+    let max_q = if full_scale() { 256 } else { 128 };
+    let sweep = pow2_sweep(max_q);
+    let engines = [
+        NamedConfig::QpipeCs,
+        NamedConfig::QpipeSp,
+        NamedConfig::Cjoin,
+        NamedConfig::CjoinSp,
+    ];
+
+    let mut table = TextTable::new(&[
+        "queries",
+        "QPipe-CS",
+        "QPipe-SP",
+        "CJOIN",
+        "CJOIN-SP",
+    ]);
+    let mut final_reps = Vec::new();
+    for &n in &sweep {
+        let queries = workload::limited_plans(n, 16, 23, workload::ssb_q3_2_narrow);
+        let mut cells = vec![n.to_string()];
+        for engine in engines {
+            let mut cfg = RunConfig::named(engine);
+            cfg.io_mode = IoMode::BufferedDisk;
+            let rep = run_batch(&dataset, &cfg, &queries, false);
+            cells.push(secs(rep.mean_latency_secs()));
+            if n == *sweep.last().unwrap() {
+                final_reps.push(rep);
+            }
+        }
+        table.row(cells);
+    }
+    println!("\nResponse time (virtual seconds):");
+    table.print();
+
+    println!("\nMeasurements at {} queries:", sweep.last().unwrap());
+    let mut mt = TextTable::new(&[
+        "metric",
+        "QPipe-CS",
+        "QPipe-SP",
+        "CJOIN",
+        "CJOIN-SP",
+    ]);
+    mt.row(
+        std::iter::once("Avg # Cores Used".to_string())
+            .chain(final_reps.iter().map(|r| f2(r.avg_cores_used)))
+            .collect(),
+    );
+    mt.row(
+        std::iter::once("Avg Read Rate (MB/s)".to_string())
+            .chain(final_reps.iter().map(|r| f2(r.read_rate_mbps)))
+            .collect(),
+    );
+    mt.print();
+
+    if let Some(sp) = final_reps.get(1).and_then(|r| r.qpipe_sharing.as_ref()) {
+        println!(
+            "QPipe-SP join shares by level: {:?} (paper: 2nd×1, 3rd×238 at 256)",
+            sp.join_satellites_by_level
+        );
+    }
+    if let Some(cj) = final_reps.get(3).and_then(|r| r.cjoin.as_ref()) {
+        println!(
+            "CJOIN-SP packets shared: {} of {} queries (paper: 239 of 256)",
+            cj.sp_shares,
+            sweep.last().unwrap()
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 15 — Similarity factor at scale: many concurrent queries, a large
+//! disk-resident database with a buffer pool fitting ~10 % of it, and a
+//! varying number of possible distinct plans.
+//!
+//! Paper (512 queries, SF 100): CJOIN is insensitive to the number of
+//! distinct plans; QPipe-SP wins at extreme similarity (1 plan) but degrades
+//! as plans increase; CJOIN-SP exploits identical packets and improves over
+//! CJOIN by 20–48 % when common sub-plans exist. Sharing-opportunity table:
+//! QPipe-SP per-join shares and CJOIN-SP packet shares fall as plans grow.
+
+use workshare_bench::{banner, full_scale, secs, TextTable};
+use workshare_core::{
+    harness::run_batch, workload, Dataset, IoMode, NamedConfig, RunConfig,
+};
+
+fn main() {
+    banner(
+        "Figure 15 — plan-count sweep at high concurrency (scaled: default \
+         128 queries @ our SF 4; WORKSHARE_FULL=1 → 512 queries @ SF 10)",
+        "CJOIN flat across plan counts; QPipe-SP best at 1 plan, degrades \
+         with more; CJOIN-SP -20..48% vs CJOIN with common sub-plans",
+    );
+    let (n_queries, sf) = if full_scale() { (512, 10.0) } else { (128, 4.0) };
+    let dataset = Dataset::ssb(sf, 42);
+    // Buffer pool fits ~10% of the database.
+    let pool_pages = (dataset.total_pages() / 10).max(64);
+    let plan_counts: Vec<Option<usize>> = if full_scale() {
+        vec![Some(1), Some(128), Some(256), Some(512), None]
+    } else {
+        vec![Some(1), Some(32), Some(64), Some(128), None]
+    };
+
+    let mut table = TextTable::new(&[
+        "plans",
+        "QPipe-SP",
+        "CJOIN",
+        "CJOIN-SP",
+        "SP shares (1st/2nd/3rd)",
+        "CJOIN-SP packet shares",
+    ]);
+    for plans in &plan_counts {
+        let queries = match plans {
+            Some(k) => workload::limited_plans(n_queries, *k, 31, workload::ssb_q3_2),
+            None => {
+                let mut r = workload::rng(31);
+                (0..n_queries)
+                    .map(|i| workload::ssb_q3_2(i as u64, &mut r))
+                    .collect()
+            }
+        };
+        let mut cells = vec![plans.map_or("random".to_string(), |k| k.to_string())];
+        let mut sp_shares = String::new();
+        let mut cj_shares = String::new();
+        for engine in [NamedConfig::QpipeSp, NamedConfig::Cjoin, NamedConfig::CjoinSp] {
+            let mut cfg = RunConfig::named(engine);
+            cfg.io_mode = IoMode::BufferedDisk;
+            cfg.buffer_pool_pages = Some(pool_pages);
+            let rep = run_batch(&dataset, &cfg, &queries, false);
+            cells.push(secs(rep.mean_latency_secs()));
+            if engine == NamedConfig::QpipeSp {
+                if let Some(s) = &rep.qpipe_sharing {
+                    let mut lv = s.join_satellites_by_level.clone();
+                    lv.resize(3, 0);
+                    sp_shares = format!("{}/{}/{}", lv[0], lv[1], lv[2]);
+                }
+            }
+            if engine == NamedConfig::CjoinSp {
+                if let Some(c) = &rep.cjoin {
+                    cj_shares = c.sp_shares.to_string();
+                }
+            }
+        }
+        cells.push(sp_shares);
+        cells.push(cj_shares);
+        table.row(cells);
+    }
+    println!(
+        "\nResponse time (virtual seconds), {n_queries} concurrent queries, \
+         buffer pool = 10% of DB:"
+    );
+    table.print();
+}

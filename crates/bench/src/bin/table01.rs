@@ -1,0 +1,93 @@
+//! Table 1 — Rules of thumb: when and how to share.
+//!
+//! The paper distills its sensitivity analysis into:
+//!
+//! | When             | Execution engine                | I/O layer    |
+//! |------------------|---------------------------------|--------------|
+//! | Low concurrency  | Query-centric operators + SP    | Shared scans |
+//! | High concurrency | GQP (shared operators) + SP     | Shared scans |
+//!
+//! This binary *derives* the table from measurements: it runs the Q3.2
+//! workload at low and high concurrency on QPipe-SP (query-centric + SP) and
+//! CJOIN-SP (GQP + SP), locates the crossover, and checks that shared scans
+//! beat independent scans at both ends.
+
+use workshare_bench::{banner, full_scale, secs, TextTable};
+use workshare_core::{
+    harness::run_batch, workload, Dataset, IoMode, NamedConfig, RunConfig,
+};
+
+fn main() {
+    banner(
+        "Table 1 — rules of thumb, derived from measurements",
+        "low concurrency → query-centric + SP; high → GQP + SP; \
+         shared scans always",
+    );
+    let dataset = Dataset::ssb(1.0, 42);
+    let sweep: Vec<usize> = if full_scale() {
+        vec![1, 2, 4, 8, 16, 32, 64, 128, 256]
+    } else {
+        vec![1, 2, 4, 8, 16, 32, 64, 128]
+    };
+
+    let mut table = TextTable::new(&[
+        "queries",
+        "QPipe-SP (query-centric+SP)",
+        "CJOIN-SP (GQP+SP)",
+        "winner",
+    ]);
+    let mut crossover: Option<usize> = None;
+    for &n in &sweep {
+        // Low-similarity, high-work mix (the Fig. 12 regime): wide nation
+        // disjunctions leave no common sub-plans for SP, so the trade-off
+        // between query-centric evaluation and shared operators is exposed.
+        let mut r = workload::rng(23);
+        let queries: Vec<_> = (0..n)
+            .map(|i| workload::ssb_q3_2_wide(i as u64, &mut r, 14, 13))
+            .collect();
+        let run = |engine| {
+            let cfg = RunConfig::named(engine);
+            run_batch(&dataset, &cfg, &queries, false).mean_latency_secs()
+        };
+        let sp = run(NamedConfig::QpipeSp);
+        let cj = run(NamedConfig::CjoinSp);
+        let winner = if sp <= cj { "query-centric+SP" } else { "GQP+SP" };
+        if sp > cj && crossover.is_none() {
+            crossover = Some(n);
+        }
+        table.row(vec![n.to_string(), secs(sp), secs(cj), winner.to_string()]);
+    }
+    table.print();
+    match crossover {
+        Some(n) => println!(
+            "\nCrossover at ~{n} concurrent queries → Table 1 holds: \
+             query-centric operators + SP below, GQP + SP above."
+        ),
+        None => println!(
+            "\nNo crossover inside the sweep (query-centric + SP won \
+             throughout this range; extend with WORKSHARE_FULL=1)."
+        ),
+    }
+
+    // I/O-layer row: shared scans vs independent scans at both ends.
+    println!("\nI/O layer check (shared vs independent scans, disk-resident):");
+    let mut io_t = TextTable::new(&["queries", "QPipe (indep.)", "QPipe-CS (shared)"]);
+    for &n in &[4usize, *sweep.last().unwrap()] {
+        let mut r = workload::rng(5);
+        let queries: Vec<_> = (0..n)
+            .map(|i| workload::ssb_q3_2(i as u64, &mut r))
+            .collect();
+        let run = |engine| {
+            let mut cfg = RunConfig::named(engine);
+            cfg.io_mode = IoMode::BufferedDisk;
+            run_batch(&dataset, &cfg, &queries, false).mean_latency_secs()
+        };
+        io_t.row(vec![
+            n.to_string(),
+            secs(run(NamedConfig::Qpipe)),
+            secs(run(NamedConfig::QpipeCs)),
+        ]);
+    }
+    io_t.print();
+    println!("\nShared scans should win (or tie) at both ends → last column smaller.");
+}

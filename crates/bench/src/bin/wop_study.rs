@@ -1,0 +1,61 @@
+//! WoP study (paper §2.2, Figure 2b; interarrival effects referenced in
+//! §5.1): submit pairs of identical Q3.2 queries with growing interarrival
+//! delay and observe which sharing windows stay open.
+//!
+//! * The **join stage has a step WoP**: the second query reuses the host's
+//!   join sub-plan only if it arrives before the host's first output page.
+//! * The **scan stage has a linear WoP** (circular scan): the second query
+//!   attaches at the host's current position for *any* arrival during the
+//!   scan, wrapping around for the prefix it missed.
+
+use workshare_bench::{banner, secs, TextTable};
+use workshare_core::{
+    harness::run_staggered, workload, Dataset, NamedConfig, RunConfig,
+};
+
+fn main() {
+    banner(
+        "WoP study — interarrival delay vs sharing windows",
+        "join (step WoP) shares only at ~0 delay; circular scan (linear \
+         WoP) shares until the host finishes",
+    );
+    let dataset = Dataset::ssb(1.0, 42);
+    // One distinct plan → the pair is identical.
+    let pair = workload::limited_plans(2, 1, 3, workload::ssb_q3_2);
+
+    // Calibrate: how long does one query take alone?
+    let cfg = RunConfig::named(NamedConfig::QpipeSp);
+    let solo = run_staggered(&dataset, &cfg, "lineorder", &pair[..1], 0.0, false);
+    let t1 = solo.latencies_secs[0];
+    println!("\nSingle-query response time: {}s", secs(t1));
+
+    let mut table = TextTable::new(&[
+        "delay (xT)",
+        "join shares",
+        "scan satellites",
+        "Q2 latency",
+    ]);
+    for frac in [0.0, 0.1, 0.25, 0.5, 0.9, 1.5] {
+        let delay = t1 * frac;
+        let rep = run_staggered(&dataset, &cfg, "lineorder", &pair, delay, false);
+        let sharing = rep.qpipe_sharing.clone().unwrap();
+        let joins: u64 = sharing.join_satellites_by_level.iter().sum();
+        table.row(vec![
+            format!("{frac:.2}"),
+            joins.to_string(),
+            sharing.scan_satellites.to_string(),
+            secs(rep.latencies_secs[1]),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nReading the table: the top join's step WoP stays open until its \
+         FIRST OUTPUT PAGE; with 0.02-0.16% selectivity the (single) output \
+         page flushes near the end of the probe, so identical latecomers \
+         keep attaching during most of the host's run and Q2's latency \
+         shrinks linearly with the delay (free-riding on remaining work). \
+         Past the host's completion (1.5xT) the step WoP is closed: zero \
+         join shares; only the linear-WoP circular scans accept Q2 (4 \
+         table scans attach), and Q2 pays a full evaluation again."
+    );
+}

@@ -1,0 +1,34 @@
+//! # workshare-cjoin — Global Query Plans with shared operators
+//!
+//! A from-scratch implementation of the CJOIN operator (paper §2.5,
+//! Candea et al. VLDB'09/'11) integrated as a stage of the QPipe engine
+//! (paper §3.2):
+//!
+//! ```text
+//!            ┌────────┐   ┌────────┐        ┌─────────────┐
+//! fact table │ pre-   │ → │ filter │ → … →  │ distributor │ → per-query
+//! (circular  │processor│  │workers │        │   parts     │   exchanges
+//!  scan)     └────────┘   └────────┘        └─────────────┘
+//! ```
+//!
+//! * The **preprocessor** drives a circular scan of the fact table, stamps
+//!   each page with the set of active queries, admits new queries in
+//!   **batches** at page boundaries (pausing the pipeline, §3.2), and marks
+//!   each query's completion when the scan wraps to its point of entry.
+//! * **Filters** are shared selection + shared hash-join pairs: one per
+//!   dimension table, holding the union of dimension tuples selected by any
+//!   active query, each tagged with a [`QueryBitmap`]. Probing ANDs bitmaps
+//!   (`bits &= entry | ¬referencing`), so queries that do not join a
+//!   dimension pass through it untouched.
+//! * **Distributor parts** (the paper's fix for the single-threaded
+//!   distributor bottleneck) route surviving tuples to the queries whose bit
+//!   is set, applying per-query fact predicates (evaluated on CJOIN output,
+//!   §3.2) and per-query projections.
+//! * **SP over CJOIN packets** (§3.3): a new query identical to an in-flight
+//!   one attaches to the host packet's output exchange instead of being
+//!   admitted — skipping admission, bitmap extension, and all per-query
+//!   bitwise work.
+
+mod stage;
+
+pub use stage::{CjoinConfig, CjoinOutput, CjoinStage, CjoinStats};

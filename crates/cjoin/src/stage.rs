@@ -1,0 +1,1150 @@
+//! The CJOIN stage: preprocessor, shared filters, distributor parts.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use workshare_common::agg::Aggregator;
+use workshare_common::bind::{bind, BoundQuery};
+use workshare_common::fxhash::FxHashMap;
+use workshare_common::value::Row;
+use workshare_common::{CostModel, OrderKey, Predicate, QueryBitmap, StarQuery};
+use workshare_qpipe::batch::BatchBuilder;
+use workshare_qpipe::exchange::{Exchange, ExchangeKind, ExchangeReader};
+use workshare_sim::{CostKind, Machine, SimCtx, SimQueue, WaitSet};
+use workshare_storage::{StorageManager, TableId};
+
+/// CJOIN stage configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CjoinConfig {
+    /// Filter worker threads (the paper's *horizontal* configuration).
+    pub n_workers: usize,
+    /// Distributor parts (§3.2: the single-threaded distributor is a
+    /// bottleneck; parts parallelize routing).
+    pub n_distributors: usize,
+    /// Exchange kind for per-packet output streams.
+    pub exchange: ExchangeKind,
+    /// Output exchange capacity in pages.
+    pub cap_pages: usize,
+    /// Pipeline queue depth (batches in flight between stages).
+    pub pipeline_depth: usize,
+    /// Enable SP over identical CJOIN packets (`CJOIN-SP`).
+    pub sp: bool,
+    /// DataPath-style **shared aggregation** (paper §2.4: "DataPath also
+    /// adds support for a shared aggregate operator, that calculates a
+    /// running sum for each group and query"): the distributor folds tuples
+    /// directly into per-query aggregators instead of streaming joined
+    /// tuples to query-centric aggregation packets.
+    pub shared_aggregation: bool,
+}
+
+impl Default for CjoinConfig {
+    fn default() -> Self {
+        CjoinConfig {
+            n_workers: 6,
+            n_distributors: 10,
+            exchange: ExchangeKind::Spl,
+            cap_pages: 8,
+            pipeline_depth: 16,
+            sp: false,
+            shared_aggregation: false,
+        }
+    }
+}
+
+/// Sharing/admission statistics of the stage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CjoinStats {
+    /// Queries admitted into the GQP.
+    pub admitted: u64,
+    /// Admission batches performed (pipeline pauses).
+    pub admission_batches: u64,
+    /// CJOIN packets shared via SP (satellites that skipped admission).
+    pub sp_shares: u64,
+    /// Dimension tuples scanned during admissions.
+    pub admission_dim_rows: u64,
+}
+
+/// Output of submitting a star query to the stage: a reader over joined rows
+/// in the query's bound layout (`[fks… | fact payload… | dim payloads…]`).
+pub struct CjoinOutput {
+    /// Stream of joined tuples for this query.
+    pub reader: ExchangeReader,
+}
+
+/// Buffered final result of a shared-aggregation CJOIN query.
+pub struct AggResult {
+    rows: Mutex<Option<Arc<Vec<Row>>>>,
+    done: AtomicBool,
+    ws: WaitSet,
+}
+
+impl AggResult {
+    fn new(machine: &Machine) -> Arc<AggResult> {
+        Arc::new(AggResult {
+            rows: Mutex::new(None),
+            done: AtomicBool::new(false),
+            ws: WaitSet::new(machine),
+        })
+    }
+
+    fn complete(&self, rows: Arc<Vec<Row>>) {
+        *self.rows.lock() = Some(rows);
+        self.done.store(true, Ordering::Release);
+        self.ws.notify_all();
+    }
+
+    /// Whether the query finished.
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Block (virtual time from a vthread) until the result is available.
+    pub fn wait(&self) -> Arc<Vec<Row>> {
+        self.ws.wait_for(|| {
+            if self.done.load(Ordering::Acquire) {
+                Some(self.rows.lock().clone().expect("done without rows"))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Internal state
+// ---------------------------------------------------------------------------
+
+struct DimEntry {
+    row: Arc<Row>,
+    bits: QueryBitmap,
+}
+
+struct Filter {
+    dim: TableId,
+    fact_fk_idx: usize,
+    dim_pk_idx: usize,
+    hash: FxHashMap<i64, DimEntry>,
+    referencing: QueryBitmap,
+}
+
+/// Where a query's joined tuples go.
+enum Sink {
+    /// Stream joined pages to a per-query exchange (the paper's design:
+    /// query-centric operators above CJOIN).
+    Stream {
+        out: Exchange,
+        builder: Mutex<BatchBuilder>,
+    },
+    /// Fold tuples into a per-query aggregator inside the distributor
+    /// (the DataPath shared-aggregate extension).
+    Agg {
+        agg: Mutex<Aggregator>,
+        order: Vec<OrderKey>,
+        result: Arc<AggResult>,
+    },
+}
+
+struct QueryRuntime {
+    slot: u32,
+    qid: u64,
+    sig: u64,
+    bound: Arc<BoundQuery>,
+    fact_pred: Predicate,
+    /// `(filter index, dim-schema payload column indices)` per query dim.
+    dim_filters: Vec<(usize, Vec<usize>)>,
+    sink: Sink,
+    /// Fact pages still to be processed by the distributor before this
+    /// query completes (initialized to one full wrap).
+    process_left: AtomicU64,
+}
+
+struct GqpState {
+    filters: Vec<Filter>,
+    queries: FxHashMap<u32, Arc<QueryRuntime>>,
+    active_bits: QueryBitmap,
+    /// Pages the preprocessor still stamps for each active slot.
+    emit_left: FxHashMap<u32, u64>,
+    free_slots: Vec<u32>,
+    next_slot: u32,
+}
+
+enum AdmissionSink {
+    Stream(Exchange),
+    Agg(Arc<AggResult>),
+}
+
+struct Admission {
+    query: StarQuery,
+    bound: Arc<BoundQuery>,
+    sink: AdmissionSink,
+    sig: u64,
+}
+
+/// One fact page stamped with the active query set.
+struct WorkBatch {
+    rows: Vec<Row>,
+    members: QueryBitmap,
+}
+
+/// A filtered page: surviving tuples with their bitmaps and matched
+/// dimension rows (aligned with the filter vector at processing time).
+struct DistBatch {
+    tuples: Vec<(Row, QueryBitmap, Vec<Option<Arc<Row>>>)>,
+    members: QueryBitmap,
+}
+
+struct StageInner {
+    machine: Machine,
+    storage: StorageManager,
+    cost: CostModel,
+    config: CjoinConfig,
+    fact: TableId,
+    fact_pages: u64,
+    state: RwLock<GqpState>,
+    pending: Mutex<Vec<Admission>>,
+    wake: WaitSet,
+    worker_q: SimQueue<Arc<WorkBatch>>,
+    dist_q: SimQueue<Arc<DistBatch>>,
+    shutdown: AtomicBool,
+    sp_registry: Mutex<FxHashMap<u64, (u64, HostRef)>>,
+    admitted: AtomicU64,
+    admission_batches: AtomicU64,
+    sp_shares: AtomicU64,
+    admission_dim_rows: AtomicU64,
+}
+
+#[derive(Clone)]
+enum HostRef {
+    Stream(Exchange),
+    Agg(Arc<AggResult>),
+}
+
+/// The CJOIN stage. Cheap to clone.
+#[derive(Clone)]
+pub struct CjoinStage {
+    inner: Arc<StageInner>,
+}
+
+impl CjoinStage {
+    /// Create the stage over `fact_table` and spawn its pipeline threads.
+    pub fn new(
+        machine: &Machine,
+        storage: &StorageManager,
+        fact_table: &str,
+        config: CjoinConfig,
+        cost: CostModel,
+    ) -> CjoinStage {
+        let fact = storage.table(fact_table);
+        let inner = Arc::new(StageInner {
+            machine: machine.clone(),
+            storage: storage.clone(),
+            cost,
+            config,
+            fact,
+            fact_pages: storage.page_count(fact) as u64,
+            state: RwLock::new(GqpState {
+                filters: Vec::new(),
+                queries: FxHashMap::default(),
+                active_bits: QueryBitmap::zeros(64),
+                emit_left: FxHashMap::default(),
+                free_slots: Vec::new(),
+                next_slot: 0,
+            }),
+            pending: Mutex::new(Vec::new()),
+            wake: WaitSet::new(machine),
+            worker_q: SimQueue::bounded(machine, config.pipeline_depth.max(1)),
+            dist_q: SimQueue::bounded(machine, config.pipeline_depth.max(1)),
+            shutdown: AtomicBool::new(false),
+            sp_registry: Mutex::new(FxHashMap::default()),
+            admitted: AtomicU64::new(0),
+            admission_batches: AtomicU64::new(0),
+            sp_shares: AtomicU64::new(0),
+            admission_dim_rows: AtomicU64::new(0),
+        });
+        let stage = CjoinStage { inner };
+        stage.spawn_preprocessor();
+        for w in 0..config.n_workers.max(1) {
+            stage.spawn_worker(w);
+        }
+        for d in 0..config.n_distributors.max(1) {
+            stage.spawn_distributor(d);
+        }
+        stage
+    }
+
+    fn bound_for(&self, q: &StarQuery) -> Arc<BoundQuery> {
+        let inner = &self.inner;
+        let fact_schema = inner.storage.schema(inner.fact);
+        let dim_schemas: Vec<_> = q
+            .dims
+            .iter()
+            .map(|d| inner.storage.schema(inner.storage.table(&d.dim)))
+            .collect();
+        let dim_refs: Vec<&workshare_common::Schema> =
+            dim_schemas.iter().map(|s| s.as_ref()).collect();
+        Arc::new(bind(&fact_schema, &dim_refs, q))
+    }
+
+    /// Submit the join part of a star query; returns a reader over joined
+    /// tuples. With SP enabled, a query identical to an in-flight CJOIN
+    /// packet attaches to the host's output (step WoP) and skips admission.
+    pub fn submit(&self, q: &StarQuery) -> CjoinOutput {
+        let inner = &self.inner;
+        assert_eq!(
+            inner.storage.table(&q.fact),
+            inner.fact,
+            "CJOIN stage is bound to one fact table"
+        );
+        let sig = q.cjoin_signature();
+        if inner.config.sp {
+            let registry = inner.sp_registry.lock();
+            if let Some((_, HostRef::Stream(ex))) = registry.get(&sig) {
+                if ex.emitted() == 0 && !ex.is_closed() {
+                    let reader = ex.attach(None);
+                    inner.sp_shares.fetch_add(1, Ordering::Relaxed);
+                    return CjoinOutput { reader };
+                }
+            }
+        }
+        let bound = self.bound_for(q);
+        let out = Exchange::new(
+            inner.config.exchange,
+            &inner.machine,
+            inner.cost,
+            inner.config.cap_pages,
+        );
+        let reader = out.attach(None);
+        if inner.config.sp {
+            // Register the host at submit time so that identical queries in
+            // the same submission batch can attach before admission runs.
+            inner
+                .sp_registry
+                .lock()
+                .insert(sig, (q.id, HostRef::Stream(out.clone())));
+        }
+        inner.pending.lock().push(Admission {
+            query: q.clone(),
+            bound,
+            sink: AdmissionSink::Stream(out),
+            sig,
+        });
+        inner.wake.notify_all();
+        CjoinOutput { reader }
+    }
+
+    /// Submit a star query with **shared aggregation**: the distributor
+    /// folds this query's tuples into a per-query aggregator; the returned
+    /// handle yields the buffered final rows. With SP enabled, an identical
+    /// in-flight query shares the host's buffered result (full step WoP:
+    /// reuse is possible at any time during the host's evaluation, §3.1).
+    pub fn submit_aggregated(&self, q: &StarQuery) -> Arc<AggResult> {
+        let inner = &self.inner;
+        assert_eq!(
+            inner.storage.table(&q.fact),
+            inner.fact,
+            "CJOIN stage is bound to one fact table"
+        );
+        let sig = q.cjoin_signature();
+        if inner.config.sp {
+            let registry = inner.sp_registry.lock();
+            if let Some((_, HostRef::Agg(host))) = registry.get(&sig) {
+                if !host.is_done() {
+                    let host = Arc::clone(host);
+                    let satellite = AggResult::new(&inner.machine);
+                    let sat2 = Arc::clone(&satellite);
+                    let cost = inner.cost;
+                    inner.sp_shares.fetch_add(1, Ordering::Relaxed);
+                    inner.machine.spawn(&format!("cj-agg-sat-q{}", q.id), move |ctx| {
+                        let rows = host.wait();
+                        ctx.charge(CostKind::Copy, cost.copy_cost(rows.len() * 64));
+                        sat2.complete(rows);
+                    });
+                    return satellite;
+                }
+            }
+        }
+        let bound = self.bound_for(q);
+        let result = AggResult::new(&inner.machine);
+        if inner.config.sp {
+            inner
+                .sp_registry
+                .lock()
+                .insert(sig, (q.id, HostRef::Agg(Arc::clone(&result))));
+        }
+        inner.pending.lock().push(Admission {
+            query: q.clone(),
+            bound,
+            sink: AdmissionSink::Agg(Arc::clone(&result)),
+            sig,
+        });
+        inner.wake.notify_all();
+        result
+    }
+
+    /// Stage statistics.
+    pub fn stats(&self) -> CjoinStats {
+        CjoinStats {
+            admitted: self.inner.admitted.load(Ordering::Relaxed),
+            admission_batches: self.inner.admission_batches.load(Ordering::Relaxed),
+            sp_shares: self.inner.sp_shares.load(Ordering::Relaxed),
+            admission_dim_rows: self.inner.admission_dim_rows.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of queries currently in the GQP.
+    pub fn active_queries(&self) -> usize {
+        self.inner.state.read().queries.len()
+    }
+
+    /// Stop the pipeline threads.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.wake.notify_all();
+        self.inner.worker_q.close();
+        self.inner.dist_q.close();
+    }
+
+    // -----------------------------------------------------------------
+    // Preprocessor
+    // -----------------------------------------------------------------
+
+    fn spawn_preprocessor(&self) {
+        let inner = Arc::clone(&self.inner);
+        self.inner.machine.clone().spawn("cjoin-preproc", move |ctx| {
+            let schema = inner.storage.schema(inner.fact);
+            let stream = inner.storage.new_stream();
+            let npages = inner.fact_pages.max(1) as usize;
+            let mut pos = 0usize;
+            loop {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    inner.worker_q.close();
+                    return;
+                }
+                // Batched admission at page boundaries (pipeline pause).
+                let pending = std::mem::take(&mut *inner.pending.lock());
+                if !pending.is_empty() {
+                    admit_batch(&inner, ctx, pending);
+                }
+                let has_active = inner.state.read().active_bits.any();
+                if !has_active {
+                    // Park until a query arrives or shutdown.
+                    inner.wake.wait_until(|| {
+                        inner.shutdown.load(Ordering::Acquire)
+                            || !inner.pending.lock().is_empty()
+                    });
+                    continue;
+                }
+                // Produce one fact page.
+                let page = inner.storage.read_page(ctx, inner.fact, pos, stream);
+                let rows = page.decode_all(&schema);
+                ctx.charge(
+                    CostKind::Scan,
+                    inner.cost.scan_page_fixed_ns
+                        + inner.cost.scan_tuple_ns * rows.len() as f64,
+                );
+                let members = {
+                    let s = inner.state.read();
+                    s.active_bits.clone()
+                };
+                // Preprocessor bookkeeping: stamping the page with the
+                // active-query set and maintaining per-query entry/exit
+                // watermarks ("these responsibilities slow down the circular
+                // scan significantly", §5.2.2).
+                ctx.charge(
+                    CostKind::Routing,
+                    2_000.0 + 60.0 * members.count_ones() as f64,
+                );
+                let batch = Arc::new(WorkBatch {
+                    rows,
+                    members: members.clone(),
+                });
+                if inner.worker_q.push(batch).is_err() {
+                    return; // shut down
+                }
+                // Wrap bookkeeping: queries whose full wrap has been emitted
+                // stop receiving pages.
+                {
+                    let mut s = inner.state.write();
+                    let done: Vec<u32> = members
+                        .iter_ones()
+                        .filter_map(|slot| {
+                            let left = s.emit_left.get_mut(&(slot as u32))?;
+                            *left -= 1;
+                            (*left == 0).then_some(slot as u32)
+                        })
+                        .collect();
+                    for slot in done {
+                        s.active_bits.clear(slot as usize);
+                        s.emit_left.remove(&slot);
+                    }
+                }
+                pos = (pos + 1) % npages;
+            }
+        });
+    }
+
+    // -----------------------------------------------------------------
+    // Filter workers
+    // -----------------------------------------------------------------
+
+    fn spawn_worker(&self, idx: usize) {
+        let inner = Arc::clone(&self.inner);
+        self.inner
+            .machine
+            .clone()
+            .spawn(&format!("cjoin-filter-{idx}"), move |ctx| {
+                while let Some(batch) = inner.worker_q.pop() {
+                    let mut probes = 0u64;
+                    let mut bitmap_words = 0u64;
+                    // NOTE: no virtual-time operations (charge/emit) may
+                    // happen while the state lock is held — a parked holder
+                    // would block admission in real time and freeze the
+                    // virtual clock.
+                    let dist = {
+                        let s = inner.state.read();
+                        let nfilters = s.filters.len();
+                        let mut tuples = Vec::with_capacity(batch.rows.len());
+                        for row in &batch.rows {
+                            let mut bits = batch.members.clone();
+                            let mut matches: Vec<Option<Arc<Row>>> =
+                                vec![None; nfilters];
+                            let mut alive = bits.any();
+                            for (fi, f) in s.filters.iter().enumerate() {
+                                if !alive {
+                                    break;
+                                }
+                                let key = row[f.fact_fk_idx].as_int();
+                                let entry = f.hash.get(&key);
+                                probes += 1;
+                                bitmap_words += bits.word_count() as u64;
+                                alive = bits
+                                    .and_filtered(entry.map(|e| &e.bits), &f.referencing);
+                                if let Some(e) = entry {
+                                    matches[fi] = Some(Arc::clone(&e.row));
+                                }
+                            }
+                            if alive {
+                                tuples.push((row.clone(), bits, matches));
+                            }
+                        }
+                        DistBatch {
+                            tuples,
+                            members: batch.members.clone(),
+                        }
+                    };
+                    // Shared-operator bookkeeping costs: probe + extra +
+                    // bitmap ANDs (the §5.2.2 overhead).
+                    ctx.charge(
+                        CostKind::Hashing,
+                        inner.cost.hash_probe_tuple_ns * probes as f64,
+                    );
+                    ctx.charge(
+                        CostKind::Join,
+                        inner.cost.shared_probe_extra_ns * probes as f64
+                            + inner.cost.bitmap_word_and_ns * bitmap_words as f64,
+                    );
+                    if inner.dist_q.push(Arc::new(dist)).is_err() {
+                        return;
+                    }
+                }
+                inner.dist_q.close();
+            });
+    }
+
+    // -----------------------------------------------------------------
+    // Distributor parts
+    // -----------------------------------------------------------------
+
+    fn spawn_distributor(&self, idx: usize) {
+        let inner = Arc::clone(&self.inner);
+        self.inner
+            .machine
+            .clone()
+            .spawn(&format!("cjoin-dist-{idx}"), move |ctx| {
+                while let Some(batch) = inner.dist_q.pop() {
+                    // Snapshot the runtimes of the member queries.
+                    let runtimes: Vec<Arc<QueryRuntime>> = {
+                        let s = inner.state.read();
+                        batch
+                            .members
+                            .iter_ones()
+                            .filter_map(|slot| s.queries.get(&(slot as u32)).cloned())
+                            .collect()
+                    };
+                    let mut routed = 0u64;
+                    let mut out_rows = 0u64;
+                    let mut agg_rows = 0u64;
+                    for qrt in &runtimes {
+                        let mut pages = Vec::new();
+                        let mut route_query = |sink_rows: &mut dyn FnMut(Row)| {
+                            for (row, bits, matches) in &batch.tuples {
+                                if !bits.get(qrt.slot as usize) {
+                                    continue;
+                                }
+                                routed += 1;
+                                // Fact predicates on CJOIN output (§3.2).
+                                if !qrt.fact_pred.eval(row) {
+                                    continue;
+                                }
+                                out_rows += 1;
+                                let mut joined = qrt.bound.project_fact(row);
+                                for (fi, payload_idx) in &qrt.dim_filters {
+                                    let dim_row = matches[*fi]
+                                        .as_ref()
+                                        .expect("bit set without dim match");
+                                    for &ci in payload_idx {
+                                        joined.push(dim_row[ci].clone());
+                                    }
+                                }
+                                sink_rows(joined);
+                            }
+                        };
+                        match &qrt.sink {
+                            Sink::Stream { out, builder } => {
+                                {
+                                    let mut builder = builder.lock();
+                                    route_query(&mut |joined| {
+                                        if let Some(full) = builder.push(joined) {
+                                            pages.push(full);
+                                        }
+                                    });
+                                }
+                                for p in pages {
+                                    out.emit(ctx, p);
+                                }
+                            }
+                            Sink::Agg { agg, .. } => {
+                                let before = agg.lock().rows_in();
+                                let mut guard = agg.lock();
+                                route_query(&mut |joined| {
+                                    guard.update(&joined);
+                                });
+                                agg_rows += guard.rows_in() - before;
+                            }
+                        }
+                    }
+                    ctx.charge(
+                        CostKind::Routing,
+                        inner.cost.route_tuple_ns * routed as f64,
+                    );
+                    ctx.charge(
+                        CostKind::Join,
+                        inner.cost.join_output_tuple_ns * out_rows as f64,
+                    );
+                    if agg_rows > 0 {
+                        ctx.charge(
+                            CostKind::Aggregation,
+                            inner.cost.agg_update_tuple_ns * agg_rows as f64,
+                        );
+                    }
+                    // Completion bookkeeping: the part that processes a
+                    // query's last page finalizes it.
+                    for qrt in &runtimes {
+                        if qrt.process_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            finalize_query(&inner, ctx, qrt);
+                        }
+                    }
+                }
+            });
+    }
+}
+
+fn admit_batch(inner: &StageInner, ctx: &SimCtx, pending: Vec<Admission>) {
+    inner
+        .admission_batches
+        .fetch_add(1, Ordering::Relaxed);
+    // One pipeline pause per batch ("in one pause of the pipeline, the
+    // admission phase adapts the filters for all queries in the batch",
+    // §3.2); per-query work is the slot/bitmap bookkeeping plus the
+    // dimension scans charged below.
+    ctx.charge(CostKind::Admission, inner.cost.admission_query_fixed_ns);
+    for adm in pending {
+        ctx.charge(
+            CostKind::Admission,
+            inner.cost.admission_query_fixed_ns / 10.0,
+        );
+        let q = &adm.query;
+        // Allocate a slot.
+        let slot = {
+            let mut s = inner.state.write();
+            let slot = s.free_slots.pop().unwrap_or_else(|| {
+                let sl = s.next_slot;
+                s.next_slot += 1;
+                sl
+            });
+            s.active_bits.grow(slot as usize + 1);
+            slot
+        };
+        let mut dim_filters = Vec::with_capacity(q.dims.len());
+        for (k, dj) in q.dims.iter().enumerate() {
+            let dim_t = inner.storage.table(&dj.dim);
+            let dim_schema = inner.storage.schema(dim_t);
+            let fact_schema = inner.storage.schema(inner.fact);
+            let fk_idx = fact_schema.col(&dj.fact_fk);
+            let pk_idx = dim_schema.col(&dj.dim_pk);
+            // Locate or create the shared filter for (dim, fk, pk).
+            let fi = {
+                let mut s = inner.state.write();
+                match s.filters.iter().position(|f| {
+                    f.dim == dim_t && f.fact_fk_idx == fk_idx && f.dim_pk_idx == pk_idx
+                }) {
+                    Some(fi) => fi,
+                    None => {
+                        s.filters.push(Filter {
+                            dim: dim_t,
+                            fact_fk_idx: fk_idx,
+                            dim_pk_idx: pk_idx,
+                            hash: FxHashMap::default(),
+                            referencing: QueryBitmap::zeros(64),
+                        });
+                        s.filters.len() - 1
+                    }
+                }
+            };
+            // Scan the dimension table, evaluate this query's predicate,
+            // extend entry bitmaps (the admission cost SP avoids, §3.1).
+            let stream = inner.storage.new_stream();
+            let npages = inner.storage.page_count(dim_t);
+            let terms = dj.pred.term_count();
+            let mut scanned = 0u64;
+            for p in 0..npages {
+                let page = inner.storage.read_page(ctx, dim_t, p, stream);
+                let rows = page.decode_all(&dim_schema);
+                scanned += rows.len() as u64;
+                ctx.charge(
+                    CostKind::Admission,
+                    inner.cost.admission_tuple_ns * rows.len() as f64
+                        + inner.cost.select_cost(terms, rows.len()),
+                );
+                let mut s = inner.state.write();
+                let filter = &mut s.filters[fi];
+                for row in rows {
+                    if dj.pred.eval(&row) {
+                        let key = row[pk_idx].as_int();
+                        let entry =
+                            filter.hash.entry(key).or_insert_with(|| DimEntry {
+                                row: Arc::new(row),
+                                bits: QueryBitmap::zeros(64),
+                            });
+                        entry.bits.set(slot as usize);
+                    }
+                }
+                filter.referencing.set(slot as usize);
+            }
+            inner
+                .admission_dim_rows
+                .fetch_add(scanned, Ordering::Relaxed);
+            dim_filters.push((fi, adm.bound.dim_payload_idx[k].clone()));
+        }
+        // Activate.
+        let sink = match &adm.sink {
+            AdmissionSink::Stream(out) => Sink::Stream {
+                out: out.clone(),
+                builder: Mutex::new(BatchBuilder::new()),
+            },
+            AdmissionSink::Agg(result) => Sink::Agg {
+                agg: Mutex::new(Aggregator::new(&adm.bound)),
+                order: adm.query.order_by.clone(),
+                result: Arc::clone(result),
+            },
+        };
+        let qrt = Arc::new(QueryRuntime {
+            slot,
+            qid: adm.query.id,
+            sig: adm.sig,
+            bound: Arc::clone(&adm.bound),
+            fact_pred: q.fact_pred.clone(),
+            dim_filters,
+            sink,
+            process_left: AtomicU64::new(inner.fact_pages.max(1)),
+        });
+        {
+            let mut s = inner.state.write();
+            s.queries.insert(slot, Arc::clone(&qrt));
+            s.emit_left.insert(slot, inner.fact_pages.max(1));
+            s.active_bits.set(slot as usize);
+        }
+        inner.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn finalize_query(inner: &StageInner, ctx: &SimCtx, qrt: &QueryRuntime) {
+    match &qrt.sink {
+        Sink::Stream { out, builder } => {
+            // Flush the tail page and close the packet's output.
+            if let Some(rest) = builder.lock().flush() {
+                out.emit(ctx, rest);
+            }
+            out.close();
+        }
+        Sink::Agg { agg, order, result } => {
+            // Finalize the shared aggregate: sort and buffer the rows.
+            let mut done = Aggregator::new(&qrt.bound);
+            std::mem::swap(&mut *agg.lock(), &mut done);
+            let groups = done.group_count();
+            ctx.charge(
+                CostKind::Aggregation,
+                inner.cost.agg_group_output_ns * groups as f64,
+            );
+            if !order.is_empty() {
+                ctx.charge(CostKind::Sort, inner.cost.sort_cost(groups));
+            }
+            result.complete(Arc::new(done.finish(order)));
+        }
+    }
+    // Remove from the GQP: clear its bit from every filter entry, drop
+    // empty entries, release the slot.
+    let mut s = inner.state.write();
+    let slot = qrt.slot as usize;
+    for f in &mut s.filters {
+        if f.referencing.get(slot) {
+            f.referencing.clear(slot);
+            f.hash.retain(|_, e| {
+                e.bits.clear(slot);
+                e.bits.any()
+            });
+        }
+    }
+    s.queries.remove(&qrt.slot);
+    s.free_slots.push(qrt.slot);
+    drop(s);
+    if inner.config.sp {
+        let mut reg = inner.sp_registry.lock();
+        if reg.get(&qrt.sig).is_some_and(|(qid, _)| *qid == qrt.qid) {
+            reg.remove(&qrt.sig);
+        }
+    }
+    ctx.charge(CostKind::Admission, inner.cost.admission_query_fixed_ns / 4.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workshare_common::codec::PageBuilder;
+    use workshare_common::{
+        AggSpec, ColRef, ColType, Column, DimJoin, OrderKey, Schema, Value,
+    };
+    use workshare_sim::MachineConfig;
+    use workshare_storage::{IoMode, StorageConfig};
+
+    fn setup() -> (Machine, StorageManager) {
+        let m = Machine::new(MachineConfig {
+            cores: 8,
+            ..Default::default()
+        });
+        let sm = StorageManager::new(
+            StorageConfig {
+                io_mode: IoMode::Memory,
+                ..Default::default()
+            },
+            CostModel::default(),
+        );
+        let fs = Schema::new(vec![
+            Column::new("fk_a", ColType::Int),
+            Column::new("fk_b", ColType::Int),
+            Column::new("m", ColType::Int),
+        ]);
+        let mut fb = PageBuilder::new(&fs);
+        for i in 0..3000i64 {
+            fb.push(&[Value::Int(i % 10), Value::Int(i % 7), Value::Int(i)]);
+        }
+        let fpages = fb.finish();
+        sm.create_table("fact", fs, fpages);
+        for (name, n, tags) in [("dima", 10i64, "a"), ("dimb", 7, "b")] {
+            let ds = Schema::new(vec![
+                Column::new("pk", ColType::Int),
+                Column::new("tag", ColType::Str(8)),
+            ]);
+            let mut db = PageBuilder::new(&ds);
+            for i in 0..n {
+                db.push(&[Value::Int(i), Value::str(&format!("{tags}{}", i % 2))]);
+            }
+            let dpages = db.finish();
+            sm.create_table(name, ds, dpages);
+        }
+        (m, sm)
+    }
+
+    fn query(id: u64, a_even_only: bool) -> StarQuery {
+        StarQuery {
+            id,
+            fact: "fact".into(),
+            fact_pred: Predicate::True,
+            dims: vec![
+                DimJoin {
+                    dim: "dima".into(),
+                    fact_fk: "fk_a".into(),
+                    dim_pk: "pk".into(),
+                    pred: if a_even_only {
+                        Predicate::eq(1, Value::str("a0"))
+                    } else {
+                        Predicate::True
+                    },
+                    payload: vec!["tag".into()],
+                },
+                DimJoin {
+                    dim: "dimb".into(),
+                    fact_fk: "fk_b".into(),
+                    dim_pk: "pk".into(),
+                    pred: Predicate::True,
+                    payload: vec!["tag".into()],
+                },
+            ],
+            group_by: vec![ColRef::dim(0, "tag"), ColRef::dim(1, "tag")],
+            aggs: vec![AggSpec::sum(ColRef::fact("m"))],
+            order_by: vec![
+                OrderKey {
+                    output_idx: 0,
+                    desc: false,
+                },
+                OrderKey {
+                    output_idx: 1,
+                    desc: false,
+                },
+            ],
+        }
+    }
+
+    /// Reference evaluation with plain nested loops.
+    fn expected(a_even_only: bool) -> Vec<Row> {
+        use std::collections::BTreeMap;
+        let mut groups: BTreeMap<(String, String), f64> = BTreeMap::new();
+        for i in 0..3000i64 {
+            let a = i % 10;
+            let b = i % 7;
+            let atag = format!("a{}", a % 2);
+            let btag = format!("b{}", b % 2);
+            if a_even_only && atag != "a0" {
+                continue;
+            }
+            *groups.entry((atag, btag)).or_insert(0.0) += i as f64;
+        }
+        groups
+            .into_iter()
+            .map(|((a, b), s)| vec![Value::str(&a), Value::str(&b), Value::Float(s)])
+            .collect()
+    }
+
+    fn run_queries(
+        config: CjoinConfig,
+        queries: Vec<StarQuery>,
+    ) -> (Vec<Vec<Row>>, CjoinStats) {
+        let (m, sm) = setup();
+        let stage = CjoinStage::new(&m, &sm, "fact", config, CostModel::default());
+        let st = stage.clone();
+        let out = m
+            .spawn("coord", move |ctx| {
+                let fact_schema = st.inner.storage.schema(st.inner.fact);
+                let mut jobs = Vec::new();
+                for q in &queries {
+                    let dim_schemas: Vec<_> = q
+                        .dims
+                        .iter()
+                        .map(|d| {
+                            st.inner
+                                .storage
+                                .schema(st.inner.storage.table(&d.dim))
+                        })
+                        .collect();
+                    let dim_refs: Vec<&Schema> =
+                        dim_schemas.iter().map(|s| s.as_ref()).collect();
+                    let bound = bind(&fact_schema, &dim_refs, q);
+                    let mut outp = st.submit(q);
+                    let order = q.order_by.clone();
+                    let cost = st.inner.cost;
+                    jobs.push(ctx.machine().spawn(
+                        &format!("agg-q{}", q.id),
+                        move |ctx| {
+                            let mut agg = workshare_common::agg::Aggregator::new(&bound);
+                            while let Some(b) = outp.reader.next(ctx) {
+                                ctx.charge(
+                                    CostKind::Aggregation,
+                                    cost.agg_update_tuple_ns * b.len() as f64,
+                                );
+                                for row in &b.rows {
+                                    agg.update(row);
+                                }
+                            }
+                            agg.finish(&order)
+                        },
+                    ));
+                }
+                jobs.into_iter().map(|j| j.join().unwrap()).collect::<Vec<_>>()
+            })
+            .join()
+            .unwrap();
+        let stats = stage.stats();
+        stage.shutdown();
+        (out, stats)
+    }
+
+    #[test]
+    fn single_query_matches_reference() {
+        let (res, stats) = run_queries(CjoinConfig::default(), vec![query(1, false)]);
+        assert_eq!(res[0], expected(false));
+        assert_eq!(stats.admitted, 1);
+    }
+
+    #[test]
+    fn concurrent_queries_with_different_predicates() {
+        let qs = vec![query(1, false), query(2, true), query(3, false), query(4, true)];
+        let (res, stats) = run_queries(CjoinConfig::default(), qs);
+        assert_eq!(res[0], expected(false));
+        assert_eq!(res[1], expected(true));
+        assert_eq!(res[2], expected(false));
+        assert_eq!(res[3], expected(true));
+        assert_eq!(stats.admitted, 4);
+        assert_eq!(stats.sp_shares, 0);
+    }
+
+    #[test]
+    fn sp_shares_identical_packets() {
+        let config = CjoinConfig {
+            sp: true,
+            ..Default::default()
+        };
+        let qs = vec![query(1, true), query(2, true), query(3, true)];
+        let (res, stats) = run_queries(config, qs);
+        for r in &res {
+            assert_eq!(*r, expected(true));
+        }
+        assert_eq!(stats.admitted, 1, "only the host is admitted");
+        assert_eq!(stats.sp_shares, 2);
+    }
+
+    #[test]
+    fn queries_with_disjoint_dimensions_coexist() {
+        // One query joins only dima, the other only dimb; the shared plan
+        // must not let one query's filter hurt the other.
+        let mut qa = query(1, false);
+        qa.dims.truncate(1);
+        qa.group_by = vec![ColRef::dim(0, "tag")];
+        qa.order_by = vec![OrderKey {
+            output_idx: 0,
+            desc: false,
+        }];
+        let mut qb = query(2, false);
+        qb.dims.remove(0);
+        qb.group_by = vec![ColRef::dim(0, "tag")];
+        qb.order_by = vec![OrderKey {
+            output_idx: 0,
+            desc: false,
+        }];
+        let (res, _) = run_queries(CjoinConfig::default(), vec![qa, qb]);
+        // dima tags: sum of i where (i%10)%2==tag parity.
+        let mut a0 = 0.0;
+        let mut a1 = 0.0;
+        let mut b0 = 0.0;
+        let mut b1 = 0.0;
+        for i in 0..3000i64 {
+            if (i % 10) % 2 == 0 {
+                a0 += i as f64;
+            } else {
+                a1 += i as f64;
+            }
+            if (i % 7) % 2 == 0 {
+                b0 += i as f64;
+            } else {
+                b1 += i as f64;
+            }
+        }
+        assert_eq!(
+            res[0],
+            vec![
+                vec![Value::str("a0"), Value::Float(a0)],
+                vec![Value::str("a1"), Value::Float(a1)],
+            ]
+        );
+        assert_eq!(
+            res[1],
+            vec![
+                vec![Value::str("b0"), Value::Float(b0)],
+                vec![Value::str("b1"), Value::Float(b1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn fact_predicates_are_applied_on_output() {
+        let mut q = query(1, false);
+        q.fact_pred = Predicate::between(2, 0i64, 999i64); // m <= 999
+        let (res, _) = run_queries(CjoinConfig::default(), vec![q]);
+        use std::collections::BTreeMap;
+        let mut groups: BTreeMap<(String, String), f64> = BTreeMap::new();
+        for i in 0..1000i64 {
+            let atag = format!("a{}", (i % 10) % 2);
+            let btag = format!("b{}", (i % 7) % 2);
+            *groups.entry((atag, btag)).or_insert(0.0) += i as f64;
+        }
+        let expect: Vec<Row> = groups
+            .into_iter()
+            .map(|((a, b), s)| vec![Value::str(&a), Value::str(&b), Value::Float(s)])
+            .collect();
+        assert_eq!(res[0], expect);
+    }
+
+    #[test]
+    fn late_query_gets_complete_answer_via_wrap() {
+        let (m, sm) = setup();
+        let stage = CjoinStage::new(&m, &sm, "fact", CjoinConfig::default(), CostModel::default());
+        let st = stage.clone();
+        let out = m
+            .spawn("coord", move |ctx| {
+                let run_one = |st: &CjoinStage, ctx: &SimCtx, q: StarQuery| {
+                    let fact_schema = st.inner.storage.schema(st.inner.fact);
+                    let dim_schemas: Vec<_> = q
+                        .dims
+                        .iter()
+                        .map(|d| st.inner.storage.schema(st.inner.storage.table(&d.dim)))
+                        .collect();
+                    let dim_refs: Vec<&Schema> =
+                        dim_schemas.iter().map(|s| s.as_ref()).collect();
+                    let bound = bind(&fact_schema, &dim_refs, &q);
+                    let mut outp = st.submit(&q);
+                    let order = q.order_by.clone();
+                    ctx.machine().spawn(&format!("agg-{}", q.id), move |ctx| {
+                        let mut agg = workshare_common::agg::Aggregator::new(&bound);
+                        while let Some(b) = outp.reader.next(ctx) {
+                            for row in &b.rows {
+                                agg.update(row);
+                            }
+                        }
+                        agg.finish(&order)
+                    })
+                };
+                let j1 = run_one(&st, ctx, query(1, false));
+                // Let the first query's scan progress mid-way, then submit.
+                ctx.sleep(2e5);
+                let j2 = run_one(&st, ctx, query(2, true));
+                (j1.join().unwrap(), j2.join().unwrap())
+            })
+            .join()
+            .unwrap();
+        assert_eq!(out.0, expected(false));
+        assert_eq!(out.1, expected(true), "late arrival still sees every tuple");
+        stage.shutdown();
+    }
+
+    #[test]
+    fn slots_are_recycled_after_completion() {
+        let (m, sm) = setup();
+        let stage = CjoinStage::new(&m, &sm, "fact", CjoinConfig::default(), CostModel::default());
+        let st = stage.clone();
+        m.spawn("coord", move |ctx| {
+            for round in 0..3 {
+                let q = query(round, false);
+                let mut outp = st.submit(&q);
+                // Drain without aggregating.
+                while outp.reader.next(ctx).is_some() {}
+            }
+            assert_eq!(st.active_queries(), 0);
+            // Slots were reused: next_slot never exceeded round count 1.
+            assert!(st.inner.state.read().next_slot <= 2);
+        })
+        .join()
+        .unwrap();
+        stage.shutdown();
+    }
+}

@@ -1,0 +1,298 @@
+//! Binding a [`StarQuery`] to physical schemas.
+//!
+//! All engines share the same physical convention for the joined row:
+//!
+//! ```text
+//! [ fk_0 … fk_{d-1} | fact payload cols … | dim_0 payload … | dim_{d-1} payload ]
+//! ```
+//!
+//! The fact's foreign keys are kept in front (each join probes its own),
+//! followed by fact columns referenced by grouping/aggregation, followed by
+//! each dimension's payload columns in join order. [`bind`] computes every
+//! index needed to execute the query against this layout.
+
+use crate::plan::{AggExpr, AggFn, AggSpec, ColRef, ColSource, StarQuery};
+use crate::schema::Schema;
+use crate::value::{Row, Value};
+
+/// A fully resolved aggregate input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundAggExpr {
+    /// Joined-row column index.
+    Col(usize),
+    /// Product of two joined-row columns.
+    Mul(usize, usize),
+}
+
+/// A fully resolved aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundAgg {
+    /// Function.
+    pub func: AggFn,
+    /// Input (absent only for `Count`).
+    pub expr: Option<BoundAggExpr>,
+}
+
+/// Physical binding of a [`StarQuery`].
+#[derive(Debug, Clone)]
+pub struct BoundQuery {
+    /// Fact-schema indices of the join foreign keys, in join order.
+    pub fact_fk_idx: Vec<usize>,
+    /// Fact-schema indices of payload columns carried past the scan.
+    pub fact_payload_idx: Vec<usize>,
+    /// Dim-schema index of each join's primary key.
+    pub dim_pk_idx: Vec<usize>,
+    /// Dim-schema indices of each join's payload columns.
+    pub dim_payload_idx: Vec<Vec<usize>>,
+    /// Joined-row indices of the group-by columns.
+    pub group_idx: Vec<usize>,
+    /// Resolved aggregates.
+    pub aggs: Vec<BoundAgg>,
+    /// Arity of the joined row.
+    pub joined_arity: usize,
+}
+
+impl BoundQuery {
+    /// Project a full fact row to the working prefix
+    /// `[fks… | fact payload…]`.
+    pub fn project_fact(&self, fact_row: &[Value]) -> Row {
+        let mut out = Row::with_capacity(self.joined_arity);
+        for &i in &self.fact_fk_idx {
+            out.push(fact_row[i].clone());
+        }
+        for &i in &self.fact_payload_idx {
+            out.push(fact_row[i].clone());
+        }
+        out
+    }
+
+    /// Joined-row offset where dim `k`'s payload begins.
+    pub fn dim_payload_offset(&self, k: usize) -> usize {
+        self.fact_fk_idx.len()
+            + self.fact_payload_idx.len()
+            + self.dim_payload_idx[..k]
+                .iter()
+                .map(|v| v.len())
+                .sum::<usize>()
+    }
+}
+
+fn resolve(q: &StarQuery, fact_payload: &[String], c: &ColRef) -> usize {
+    match c.source {
+        ColSource::Fact => {
+            let pos = fact_payload
+                .iter()
+                .position(|n| *n == c.col)
+                .unwrap_or_else(|| panic!("fact column '{}' not in payload", c.col));
+            q.dims.len() + pos
+        }
+        ColSource::Dim(k) => {
+            let pos = q.dims[k]
+                .payload
+                .iter()
+                .position(|n| *n == c.col)
+                .unwrap_or_else(|| {
+                    panic!("dim {k} column '{}' not in payload of {}", c.col, q.dims[k].dim)
+                });
+            let before: usize = q.dims[..k].iter().map(|d| d.payload.len()).sum();
+            q.dims.len() + fact_payload.len() + before + pos
+        }
+    }
+}
+
+/// Fact columns referenced by grouping/aggregation, deduplicated in first-use
+/// order. These are the columns the scan projection must carry.
+pub fn fact_payload_columns(q: &StarQuery) -> Vec<String> {
+    let mut cols: Vec<String> = Vec::new();
+    let mut add = |c: &ColRef| {
+        if c.source == ColSource::Fact && !cols.contains(&c.col) {
+            cols.push(c.col.clone());
+        }
+    };
+    for g in &q.group_by {
+        add(g);
+    }
+    for a in &q.aggs {
+        match &a.expr {
+            Some(AggExpr::Col(c)) => add(c),
+            Some(AggExpr::Mul(a, b)) => {
+                add(a);
+                add(b);
+            }
+            None => {}
+        }
+    }
+    cols
+}
+
+/// Bind `q` against the fact schema and its dimension schemas (in join
+/// order). Panics on unresolvable columns — plans are machine-generated, so
+/// failures are template bugs.
+pub fn bind(fact: &Schema, dims: &[&Schema], q: &StarQuery) -> BoundQuery {
+    assert_eq!(dims.len(), q.dims.len(), "schema count mismatch");
+    let fact_payload = fact_payload_columns(q);
+    let fact_fk_idx = q.dims.iter().map(|d| fact.col(&d.fact_fk)).collect();
+    let fact_payload_idx = fact_payload.iter().map(|n| fact.col(n)).collect();
+    let dim_pk_idx = q
+        .dims
+        .iter()
+        .zip(dims)
+        .map(|(d, s)| s.col(&d.dim_pk))
+        .collect();
+    let dim_payload_idx: Vec<Vec<usize>> = q
+        .dims
+        .iter()
+        .zip(dims)
+        .map(|(d, s)| d.payload.iter().map(|n| s.col(n)).collect())
+        .collect();
+    let group_idx = q
+        .group_by
+        .iter()
+        .map(|c| resolve(q, &fact_payload, c))
+        .collect();
+    let aggs = q
+        .aggs
+        .iter()
+        .map(|a: &AggSpec| BoundAgg {
+            func: a.func,
+            expr: a.expr.as_ref().map(|e| match e {
+                AggExpr::Col(c) => BoundAggExpr::Col(resolve(q, &fact_payload, c)),
+                AggExpr::Mul(x, y) => BoundAggExpr::Mul(
+                    resolve(q, &fact_payload, x),
+                    resolve(q, &fact_payload, y),
+                ),
+            }),
+        })
+        .collect();
+    let joined_arity = q.dims.len()
+        + fact_payload.len()
+        + q.dims.iter().map(|d| d.payload.len()).sum::<usize>();
+    BoundQuery {
+        fact_fk_idx,
+        fact_payload_idx,
+        dim_pk_idx,
+        dim_payload_idx,
+        group_idx,
+        aggs,
+        joined_arity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{AggSpec, DimJoin, OrderKey};
+    use crate::predicate::Predicate;
+    use crate::schema::{ColType, Column};
+
+    fn fact_schema() -> Schema {
+        Schema::new(vec![
+            Column::new("fk_a", ColType::Int),
+            Column::new("fk_b", ColType::Int),
+            Column::new("m1", ColType::Int),
+            Column::new("m2", ColType::Int),
+        ])
+    }
+
+    fn dim_schema(pk: &str, payload: &str) -> Schema {
+        Schema::new(vec![
+            Column::new(pk, ColType::Int),
+            Column::new(payload, ColType::Str(8)),
+        ])
+    }
+
+    fn query() -> StarQuery {
+        StarQuery {
+            id: 1,
+            fact: "f".into(),
+            fact_pred: Predicate::True,
+            dims: vec![
+                DimJoin {
+                    dim: "a".into(),
+                    fact_fk: "fk_a".into(),
+                    dim_pk: "a_pk".into(),
+                    pred: Predicate::True,
+                    payload: vec!["a_val".into()],
+                },
+                DimJoin {
+                    dim: "b".into(),
+                    fact_fk: "fk_b".into(),
+                    dim_pk: "b_pk".into(),
+                    pred: Predicate::True,
+                    payload: vec!["b_val".into()],
+                },
+            ],
+            group_by: vec![ColRef::dim(1, "b_val")],
+            aggs: vec![
+                AggSpec::sum(ColRef::fact("m1")),
+                AggSpec::sum_product(ColRef::fact("m1"), ColRef::fact("m2")),
+            ],
+            order_by: vec![OrderKey {
+                output_idx: 0,
+                desc: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn layout_indices_are_consistent() {
+        let f = fact_schema();
+        let da = dim_schema("a_pk", "a_val");
+        let db = dim_schema("b_pk", "b_val");
+        let b = bind(&f, &[&da, &db], &query());
+        assert_eq!(b.fact_fk_idx, vec![0, 1]);
+        assert_eq!(b.fact_payload_idx, vec![2, 3]); // m1, m2
+        assert_eq!(b.dim_pk_idx, vec![0, 0]);
+        // joined row: [fk_a, fk_b, m1, m2, a_val, b_val]
+        assert_eq!(b.joined_arity, 6);
+        assert_eq!(b.group_idx, vec![5]);
+        assert_eq!(b.dim_payload_offset(0), 4);
+        assert_eq!(b.dim_payload_offset(1), 5);
+        assert_eq!(
+            b.aggs[0].expr,
+            Some(BoundAggExpr::Col(2)),
+            "m1 at joined idx 2"
+        );
+        assert_eq!(b.aggs[1].expr, Some(BoundAggExpr::Mul(2, 3)));
+    }
+
+    #[test]
+    fn project_fact_carries_fks_then_payload() {
+        let f = fact_schema();
+        let da = dim_schema("a_pk", "a_val");
+        let db = dim_schema("b_pk", "b_val");
+        let b = bind(&f, &[&da, &db], &query());
+        let row = vec![
+            Value::Int(7),
+            Value::Int(8),
+            Value::Int(100),
+            Value::Int(200),
+        ];
+        assert_eq!(
+            b.project_fact(&row),
+            vec![
+                Value::Int(7),
+                Value::Int(8),
+                Value::Int(100),
+                Value::Int(200)
+            ]
+        );
+    }
+
+    #[test]
+    fn fact_payload_dedups_in_first_use_order() {
+        let q = query();
+        assert_eq!(fact_payload_columns(&q), vec!["m1", "m2"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in payload")]
+    fn unresolvable_dim_column_panics() {
+        let mut q = query();
+        q.group_by = vec![ColRef::dim(0, "nonexistent")];
+        let f = fact_schema();
+        let da = dim_schema("a_pk", "a_val");
+        let db = dim_schema("b_pk", "b_val");
+        bind(&f, &[&da, &db], &q);
+    }
+}

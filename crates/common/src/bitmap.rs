@@ -1,0 +1,267 @@
+//! Query-membership bitmaps — the core bookkeeping device of shared
+//! operators (paper §2.4): every tuple flowing through a Global Query Plan
+//! carries one bit per active query; shared hash-joins AND the bitmaps of
+//! joined tuples; the distributor routes on the surviving bits.
+
+/// A dynamically sized bitmap over query slots.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct QueryBitmap {
+    words: Box<[u64]>,
+}
+
+impl QueryBitmap {
+    /// All-zero bitmap able to hold `nbits` query slots.
+    pub fn zeros(nbits: usize) -> QueryBitmap {
+        QueryBitmap {
+            words: vec![0u64; nbits.div_ceil(64)].into_boxed_slice(),
+        }
+    }
+
+    /// Bitmap with the first `nbits` slots set.
+    pub fn ones(nbits: usize) -> QueryBitmap {
+        let mut b = Self::zeros(nbits);
+        for i in 0..nbits {
+            b.set(i);
+        }
+        b
+    }
+
+    /// Capacity in bits (a multiple of 64).
+    pub fn capacity(&self) -> usize {
+        self.words.len() * 64
+    }
+
+    /// Number of 64-bit words (the unit the cost model charges per AND).
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Set bit `i`, growing if needed (query admission extends bitmaps —
+    /// one of the admission costs SP avoids for identical queries).
+    pub fn set(&mut self, i: usize) {
+        if i >= self.capacity() {
+            self.grow(i + 1);
+        }
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clear bit `i` (query finalization).
+    pub fn clear(&mut self, i: usize) {
+        if i < self.capacity() {
+            self.words[i / 64] &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Test bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        i < self.capacity() && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Grow capacity to at least `nbits`.
+    pub fn grow(&mut self, nbits: usize) {
+        let need = nbits.div_ceil(64);
+        if need > self.words.len() {
+            let mut v = self.words.to_vec();
+            v.resize(need, 0);
+            self.words = v.into_boxed_slice();
+        }
+    }
+
+    /// `self &= other` (missing words in either side are zero).
+    /// Returns whether any bit survives.
+    pub fn and_assign(&mut self, other: &QueryBitmap) -> bool {
+        let n = self.words.len().min(other.words.len());
+        let mut any = 0u64;
+        for i in 0..n {
+            self.words[i] &= other.words[i];
+            any |= self.words[i];
+        }
+        for w in self.words[n..].iter_mut() {
+            *w = 0;
+        }
+        any != 0
+    }
+
+    /// `self |= other`, growing as needed.
+    pub fn or_assign(&mut self, other: &QueryBitmap) {
+        if other.words.len() > self.words.len() {
+            self.grow(other.capacity());
+        }
+        for (i, w) in other.words.iter().enumerate() {
+            self.words[i] |= w;
+        }
+    }
+
+    /// Shared-filter AND: `self &= entry | !referencing`.
+    ///
+    /// This is the probe step of a CJOIN filter. Queries *referencing* the
+    /// filter's dimension keep their bit only if the dimension tuple's
+    /// `entry` bitmap has it (`entry = None` on a hash miss); queries that do
+    /// not reference the dimension pass through untouched. Returns whether
+    /// any bit survives.
+    pub fn and_filtered(
+        &mut self,
+        entry: Option<&QueryBitmap>,
+        referencing: &QueryBitmap,
+    ) -> bool {
+        let mut any = 0u64;
+        for i in 0..self.words.len() {
+            let e = entry.and_then(|b| b.words.get(i)).copied().unwrap_or(0);
+            let r = referencing.words.get(i).copied().unwrap_or(0);
+            self.words[i] &= e | !r;
+            any |= self.words[i];
+        }
+        any != 0
+    }
+
+    /// Whether any bit is set.
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|w| *w != 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut b = QueryBitmap::zeros(10);
+        assert!(!b.get(3));
+        b.set(3);
+        assert!(b.get(3));
+        b.clear(3);
+        assert!(!b.get(3));
+        assert!(!b.get(1000), "out-of-range get is false");
+    }
+
+    #[test]
+    fn set_grows_automatically() {
+        let mut b = QueryBitmap::zeros(1);
+        b.set(200);
+        assert!(b.get(200));
+        assert!(b.capacity() >= 201);
+    }
+
+    #[test]
+    fn ones_sets_exactly_n() {
+        let b = QueryBitmap::ones(70);
+        assert_eq!(b.count_ones(), 70);
+        assert!(b.get(69));
+        assert!(!b.get(70));
+    }
+
+    #[test]
+    fn and_matches_set_semantics() {
+        let xs: BTreeSet<usize> = [1, 5, 64, 100, 130].into();
+        let ys: BTreeSet<usize> = [5, 64, 99, 130, 200].into();
+        let mut a = QueryBitmap::zeros(256);
+        let mut b = QueryBitmap::zeros(256);
+        for &x in &xs {
+            a.set(x);
+        }
+        for &y in &ys {
+            b.set(y);
+        }
+        let survived = a.and_assign(&b);
+        let expect: BTreeSet<usize> = xs.intersection(&ys).copied().collect();
+        assert_eq!(a.iter_ones().collect::<BTreeSet<_>>(), expect);
+        assert_eq!(survived, !expect.is_empty());
+    }
+
+    #[test]
+    fn and_with_shorter_bitmap_zeroes_tail() {
+        let mut a = QueryBitmap::zeros(200);
+        a.set(10);
+        a.set(150);
+        let mut b = QueryBitmap::zeros(64);
+        b.set(10);
+        assert!(a.and_assign(&b));
+        assert!(a.get(10));
+        assert!(!a.get(150), "bits beyond other's capacity must clear");
+    }
+
+    #[test]
+    fn or_unions_and_grows() {
+        let mut a = QueryBitmap::zeros(64);
+        a.set(1);
+        let mut b = QueryBitmap::zeros(256);
+        b.set(200);
+        a.or_assign(&b);
+        assert!(a.get(1) && a.get(200));
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let mut b = QueryBitmap::zeros(256);
+        for i in [0, 63, 64, 127, 255] {
+            b.set(i);
+        }
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 127, 255]);
+    }
+
+    #[test]
+    fn and_filtered_passes_non_referencing_queries() {
+        // Queries 0,1 reference the filter; query 2 does not.
+        let mut referencing = QueryBitmap::zeros(64);
+        referencing.set(0);
+        referencing.set(1);
+        // Dim tuple selected only by query 0.
+        let mut entry = QueryBitmap::zeros(64);
+        entry.set(0);
+        let mut tuple = QueryBitmap::zeros(64);
+        tuple.set(0);
+        tuple.set(1);
+        tuple.set(2);
+        assert!(tuple.and_filtered(Some(&entry), &referencing));
+        assert!(tuple.get(0), "selected by the dim tuple");
+        assert!(!tuple.get(1), "referencing but not selected");
+        assert!(tuple.get(2), "non-referencing query unaffected");
+    }
+
+    #[test]
+    fn and_filtered_miss_kills_only_referencing_bits() {
+        let mut referencing = QueryBitmap::zeros(64);
+        referencing.set(0);
+        let mut tuple = QueryBitmap::zeros(64);
+        tuple.set(0);
+        tuple.set(3);
+        assert!(tuple.and_filtered(None, &referencing));
+        assert!(!tuple.get(0));
+        assert!(tuple.get(3));
+        // A miss with only referencing bits kills the tuple.
+        let mut t2 = QueryBitmap::zeros(64);
+        t2.set(0);
+        assert!(!t2.and_filtered(None, &referencing));
+    }
+
+    #[test]
+    fn empty_any_count() {
+        let b = QueryBitmap::zeros(128);
+        assert!(!b.any());
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+}

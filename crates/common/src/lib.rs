@@ -1,0 +1,37 @@
+//! # workshare-common — shared data-plane types
+//!
+//! Types shared by every layer of the reproduction:
+//!
+//! * [`Value`] / [`Row`] — the runtime tuple representation.
+//! * [`Schema`] / [`ColType`] — table layouts with fixed-width encoding.
+//! * [`codec`] — row ⇄ bytes page codec (32 KB pages, as in the paper).
+//! * [`Predicate`] — selection predicate AST with evaluation and structural
+//!   hashing (the basis of SP's identical-sub-plan detection).
+//! * [`StarQuery`] — the query spec every engine configuration consumes
+//!   (SSB star queries and scan-aggregate queries like TPC-H Q1).
+//! * [`QueryBitmap`] — the per-tuple query-membership bitmap that shared
+//!   operators AND together (CJOIN's core mechanism).
+//! * [`CostModel`] — calibrated virtual CPU cost constants.
+//! * [`fxhash`] — a fast non-cryptographic hasher for hot join paths.
+
+pub mod agg;
+pub mod bind;
+pub mod bitmap;
+pub mod codec;
+pub mod costs;
+pub mod fxhash;
+pub mod plan;
+pub mod predicate;
+pub mod schema;
+pub mod value;
+
+pub use bitmap::QueryBitmap;
+pub use costs::CostModel;
+pub use plan::{AggExpr, AggFn, AggSpec, ColRef, ColSource, DimJoin, OrderKey, StarQuery};
+pub use predicate::{CmpOp, Predicate};
+pub use schema::{ColType, Column, Schema};
+pub use value::{Row, Value};
+
+/// Page size used throughout the system (the paper uses 32 KB pages for both
+/// storage and exchange buffers).
+pub const PAGE_SIZE: usize = 32 * 1024;

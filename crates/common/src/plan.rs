@@ -1,0 +1,281 @@
+//! Query specifications and structural signatures.
+//!
+//! Every engine configuration consumes the same [`StarQuery`] spec: a fact
+//! table, a chain of dimension equi-joins with per-dimension selection
+//! predicates (the CJOIN-supported shape), optional fact predicates, and a
+//! query-centric aggregation/sort tail. A star query with zero dimensions
+//! degenerates to a scan-aggregate query, which is how TPC-H Q1 is expressed.
+//!
+//! Structural **signatures** (stable hashes that exclude the query id) are
+//! what SP matches on: two packets with equal signatures are the *identical
+//! sub-plans* of paper §2.2.
+
+use std::hash::Hash;
+
+use crate::fxhash;
+use crate::predicate::Predicate;
+
+/// Which relation a column reference addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColSource {
+    /// The fact table.
+    Fact,
+    /// The `i`-th dimension join of the query (0-based).
+    Dim(usize),
+}
+
+/// A column reference in projection / grouping / aggregation lists.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColRef {
+    /// Source relation.
+    pub source: ColSource,
+    /// Column name within that relation.
+    pub col: String,
+}
+
+impl ColRef {
+    /// Reference a fact-table column.
+    pub fn fact(col: &str) -> ColRef {
+        ColRef {
+            source: ColSource::Fact,
+            col: col.to_string(),
+        }
+    }
+
+    /// Reference a column of the `i`-th dimension join.
+    pub fn dim(i: usize, col: &str) -> ColRef {
+        ColRef {
+            source: ColSource::Dim(i),
+            col: col.to_string(),
+        }
+    }
+}
+
+/// Aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFn {
+    /// Sum of a numeric column.
+    Sum,
+    /// Row count (column ignored).
+    Count,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Arithmetic mean.
+    Avg,
+}
+
+/// Aggregate input expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AggExpr {
+    /// A single column.
+    Col(ColRef),
+    /// Product of two numeric columns (SSB Q1.x revenue:
+    /// `SUM(lo_extendedprice * lo_discount)`).
+    Mul(ColRef, ColRef),
+}
+
+/// One aggregate output.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AggSpec {
+    /// Function to apply.
+    pub func: AggFn,
+    /// Input expression (`None` only for `Count`).
+    pub expr: Option<AggExpr>,
+}
+
+impl AggSpec {
+    /// `SUM(col)`
+    pub fn sum(col: ColRef) -> AggSpec {
+        AggSpec {
+            func: AggFn::Sum,
+            expr: Some(AggExpr::Col(col)),
+        }
+    }
+
+    /// `SUM(a * b)`
+    pub fn sum_product(a: ColRef, b: ColRef) -> AggSpec {
+        AggSpec {
+            func: AggFn::Sum,
+            expr: Some(AggExpr::Mul(a, b)),
+        }
+    }
+
+    /// `COUNT(*)`
+    pub fn count() -> AggSpec {
+        AggSpec {
+            func: AggFn::Count,
+            expr: None,
+        }
+    }
+}
+
+/// Sort key over the aggregate output row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OrderKey {
+    /// Index into the aggregate output row (group-by columns first, then
+    /// aggregates).
+    pub output_idx: usize,
+    /// Descending order if set.
+    pub desc: bool,
+}
+
+/// One dimension equi-join of a star query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DimJoin {
+    /// Dimension table name.
+    pub dim: String,
+    /// Foreign-key column on the fact table.
+    pub fact_fk: String,
+    /// Primary-key column on the dimension table.
+    pub dim_pk: String,
+    /// Selection predicate over the dimension table (bound to its schema).
+    pub pred: Predicate,
+    /// Dimension columns needed downstream (projection payload).
+    pub payload: Vec<String>,
+}
+
+/// A star (or scan-aggregate) query specification.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StarQuery {
+    /// Unique submission id (excluded from signatures).
+    pub id: u64,
+    /// Fact table name.
+    pub fact: String,
+    /// Predicate over fact columns (bound to the fact schema). Evaluated at
+    /// the scan by query-centric plans and on CJOIN's output by the GQP
+    /// (paper §3.2: CJOIN does not push fact predicates into the pipeline).
+    pub fact_pred: Predicate,
+    /// Dimension joins in plan order.
+    pub dims: Vec<DimJoin>,
+    /// Group-by columns (empty ⇒ a single global group).
+    pub group_by: Vec<ColRef>,
+    /// Aggregates computed per group.
+    pub aggs: Vec<AggSpec>,
+    /// Ordering over the aggregate output.
+    pub order_by: Vec<OrderKey>,
+}
+
+impl StarQuery {
+    /// Structural signature of the *whole* plan minus the id. Two queries
+    /// with equal full signatures are identical for SP purposes.
+    pub fn full_signature(&self) -> u64 {
+        fxhash::hash_one(&(
+            &self.fact,
+            &self.fact_pred,
+            &self.dims,
+            &self.group_by,
+            &self.aggs,
+            &self.order_by,
+        ))
+    }
+
+    /// Signature of the join sub-plan up to and including the `k`-th
+    /// dimension join (scan + fact predicate + joins `0..=k`). This is the
+    /// pivot-operator identity QPipe-SP matches at the join stage.
+    pub fn join_prefix_signature(&self, k: usize) -> u64 {
+        assert!(k < self.dims.len(), "join index out of range");
+        fxhash::hash_one(&(&self.fact, &self.fact_pred, &self.dims[..=k]))
+    }
+
+    /// Signature of the joins-only part (everything below aggregation).
+    /// Matches when two queries differ only in their aggregation tail —
+    /// the Figure 2a scenario.
+    pub fn joins_signature(&self) -> u64 {
+        fxhash::hash_one(&(&self.fact, &self.fact_pred, &self.dims))
+    }
+
+    /// Signature CJOIN-SP matches on: the star-query part evaluated by the
+    /// CJOIN stage — fact table, dimension joins and their predicates, and
+    /// the projection implied by payloads. Fact predicates are applied on
+    /// CJOIN output per packet, so they are part of the packet identity too.
+    pub fn cjoin_signature(&self) -> u64 {
+        fxhash::hash_one(&(&self.fact, &self.fact_pred, &self.dims))
+    }
+
+    /// Output arity of the aggregate (group-by columns + aggregates).
+    pub fn output_arity(&self) -> usize {
+        self.group_by.len() + self.aggs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use crate::value::Value;
+
+    fn q(id: u64, nation: &str) -> StarQuery {
+        StarQuery {
+            id,
+            fact: "lineorder".into(),
+            fact_pred: Predicate::True,
+            dims: vec![
+                DimJoin {
+                    dim: "customer".into(),
+                    fact_fk: "lo_custkey".into(),
+                    dim_pk: "c_custkey".into(),
+                    pred: Predicate::eq(2, Value::str(nation)),
+                    payload: vec!["c_city".into()],
+                },
+                DimJoin {
+                    dim: "supplier".into(),
+                    fact_fk: "lo_suppkey".into(),
+                    dim_pk: "s_suppkey".into(),
+                    pred: Predicate::True,
+                    payload: vec!["s_city".into()],
+                },
+            ],
+            group_by: vec![ColRef::dim(0, "c_city")],
+            aggs: vec![AggSpec::sum(ColRef::fact("lo_revenue"))],
+            order_by: vec![OrderKey {
+                output_idx: 1,
+                desc: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn id_does_not_affect_signatures() {
+        let a = q(1, "FRANCE");
+        let b = q(2, "FRANCE");
+        assert_eq!(a.full_signature(), b.full_signature());
+        assert_eq!(a.joins_signature(), b.joins_signature());
+        assert_eq!(a.cjoin_signature(), b.cjoin_signature());
+    }
+
+    #[test]
+    fn predicate_changes_signatures() {
+        let a = q(1, "FRANCE");
+        let b = q(1, "GERMANY");
+        assert_ne!(a.full_signature(), b.full_signature());
+        assert_ne!(a.join_prefix_signature(0), b.join_prefix_signature(0));
+    }
+
+    #[test]
+    fn prefix_signatures_distinguish_depth() {
+        let a = q(1, "FRANCE");
+        assert_ne!(a.join_prefix_signature(0), a.join_prefix_signature(1));
+    }
+
+    #[test]
+    fn queries_differing_only_in_agg_share_joins_signature() {
+        let a = q(1, "FRANCE");
+        let mut b = q(2, "FRANCE");
+        b.aggs = vec![AggSpec::count()];
+        assert_ne!(a.full_signature(), b.full_signature());
+        assert_eq!(a.joins_signature(), b.joins_signature());
+    }
+
+    #[test]
+    #[should_panic(expected = "join index out of range")]
+    fn prefix_bounds_checked() {
+        q(1, "FRANCE").join_prefix_signature(5);
+    }
+
+    #[test]
+    fn output_arity_counts_groups_and_aggs() {
+        assert_eq!(q(1, "X").output_arity(), 2);
+    }
+}

@@ -1,0 +1,252 @@
+//! Selection predicate AST.
+//!
+//! Predicates are structural data (not closures) so that SP can hash and
+//! compare them when detecting identical sub-plans, and so that CJOIN can
+//! store them per query slot inside shared selection operators.
+
+use std::hash::{Hash, Hasher};
+
+use crate::value::Value;
+
+/// Comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn apply(self, l: &Value, r: &Value) -> bool {
+        match self {
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+        }
+    }
+}
+
+/// A predicate over a row; columns are referenced by index into the schema
+/// the predicate is bound to.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Predicate {
+    /// Always true (no selection).
+    True,
+    /// `col <op> literal`
+    Cmp {
+        /// Column index.
+        col: usize,
+        /// Operator.
+        op: CmpOp,
+        /// Literal to compare against.
+        val: Value,
+    },
+    /// `col IN (v1, v2, …)` — the disjunctions the Fig. 11 selectivity
+    /// experiment builds over nation attributes.
+    InSet {
+        /// Column index.
+        col: usize,
+        /// Membership list (kept sorted for canonical signatures).
+        vals: Vec<Value>,
+    },
+    /// `lo <= col AND col <= hi` (the SSB year-range predicate).
+    Between {
+        /// Column index.
+        col: usize,
+        /// Inclusive lower bound.
+        lo: Value,
+        /// Inclusive upper bound.
+        hi: Value,
+    },
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Build a canonical `IN` predicate (sorts the value list).
+    pub fn in_set(col: usize, mut vals: Vec<Value>) -> Predicate {
+        vals.sort();
+        vals.dedup();
+        Predicate::InSet { col, vals }
+    }
+
+    /// Build an equality predicate.
+    pub fn eq(col: usize, val: impl Into<Value>) -> Predicate {
+        Predicate::Cmp {
+            col,
+            op: CmpOp::Eq,
+            val: val.into(),
+        }
+    }
+
+    /// Build a between predicate.
+    pub fn between(col: usize, lo: impl Into<Value>, hi: impl Into<Value>) -> Predicate {
+        Predicate::Between {
+            col,
+            lo: lo.into(),
+            hi: hi.into(),
+        }
+    }
+
+    /// Conjunction of `preds`, flattening nested `And`s and dropping `True`s.
+    pub fn and(preds: Vec<Predicate>) -> Predicate {
+        let mut flat = Vec::new();
+        for p in preds {
+            match p {
+                Predicate::True => {}
+                Predicate::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Predicate::True,
+            1 => flat.pop().unwrap(),
+            _ => Predicate::And(flat),
+        }
+    }
+
+    /// Evaluate against a row.
+    pub fn eval(&self, row: &[Value]) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Cmp { col, op, val } => op.apply(&row[*col], val),
+            Predicate::InSet { col, vals } => vals.binary_search(&row[*col]).is_ok(),
+            Predicate::Between { col, lo, hi } => &row[*col] >= lo && &row[*col] <= hi,
+            Predicate::And(ps) => ps.iter().all(|p| p.eval(row)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.eval(row)),
+            Predicate::Not(p) => !p.eval(row),
+        }
+    }
+
+    /// Number of atomic comparison terms — used by the cost model to charge
+    /// predicate evaluation.
+    pub fn term_count(&self) -> usize {
+        match self {
+            Predicate::True => 0,
+            Predicate::Cmp { .. } => 1,
+            Predicate::InSet { vals, .. } => {
+                // Binary search: log2 cost, at least one term.
+                (vals.len().max(2) as f64).log2().ceil() as usize
+            }
+            Predicate::Between { .. } => 2,
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                ps.iter().map(|p| p.term_count()).sum()
+            }
+            Predicate::Not(p) => p.term_count(),
+        }
+    }
+
+    /// Structural 64-bit signature (SP identity matching).
+    pub fn signature(&self) -> u64 {
+        let mut h = crate::fxhash::FxHasher::default();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Vec<Value> {
+        vec![Value::Int(10), Value::str("FRANCE"), Value::Float(2.5)]
+    }
+
+    #[test]
+    fn cmp_ops_all_work() {
+        let r = row();
+        for (op, expect) in [
+            (CmpOp::Eq, false),
+            (CmpOp::Ne, true),
+            (CmpOp::Lt, true),
+            (CmpOp::Le, true),
+            (CmpOp::Gt, false),
+            (CmpOp::Ge, false),
+        ] {
+            let p = Predicate::Cmp {
+                col: 0,
+                op,
+                val: Value::Int(11),
+            };
+            assert_eq!(p.eval(&r), expect, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn in_set_is_sorted_and_binary_searched() {
+        let p = Predicate::in_set(
+            1,
+            vec![Value::str("GERMANY"), Value::str("FRANCE"), Value::str("FRANCE")],
+        );
+        assert!(p.eval(&row()));
+        if let Predicate::InSet { vals, .. } = &p {
+            assert_eq!(vals.len(), 2, "dedup");
+            assert!(vals.windows(2).all(|w| w[0] < w[1]), "sorted");
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn between_inclusive_bounds() {
+        let p = Predicate::between(0, 10i64, 12i64);
+        assert!(p.eval(&row()));
+        let p = Predicate::between(0, 11i64, 12i64);
+        assert!(!p.eval(&row()));
+    }
+
+    #[test]
+    fn and_flattens_and_simplifies() {
+        let p = Predicate::and(vec![
+            Predicate::True,
+            Predicate::and(vec![Predicate::eq(0, 10i64), Predicate::True]),
+        ]);
+        assert_eq!(p, Predicate::eq(0, 10i64));
+        assert!(p.eval(&row()));
+        assert_eq!(Predicate::and(vec![]), Predicate::True);
+    }
+
+    #[test]
+    fn or_and_not() {
+        let p = Predicate::Or(vec![
+            Predicate::eq(0, 99i64),
+            Predicate::eq(1, Value::str("FRANCE")),
+        ]);
+        assert!(p.eval(&row()));
+        assert!(!Predicate::Not(Box::new(p)).eval(&row()));
+    }
+
+    #[test]
+    fn identical_predicates_share_signature() {
+        let a = Predicate::in_set(1, vec![Value::str("A"), Value::str("B")]);
+        let b = Predicate::in_set(1, vec![Value::str("B"), Value::str("A")]);
+        assert_eq!(a.signature(), b.signature(), "canonical order");
+        let c = Predicate::in_set(1, vec![Value::str("C")]);
+        assert_ne!(a.signature(), c.signature());
+    }
+
+    #[test]
+    fn term_counts() {
+        assert_eq!(Predicate::True.term_count(), 0);
+        assert_eq!(Predicate::eq(0, 1i64).term_count(), 1);
+        assert_eq!(Predicate::between(0, 1i64, 2i64).term_count(), 2);
+        let big = Predicate::in_set(0, (0..16).map(Value::Int).collect());
+        assert_eq!(big.term_count(), 4); // log2(16)
+    }
+}

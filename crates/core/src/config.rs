@@ -1,0 +1,194 @@
+//! Engine configurations matching the paper's §5.1 experimental matrix.
+
+use workshare_cjoin::CjoinConfig;
+use workshare_common::CostModel;
+use workshare_qpipe::{ExchangeKind, QpipeConfig};
+use workshare_sim::{DiskConfig, MachineConfig};
+use workshare_storage::{IoMode, StorageConfig};
+
+/// The named configurations evaluated throughout the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NamedConfig {
+    /// Query-centric staged engine, no sharing (baseline).
+    Qpipe,
+    /// + circular scans (SP at the table-scan stage only).
+    QpipeCs,
+    /// + SP at the join stage.
+    QpipeSp,
+    /// Global Query Plan with shared hash-joins (CJOIN as a QPipe stage).
+    Cjoin,
+    /// + SP over identical CJOIN packets.
+    CjoinSp,
+    /// Tuple-at-a-time query-centric iterator engine (the Postgres
+    /// substitute of Fig. 16; see DESIGN.md §2).
+    Volcano,
+}
+
+impl NamedConfig {
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            NamedConfig::Qpipe => "QPipe",
+            NamedConfig::QpipeCs => "QPipe-CS",
+            NamedConfig::QpipeSp => "QPipe-SP",
+            NamedConfig::Cjoin => "CJOIN",
+            NamedConfig::CjoinSp => "CJOIN-SP",
+            NamedConfig::Volcano => "Postgres*",
+        }
+    }
+
+    /// All configurations, in the paper's order.
+    pub fn all() -> [NamedConfig; 6] {
+        [
+            NamedConfig::Qpipe,
+            NamedConfig::QpipeCs,
+            NamedConfig::QpipeSp,
+            NamedConfig::Cjoin,
+            NamedConfig::CjoinSp,
+            NamedConfig::Volcano,
+        ]
+    }
+}
+
+/// Full run configuration: engine + machine + storage knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Which engine to run.
+    pub engine: NamedConfig,
+    /// Virtual cores (the paper's server has 24).
+    pub cores: u32,
+    /// Exchange implementation for SP (Fig. 6's FIFO vs SPL axis).
+    pub exchange: ExchangeKind,
+    /// Database residency / I/O mode.
+    pub io_mode: IoMode,
+    /// Buffer-pool capacity in pages (`None` = large default).
+    pub buffer_pool_pages: Option<usize>,
+    /// Enable whole-plan SP at the aggregation stage (off in the paper's
+    /// experiments; available for the identical-query ablation).
+    pub sp_aggs: bool,
+    /// DataPath-style shared aggregation inside the CJOIN distributor
+    /// (extension; see `workshare_cjoin::CjoinConfig::shared_aggregation`).
+    pub cjoin_shared_agg: bool,
+    /// Johnson et al. [14] run-time prediction model for scan sharing
+    /// (only share once the machine saturates). Fig. 6 ablation.
+    pub cs_prediction: bool,
+    /// Cost model.
+    pub cost: CostModel,
+    /// Simulated disk parameters.
+    pub disk: DiskConfig,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            engine: NamedConfig::QpipeSp,
+            cores: 24,
+            exchange: ExchangeKind::Spl,
+            io_mode: IoMode::Memory,
+            buffer_pool_pages: None,
+            sp_aggs: false,
+            cjoin_shared_agg: false,
+            cs_prediction: false,
+            cost: CostModel::default(),
+            disk: DiskConfig::default(),
+        }
+    }
+}
+
+impl RunConfig {
+    /// Convenience constructor.
+    pub fn named(engine: NamedConfig) -> RunConfig {
+        RunConfig {
+            engine,
+            ..Default::default()
+        }
+    }
+
+    /// Machine parameters implied by this configuration.
+    pub fn machine_config(&self) -> MachineConfig {
+        MachineConfig {
+            cores: self.cores,
+            disk: self.disk,
+        }
+    }
+
+    /// Storage parameters implied by this configuration.
+    pub fn storage_config(&self) -> StorageConfig {
+        let mut sc = StorageConfig {
+            io_mode: self.io_mode,
+            ..Default::default()
+        };
+        if let Some(p) = self.buffer_pool_pages {
+            sc.buffer_pool_pages = p;
+        }
+        sc
+    }
+
+    /// QPipe engine parameters implied by this configuration
+    /// (meaningful for the three QPipe variants).
+    pub fn qpipe_config(&self) -> QpipeConfig {
+        let (cs, sp) = match self.engine {
+            NamedConfig::Qpipe => (false, false),
+            NamedConfig::QpipeCs => (true, false),
+            NamedConfig::QpipeSp => (true, true),
+            _ => (false, false),
+        };
+        QpipeConfig {
+            exchange: self.exchange,
+            circular_scans: cs,
+            sp_joins: sp,
+            sp_aggs: self.sp_aggs,
+            cs_prediction: self.cs_prediction,
+            cap_pages: 8,
+        }
+    }
+
+    /// CJOIN stage parameters implied by this configuration.
+    pub fn cjoin_config(&self) -> CjoinConfig {
+        CjoinConfig {
+            exchange: self.exchange,
+            sp: self.engine == NamedConfig::CjoinSp,
+            shared_aggregation: self.cjoin_shared_agg,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in NamedConfig::all() {
+            assert!(seen.insert(c.label()));
+        }
+    }
+
+    #[test]
+    fn qpipe_variants_map_to_sharing_flags() {
+        let q = RunConfig::named(NamedConfig::Qpipe).qpipe_config();
+        assert!(!q.circular_scans && !q.sp_joins);
+        let cs = RunConfig::named(NamedConfig::QpipeCs).qpipe_config();
+        assert!(cs.circular_scans && !cs.sp_joins);
+        let sp = RunConfig::named(NamedConfig::QpipeSp).qpipe_config();
+        assert!(sp.circular_scans && sp.sp_joins);
+    }
+
+    #[test]
+    fn cjoin_sp_flag_follows_engine() {
+        assert!(!RunConfig::named(NamedConfig::Cjoin).cjoin_config().sp);
+        assert!(RunConfig::named(NamedConfig::CjoinSp).cjoin_config().sp);
+    }
+
+    #[test]
+    fn storage_overrides_apply() {
+        let mut rc = RunConfig::named(NamedConfig::Qpipe);
+        rc.io_mode = IoMode::DirectDisk;
+        rc.buffer_pool_pages = Some(128);
+        let sc = rc.storage_config();
+        assert_eq!(sc.io_mode, IoMode::DirectDisk);
+        assert_eq!(sc.buffer_pool_pages, 128);
+    }
+}

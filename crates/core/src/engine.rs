@@ -1,0 +1,212 @@
+//! Unified engine facade over the three execution paths.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use workshare_cjoin::CjoinStage;
+use workshare_common::bind::bind;
+use workshare_common::{CostModel, StarQuery};
+use workshare_qpipe::QpipeEngine;
+use workshare_sim::{CostKind, Machine, WaitSet};
+use workshare_storage::StorageManager;
+
+use crate::config::{NamedConfig, RunConfig};
+use crate::ticket::{SlotResult, Ticket};
+use crate::volcano::run_volcano_query;
+
+enum EngineKind {
+    Qpipe(QpipeEngine),
+    Cjoin(CjoinStage),
+    Volcano,
+}
+
+struct EngineInner {
+    machine: Machine,
+    storage: StorageManager,
+    cost: CostModel,
+    shared_agg: bool,
+    kind: EngineKind,
+    gate_ws: WaitSet,
+    gate_open: Arc<AtomicBool>,
+}
+
+/// An engine instance bound to one machine and one mounted database.
+/// Cheap to clone.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+impl Engine {
+    /// Build the engine selected by `config` over an already mounted
+    /// storage manager. `fact_table` names the CJOIN stage's fact table
+    /// (ignored by the other engines).
+    pub fn new(
+        machine: &Machine,
+        storage: &StorageManager,
+        config: &RunConfig,
+        fact_table: &str,
+    ) -> Engine {
+        let kind = match config.engine {
+            NamedConfig::Qpipe | NamedConfig::QpipeCs | NamedConfig::QpipeSp => {
+                EngineKind::Qpipe(QpipeEngine::new(
+                    machine,
+                    storage,
+                    config.qpipe_config(),
+                    config.cost,
+                ))
+            }
+            NamedConfig::Cjoin | NamedConfig::CjoinSp => EngineKind::Cjoin(
+                CjoinStage::new(machine, storage, fact_table, config.cjoin_config(), config.cost),
+            ),
+            NamedConfig::Volcano => EngineKind::Volcano,
+        };
+        Engine {
+            inner: Arc::new(EngineInner {
+                machine: machine.clone(),
+                storage: storage.clone(),
+                cost: config.cost,
+                shared_agg: config.cjoin_shared_agg,
+                kind,
+                gate_ws: WaitSet::new(machine),
+                gate_open: Arc::new(AtomicBool::new(true)),
+            }),
+        }
+    }
+
+    /// The machine this engine runs on.
+    pub fn machine(&self) -> &Machine {
+        &self.inner.machine
+    }
+
+    /// The mounted storage manager.
+    pub fn storage(&self) -> &StorageManager {
+        &self.inner.storage
+    }
+
+    /// Hold all per-query work at the start line (batch semantics).
+    pub fn close_gate(&self) {
+        self.inner.gate_open.store(false, Ordering::Release);
+        if let EngineKind::Qpipe(e) = &self.inner.kind {
+            e.close_gate();
+        }
+    }
+
+    /// Release the start line.
+    pub fn open_gate(&self) {
+        self.inner.gate_open.store(true, Ordering::Release);
+        self.inner.gate_ws.notify_all();
+        if let EngineKind::Qpipe(e) = &self.inner.kind {
+            e.open_gate();
+        }
+    }
+
+    /// Submit a query; returns a [`Ticket`].
+    pub fn submit(&self, q: &StarQuery) -> Ticket {
+        let inner = &self.inner;
+        match &inner.kind {
+            EngineKind::Qpipe(e) => Ticket::Qpipe(e.submit(q)),
+            EngineKind::Cjoin(stage) => {
+                if inner.shared_agg {
+                    // DataPath extension: the distributor aggregates in
+                    // place; adapt the stage's buffered result to a Ticket.
+                    let slot = SlotResult::new(&inner.machine, inner.machine.now_ns());
+                    let agg = stage.submit_aggregated(q);
+                    let slot2 = Arc::clone(&slot);
+                    inner.machine.spawn(&format!("cj-sagg-q{}", q.id), move |ctx| {
+                        let rows = agg.wait();
+                        slot2.complete(rows, ctx.machine().now_ns());
+                    });
+                    return Ticket::Slot(slot);
+                }
+                // CJOIN evaluates the joins; a query-centric aggregation
+                // packet sits on top (paper §3.2: "subsequent operators in a
+                // query plan, e.g. aggregations or sorts, are query-centric").
+                let slot = SlotResult::new(&inner.machine, inner.machine.now_ns());
+                let mut output = stage.submit(q);
+                let fact_schema = inner.storage.schema(inner.storage.table(&q.fact));
+                let dim_schemas: Vec<_> = q
+                    .dims
+                    .iter()
+                    .map(|d| inner.storage.schema(inner.storage.table(&d.dim)))
+                    .collect();
+                let dim_refs: Vec<&workshare_common::Schema> =
+                    dim_schemas.iter().map(|s| s.as_ref()).collect();
+                let bound = bind(&fact_schema, &dim_refs, q);
+                let order = q.order_by.clone();
+                let cost = inner.cost;
+                let slot2 = Arc::clone(&slot);
+                let gate_ws = inner.gate_ws.clone();
+                let gate_open = Arc::clone(&inner.gate_open);
+                inner.machine.spawn(&format!("cj-agg-q{}", q.id), move |ctx| {
+                    if !gate_open.load(Ordering::Acquire) {
+                        gate_ws.wait_until(|| gate_open.load(Ordering::Acquire));
+                    }
+                    let mut agg = workshare_common::agg::Aggregator::new(&bound);
+                    while let Some(batch) = output.reader.next(ctx) {
+                        ctx.charge(
+                            CostKind::Aggregation,
+                            cost.agg_update_tuple_ns * batch.len() as f64,
+                        );
+                        for row in &batch.rows {
+                            agg.update(row);
+                        }
+                    }
+                    let groups = agg.group_count();
+                    ctx.charge(
+                        CostKind::Aggregation,
+                        cost.agg_group_output_ns * groups as f64,
+                    );
+                    if !order.is_empty() {
+                        ctx.charge(CostKind::Sort, cost.sort_cost(groups));
+                    }
+                    let rows = agg.finish(&order);
+                    slot2.complete(Arc::new(rows), ctx.machine().now_ns());
+                });
+                Ticket::Slot(slot)
+            }
+            EngineKind::Volcano => {
+                let slot = SlotResult::new(&inner.machine, inner.machine.now_ns());
+                let slot2 = Arc::clone(&slot);
+                let storage = inner.storage.clone();
+                let cost = inner.cost;
+                let q = q.clone();
+                let gate_ws = inner.gate_ws.clone();
+                let gate_open = Arc::clone(&inner.gate_open);
+                inner.machine.spawn(&format!("volcano-q{}", q.id), move |ctx| {
+                    if !gate_open.load(Ordering::Acquire) {
+                        gate_ws.wait_until(|| gate_open.load(Ordering::Acquire));
+                    }
+                    let rows = run_volcano_query(ctx, &storage, &q, &cost);
+                    slot2.complete(Arc::new(rows), ctx.machine().now_ns());
+                });
+                Ticket::Slot(slot)
+            }
+        }
+    }
+
+    /// Sharing statistics from the QPipe path, if applicable.
+    pub fn qpipe_sharing(&self) -> Option<workshare_qpipe::SharingStats> {
+        match &self.inner.kind {
+            EngineKind::Qpipe(e) => Some(e.sharing_stats()),
+            _ => None,
+        }
+    }
+
+    /// CJOIN stage statistics, if applicable.
+    pub fn cjoin_stats(&self) -> Option<workshare_cjoin::CjoinStats> {
+        match &self.inner.kind {
+            EngineKind::Cjoin(s) => Some(s.stats()),
+            _ => None,
+        }
+    }
+
+    /// Stop background services (shared scanners, CJOIN pipeline).
+    pub fn shutdown(&self) {
+        match &self.inner.kind {
+            EngineKind::Qpipe(e) => e.shutdown(),
+            EngineKind::Cjoin(s) => s.shutdown(),
+            EngineKind::Volcano => {}
+        }
+    }
+}

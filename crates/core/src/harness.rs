@@ -1,0 +1,378 @@
+//! Experiment harness: batch runs and closed-loop client runs, reporting the
+//! measurements the paper's figures and tables are built from.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use workshare_common::value::Row;
+use workshare_common::StarQuery;
+use workshare_sim::{CostKind, CpuBreakdown, DiskStats, Machine};
+
+use crate::config::RunConfig;
+use crate::dataset::Dataset;
+use crate::engine::Engine;
+
+/// Measurements of one batch run (the unit behind every response-time
+/// figure).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Configuration label.
+    pub config: &'static str,
+    /// Number of queries.
+    pub queries: usize,
+    /// Per-query response times, seconds (submission → completion).
+    pub latencies_secs: Vec<f64>,
+    /// Batch makespan, seconds (start → last completion).
+    pub makespan_secs: f64,
+    /// The paper's "Avg. # Cores Used": core-busy time / makespan.
+    pub avg_cores_used: f64,
+    /// The paper's "Avg. Read Rate (MB/s)".
+    pub read_rate_mbps: f64,
+    /// Per-category CPU time consumed by the run.
+    pub cpu: CpuBreakdown,
+    /// Disk activity of the run.
+    pub disk: DiskStats,
+    /// QPipe sharing statistics (if the engine was a QPipe variant).
+    pub qpipe_sharing: Option<workshare_qpipe::SharingStats>,
+    /// CJOIN statistics (if the engine was a CJOIN variant).
+    pub cjoin: Option<workshare_cjoin::CjoinStats>,
+    /// Query results (kept only when requested).
+    pub results: Option<Vec<Arc<Vec<Row>>>>,
+}
+
+impl RunReport {
+    /// Mean response time, seconds.
+    pub fn mean_latency_secs(&self) -> f64 {
+        if self.latencies_secs.is_empty() {
+            return 0.0;
+        }
+        self.latencies_secs.iter().sum::<f64>() / self.latencies_secs.len() as f64
+    }
+
+    /// Maximum response time, seconds.
+    pub fn max_latency_secs(&self) -> f64 {
+        self.latencies_secs.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// CJOIN admission time, seconds (Fig. 11/12's stacked `CJOIN
+    /// Admission` component).
+    pub fn admission_secs(&self) -> f64 {
+        self.cpu.secs(CostKind::Admission)
+    }
+}
+
+/// Run `queries` as one simultaneous batch (paper §5.1: "queries are
+/// submitted at the same time, and are all evaluated concurrently").
+pub fn run_batch(
+    dataset: &Dataset,
+    config: &RunConfig,
+    queries: &[StarQuery],
+    keep_results: bool,
+) -> RunReport {
+    run_batch_on(dataset, config, "lineorder", queries, keep_results)
+}
+
+/// [`run_batch`] with an explicit fact table (TPC-H workloads use
+/// `lineitem`).
+pub fn run_batch_on(
+    dataset: &Dataset,
+    config: &RunConfig,
+    fact_table: &str,
+    queries: &[StarQuery],
+    keep_results: bool,
+) -> RunReport {
+    let machine = Machine::new(config.machine_config());
+    let storage = dataset.instantiate(config.storage_config(), config.cost);
+    let engine = Engine::new(&machine, &storage, config, fact_table);
+
+    let cpu0 = machine.cpu_breakdown();
+    let disk0 = machine.disk_stats();
+    let start_ns = machine.now_ns();
+
+    let e2 = engine.clone();
+    let qs: Vec<StarQuery> = queries.to_vec();
+    let results = machine
+        .spawn("harness", move |_ctx| {
+            e2.close_gate();
+            let tickets: Vec<_> = qs.iter().map(|q| e2.submit(q)).collect();
+            e2.open_gate();
+            let mut rows = Vec::with_capacity(tickets.len());
+            let mut lats = Vec::with_capacity(tickets.len());
+            for t in &tickets {
+                rows.push(t.wait());
+                lats.push(t.latency_secs());
+            }
+            (rows, lats)
+        })
+        .join()
+        .expect("harness vthread panicked");
+    let (rows, latencies_secs) = results;
+
+    let end_ns = machine.now_ns();
+    let makespan_secs = (end_ns - start_ns) / 1e9;
+    let cpu = machine.cpu_breakdown().delta(&cpu0);
+    let disk = machine.disk_stats().delta(&disk0);
+    let avg_cores_used = if makespan_secs > 0.0 {
+        (machine.busy_core_secs()) / makespan_secs
+    } else {
+        0.0
+    };
+    let report = RunReport {
+        config: config.engine.label(),
+        queries: queries.len(),
+        latencies_secs,
+        makespan_secs,
+        avg_cores_used: avg_cores_used.min(config.cores as f64),
+        read_rate_mbps: disk.read_rate_mbps(end_ns - start_ns),
+        cpu,
+        disk,
+        qpipe_sharing: engine.qpipe_sharing(),
+        cjoin: engine.cjoin_stats(),
+        results: keep_results.then_some(rows),
+    };
+    engine.shutdown();
+    report
+}
+
+/// Run `queries` with a fixed interarrival delay between submissions
+/// (virtual seconds). This is how Windows of Opportunity are probed: step
+/// WoPs close as soon as the host emits its first page, while linear WoPs
+/// (circular scans) accept latecomers until the host finishes.
+pub fn run_staggered(
+    dataset: &Dataset,
+    config: &RunConfig,
+    fact_table: &str,
+    queries: &[StarQuery],
+    interarrival_secs: f64,
+    keep_results: bool,
+) -> RunReport {
+    let machine = Machine::new(config.machine_config());
+    let storage = dataset.instantiate(config.storage_config(), config.cost);
+    let engine = Engine::new(&machine, &storage, config, fact_table);
+    let cpu0 = machine.cpu_breakdown();
+    let disk0 = machine.disk_stats();
+    let start_ns = machine.now_ns();
+
+    let e2 = engine.clone();
+    let qs: Vec<StarQuery> = queries.to_vec();
+    let (rows, latencies_secs) = machine
+        .spawn("harness", move |ctx| {
+            let mut tickets = Vec::with_capacity(qs.len());
+            for (i, q) in qs.iter().enumerate() {
+                if i > 0 && interarrival_secs > 0.0 {
+                    ctx.sleep(interarrival_secs * 1e9);
+                }
+                tickets.push(e2.submit(q));
+            }
+            let mut rows = Vec::with_capacity(tickets.len());
+            let mut lats = Vec::with_capacity(tickets.len());
+            for t in &tickets {
+                rows.push(t.wait());
+                lats.push(t.latency_secs());
+            }
+            (rows, lats)
+        })
+        .join()
+        .expect("harness vthread panicked");
+
+    let end_ns = machine.now_ns();
+    let makespan_secs = (end_ns - start_ns) / 1e9;
+    let disk = machine.disk_stats().delta(&disk0);
+    let report = RunReport {
+        config: config.engine.label(),
+        queries: queries.len(),
+        latencies_secs,
+        makespan_secs,
+        avg_cores_used: if makespan_secs > 0.0 {
+            (machine.busy_core_secs() / makespan_secs).min(config.cores as f64)
+        } else {
+            0.0
+        },
+        read_rate_mbps: disk.read_rate_mbps(end_ns - start_ns),
+        cpu: machine.cpu_breakdown().delta(&cpu0),
+        disk,
+        qpipe_sharing: engine.qpipe_sharing(),
+        cjoin: engine.cjoin_stats(),
+        results: keep_results.then_some(rows),
+    };
+    engine.shutdown();
+    report
+}
+
+/// Measurements of one closed-loop client run (Fig. 16's throughput panel).
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// Configuration label.
+    pub config: &'static str,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Queries completed inside the measurement window.
+    pub completed: u64,
+    /// Throughput in queries per virtual hour.
+    pub queries_per_hour: f64,
+    /// Mean response time over completed queries, seconds.
+    pub mean_latency_secs: f64,
+    /// "Avg. # Cores Used" over the window.
+    pub avg_cores_used: f64,
+    /// "Avg. Read Rate (MB/s)" over the window.
+    pub read_rate_mbps: f64,
+}
+
+/// Closed-loop run: each of `clients` submits a query, waits for it, then
+/// submits the next, for `window_secs` of virtual time. `make_query`
+/// instantiates the next query for `(client, sequence)`.
+pub fn run_clients<F>(
+    dataset: &Dataset,
+    config: &RunConfig,
+    fact_table: &str,
+    clients: usize,
+    window_secs: f64,
+    seed: u64,
+    make_query: F,
+) -> ThroughputReport
+where
+    F: Fn(u64, &mut StdRng) -> StarQuery + Send + Sync + 'static,
+{
+    let machine = Machine::new(config.machine_config());
+    let storage = dataset.instantiate(config.storage_config(), config.cost);
+    let engine = Engine::new(&machine, &storage, config, fact_table);
+    let disk0 = machine.disk_stats();
+    let make_query = Arc::new(make_query);
+
+    let e2 = engine.clone();
+    let (completed, lat_sum) = machine
+        .spawn("clients", move |ctx| {
+            let deadline_ns = ctx.machine().now_ns() + window_secs * 1e9;
+            let workers: Vec<_> = (0..clients)
+                .map(|c| {
+                    let engine = e2.clone();
+                    let make_query = Arc::clone(&make_query);
+                    ctx.machine().spawn(&format!("client-{c}"), move |ctx| {
+                        let mut rng = StdRng::seed_from_u64(seed ^ (c as u64) << 20);
+                        let mut done = 0u64;
+                        let mut lat = 0.0f64;
+                        let mut seq = 0u64;
+                        while ctx.machine().now_ns() < deadline_ns {
+                            let qid = (c as u64) << 32 | seq;
+                            seq += 1;
+                            let q = make_query(qid, &mut rng);
+                            let t = engine.submit(&q);
+                            t.wait();
+                            if t.finish_ns() <= deadline_ns {
+                                done += 1;
+                                lat += t.latency_secs();
+                            }
+                        }
+                        (done, lat)
+                    })
+                })
+                .collect();
+            let mut total = 0u64;
+            let mut lat = 0.0;
+            for w in workers {
+                let (d, l) = w.join().expect("client panicked");
+                total += d;
+                lat += l;
+            }
+            (total, lat)
+        })
+        .join()
+        .expect("client harness panicked");
+
+    let window_ns = machine.now_ns().min(window_secs * 1e9).max(1.0);
+    let disk = machine.disk_stats().delta(&disk0);
+    let report = ThroughputReport {
+        config: config.engine.label(),
+        clients,
+        completed,
+        queries_per_hour: completed as f64 / (window_secs / 3600.0),
+        mean_latency_secs: if completed > 0 {
+            lat_sum / completed as f64
+        } else {
+            0.0
+        },
+        avg_cores_used: (machine.busy_core_secs() / (window_ns / 1e9))
+            .min(config.cores as f64),
+        read_rate_mbps: disk.read_rate_mbps(window_ns),
+    };
+    engine.shutdown();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NamedConfig;
+    use crate::workload;
+
+    fn dataset() -> Dataset {
+        Dataset::ssb(0.05, 11)
+    }
+
+    fn q32_batch(n: usize, seed: u64) -> Vec<StarQuery> {
+        let mut r = workload::rng(seed);
+        (0..n).map(|i| workload::ssb_q3_2(i as u64, &mut r)).collect()
+    }
+
+    #[test]
+    fn all_engines_agree_on_results() {
+        let d = dataset();
+        let queries = q32_batch(3, 5);
+        let mut baseline: Option<Vec<Vec<Row>>> = None;
+        for engine in NamedConfig::all() {
+            let cfg = RunConfig::named(engine);
+            let rep = run_batch(&d, &cfg, &queries, true);
+            let got: Vec<Vec<Row>> = rep
+                .results
+                .unwrap()
+                .iter()
+                .map(|r| (**r).clone())
+                .collect();
+            match &baseline {
+                None => baseline = Some(got),
+                Some(b) => assert_eq!(&got, b, "{engine:?} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn report_metrics_are_sane() {
+        let d = dataset();
+        let cfg = RunConfig::named(NamedConfig::QpipeSp);
+        let rep = run_batch(&d, &cfg, &q32_batch(4, 9), false);
+        assert_eq!(rep.queries, 4);
+        assert_eq!(rep.latencies_secs.len(), 4);
+        assert!(rep.makespan_secs > 0.0);
+        assert!(rep.mean_latency_secs() > 0.0);
+        assert!(rep.max_latency_secs() <= rep.makespan_secs * 1.0001);
+        assert!(rep.avg_cores_used > 0.0);
+        assert!(rep.avg_cores_used <= 24.0);
+        assert!(rep.cpu.total_secs() > 0.0);
+        assert!(rep.qpipe_sharing.is_some());
+        assert!(rep.cjoin.is_none());
+    }
+
+    #[test]
+    fn disk_resident_runs_report_read_rate() {
+        let d = dataset();
+        let mut cfg = RunConfig::named(NamedConfig::QpipeCs);
+        cfg.io_mode = workshare_storage::IoMode::BufferedDisk;
+        let rep = run_batch(&d, &cfg, &q32_batch(2, 3), false);
+        assert!(rep.disk.bytes_read > 0, "disk mode must read bytes");
+        assert!(rep.read_rate_mbps > 0.0);
+    }
+
+    #[test]
+    fn closed_loop_clients_complete_queries() {
+        let d = dataset();
+        let cfg = RunConfig::named(NamedConfig::QpipeSp);
+        let rep = run_clients(&d, &cfg, "lineorder", 3, 2.0, 42, |id, rng| {
+            workload::ssb_q3_2(id, rng)
+        });
+        assert!(rep.completed > 0, "{rep:?}");
+        assert!(rep.queries_per_hour > 0.0);
+        assert!(rep.mean_latency_secs > 0.0);
+    }
+}

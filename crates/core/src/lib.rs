@@ -1,0 +1,40 @@
+//! # workshare-core — public facade
+//!
+//! Ties the substrates together into the paper's five engine configurations
+//! plus the Postgres-substitute baseline (§5.1):
+//!
+//! | Config      | Scans            | Joins                     | SP |
+//! |-------------|------------------|---------------------------|----|
+//! | `QPipe`     | independent      | query-centric             | —  |
+//! | `QPipe-CS`  | circular (shared)| query-centric             | scans only |
+//! | `QPipe-SP`  | circular         | query-centric             | scans + joins |
+//! | `CJOIN`     | circular fact    | GQP shared hash-joins     | —  |
+//! | `CJOIN-SP`  | circular fact    | GQP shared hash-joins     | CJOIN packets |
+//! | `Volcano`   | independent      | query-centric, 1 thread   | —  |
+//!
+//! Entry points:
+//!
+//! * [`Dataset`] — generate SSB / TPC-H data once, instantiate per run.
+//! * [`RunConfig`] / [`NamedConfig`] — select engine, cores, I/O mode.
+//! * [`Engine`] — submit [`StarQuery`]s, receive [`Ticket`]s.
+//! * [`harness`] — batch & closed-loop client runs with paper-style reports.
+//! * [`workload`] — SSB Q1.1 / Q2.1 / Q3.2 and TPC-H Q1 templates with
+//!   similarity control.
+
+pub mod config;
+pub mod dataset;
+pub mod engine;
+pub mod harness;
+pub mod ticket;
+pub mod volcano;
+pub mod workload;
+
+pub use config::{NamedConfig, RunConfig};
+pub use dataset::Dataset;
+pub use engine::Engine;
+pub use harness::{run_batch, run_clients, run_staggered, RunReport, ThroughputReport};
+pub use ticket::Ticket;
+
+pub use workshare_common::{CostModel, StarQuery};
+pub use workshare_qpipe::ExchangeKind;
+pub use workshare_storage::IoMode;

@@ -1,0 +1,125 @@
+//! Unified query handles across engine kinds.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use workshare_common::value::Row;
+use workshare_qpipe::QueryHandle;
+use workshare_sim::{Machine, WaitSet};
+
+/// Result slot used by the CJOIN and Volcano paths (the QPipe path reuses
+/// the engine's own handle).
+pub struct SlotResult {
+    rows: Mutex<Option<Arc<Vec<Row>>>>,
+    done: AtomicBool,
+    ws: WaitSet,
+    start_ns: f64,
+    finish_ns: Mutex<f64>,
+}
+
+impl SlotResult {
+    /// New pending slot stamped with the submission time.
+    pub fn new(machine: &Machine, start_ns: f64) -> Arc<SlotResult> {
+        Arc::new(SlotResult {
+            rows: Mutex::new(None),
+            done: AtomicBool::new(false),
+            ws: WaitSet::new(machine),
+            start_ns,
+            finish_ns: Mutex::new(0.0),
+        })
+    }
+
+    /// Publish the result.
+    pub fn complete(&self, rows: Arc<Vec<Row>>, now_ns: f64) {
+        *self.rows.lock() = Some(rows);
+        *self.finish_ns.lock() = now_ns;
+        self.done.store(true, Ordering::Release);
+        self.ws.notify_all();
+    }
+}
+
+/// Handle to a submitted query, independent of the engine that runs it.
+#[derive(Clone)]
+pub enum Ticket {
+    /// Query executed by the QPipe engine.
+    Qpipe(QueryHandle),
+    /// Query executed by the CJOIN or Volcano paths.
+    Slot(Arc<SlotResult>),
+}
+
+impl Ticket {
+    /// Block (in virtual time from a vthread) until completion; returns the
+    /// result rows.
+    pub fn wait(&self) -> Arc<Vec<Row>> {
+        match self {
+            Ticket::Qpipe(h) => h.wait(),
+            Ticket::Slot(s) => {
+                let s2 = Arc::clone(s);
+                s.ws.wait_for(move || {
+                    if s2.done.load(Ordering::Acquire) {
+                        Some(s2.rows.lock().clone().expect("done without rows"))
+                    } else {
+                        None
+                    }
+                })
+            }
+        }
+    }
+
+    /// Whether the query completed.
+    pub fn is_done(&self) -> bool {
+        match self {
+            Ticket::Qpipe(h) => h.is_done(),
+            Ticket::Slot(s) => s.done.load(Ordering::Acquire),
+        }
+    }
+
+    /// Response time in virtual seconds (valid after completion).
+    pub fn latency_secs(&self) -> f64 {
+        match self {
+            Ticket::Qpipe(h) => h.latency_secs(),
+            Ticket::Slot(s) => (*s.finish_ns.lock() - s.start_ns) / 1e9,
+        }
+    }
+
+    /// Completion timestamp in virtual nanoseconds.
+    pub fn finish_ns(&self) -> f64 {
+        match self {
+            Ticket::Qpipe(h) => h.finish_ns(),
+            Ticket::Slot(s) => *s.finish_ns.lock(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workshare_common::Value;
+    use workshare_sim::MachineConfig;
+
+    #[test]
+    fn slot_ticket_roundtrip() {
+        let m = Machine::new(MachineConfig {
+            cores: 2,
+            ..Default::default()
+        });
+        let slot = SlotResult::new(&m, 0.0);
+        let t = Ticket::Slot(Arc::clone(&slot));
+        assert!(!t.is_done());
+        let s2 = Arc::clone(&slot);
+        m.spawn("producer", move |ctx| {
+            ctx.charge(workshare_sim::CostKind::Misc, 5e6);
+            s2.complete(
+                Arc::new(vec![vec![Value::Int(1)]]),
+                ctx.machine().now_ns(),
+            );
+        });
+        let rows = t.wait();
+        assert_eq!(rows.len(), 1);
+        assert!(t.is_done());
+        assert!((t.latency_secs() - 0.005).abs() < 1e-9);
+        assert!(t.finish_ns() > 0.0);
+    }
+}

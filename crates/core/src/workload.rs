@@ -1,0 +1,397 @@
+//! Workload templates: the paper's SSB and TPC-H query generators.
+//!
+//! Each template mirrors the corresponding SQL of the paper:
+//!
+//! * [`ssb_q3_2`] — the sensitivity-analysis star query (Fig. 9): three
+//!   dimension joins, random nation predicates (selectivity 0.02–0.16 %).
+//! * [`ssb_q3_2_narrow`] — year range capped at 2 (Fig. 14's 0.02–0.05 %).
+//! * [`ssb_q3_2_wide`] — nation *disjunctions* for the Fig. 11 selectivity
+//!   sweep (`(nc/25)·(ns/25)` fact selectivity).
+//! * [`ssb_q1_1`], [`ssb_q2_1`] — the Fig. 16 mix members.
+//! * [`tpch_q1`] — the Fig. 6 scan-heavy aggregation query (identical
+//!   instances share everything).
+//! * [`limited_plans`] — similarity control: draw N queries from a pool of
+//!   exactly `n_plans` distinct plans (Figs. 14/15).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use workshare_common::{
+    AggSpec, CmpOp, ColRef, DimJoin, OrderKey, Predicate, StarQuery, Value,
+};
+use workshare_datagen::{
+    customer_schema, date_schema, lineitem_schema, lineorder_schema, part_schema,
+    supplier_schema, NATIONS, REGIONS,
+};
+
+/// Deterministic workload RNG.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ 0x0077_0AD5)
+}
+
+fn q3_2_impl(id: u64, rng: &mut StdRng, max_year_span: i64) -> StarQuery {
+    let cs = customer_schema();
+    let ss = supplier_schema();
+    let ds = date_schema();
+    let ls = lineorder_schema();
+    let c_nation = NATIONS[rng.gen_range(0..NATIONS.len())];
+    let s_nation = NATIONS[rng.gen_range(0..NATIONS.len())];
+    let y0 = rng.gen_range(1992..=1998i64);
+    let span = rng.gen_range(0..max_year_span.max(1));
+    let y1 = (y0 + span).min(1998);
+    let _ = ls;
+    StarQuery {
+        id,
+        fact: "lineorder".into(),
+        fact_pred: Predicate::True,
+        dims: vec![
+            DimJoin {
+                dim: "customer".into(),
+                fact_fk: "lo_custkey".into(),
+                dim_pk: "c_custkey".into(),
+                pred: Predicate::eq(cs.col("c_nation"), Value::str(c_nation)),
+                payload: vec!["c_city".into()],
+            },
+            DimJoin {
+                dim: "supplier".into(),
+                fact_fk: "lo_suppkey".into(),
+                dim_pk: "s_suppkey".into(),
+                pred: Predicate::eq(ss.col("s_nation"), Value::str(s_nation)),
+                payload: vec!["s_city".into()],
+            },
+            DimJoin {
+                dim: "date".into(),
+                fact_fk: "lo_orderdate".into(),
+                dim_pk: "d_datekey".into(),
+                pred: Predicate::between(ds.col("d_year"), y0, y1),
+                payload: vec!["d_year".into()],
+            },
+        ],
+        group_by: vec![
+            ColRef::dim(0, "c_city"),
+            ColRef::dim(1, "s_city"),
+            ColRef::dim(2, "d_year"),
+        ],
+        aggs: vec![AggSpec::sum(ColRef::fact("lo_revenue"))],
+        order_by: vec![
+            OrderKey {
+                output_idx: 2,
+                desc: false,
+            },
+            OrderKey {
+                output_idx: 3,
+                desc: true,
+            },
+        ],
+    }
+}
+
+/// SSB Q3.2 with random predicates (paper Fig. 9 template; fact selectivity
+/// 0.02 %–0.16 %).
+pub fn ssb_q3_2(id: u64, rng: &mut StdRng) -> StarQuery {
+    q3_2_impl(id, rng, 7)
+}
+
+/// SSB Q3.2 with a narrow year range (≤ 2 years): the Fig. 14 workload
+/// (0.02 %–0.05 % selectivity).
+pub fn ssb_q3_2_narrow(id: u64, rng: &mut StdRng) -> StarQuery {
+    q3_2_impl(id, rng, 2)
+}
+
+/// Modified SSB Q3.2 for the Fig. 11 selectivity sweep: the full year range
+/// and nation **disjunctions** of sizes `nc` (customer) and `ns` (supplier),
+/// giving fact selectivity `(nc/25)·(ns/25)`.
+pub fn ssb_q3_2_wide(id: u64, rng: &mut StdRng, nc: usize, ns: usize) -> StarQuery {
+    let cs = customer_schema();
+    let ss = supplier_schema();
+    let pick = |rng: &mut StdRng, n: usize| -> Vec<Value> {
+        let mut idx: Vec<usize> = (0..NATIONS.len()).collect();
+        for i in 0..n.min(NATIONS.len()) {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        idx[..n.min(NATIONS.len())]
+            .iter()
+            .map(|&i| Value::str(NATIONS[i]))
+            .collect()
+    };
+    let mut q = q3_2_impl(id, rng, 7);
+    q.dims[0].pred = Predicate::in_set(cs.col("c_nation"), pick(rng, nc));
+    q.dims[1].pred = Predicate::in_set(ss.col("s_nation"), pick(rng, ns));
+    q.dims[2].pred = Predicate::between(date_schema().col("d_year"), 1992i64, 1998i64);
+    q
+}
+
+/// SSB Q1.1: one date join, fact predicates on discount and quantity,
+/// a single global `SUM(lo_extendedprice * lo_discount)`.
+pub fn ssb_q1_1(id: u64, rng: &mut StdRng) -> StarQuery {
+    let ds = date_schema();
+    let ls = lineorder_schema();
+    let year = rng.gen_range(1992..=1998i64);
+    StarQuery {
+        id,
+        fact: "lineorder".into(),
+        fact_pred: Predicate::and(vec![
+            Predicate::between(ls.col("lo_discount"), 1i64, 3i64),
+            Predicate::Cmp {
+                col: ls.col("lo_quantity"),
+                op: CmpOp::Lt,
+                val: Value::Int(25),
+            },
+        ]),
+        dims: vec![DimJoin {
+            dim: "date".into(),
+            fact_fk: "lo_orderdate".into(),
+            dim_pk: "d_datekey".into(),
+            pred: Predicate::eq(ds.col("d_year"), year),
+            payload: vec![],
+        }],
+        group_by: vec![],
+        aggs: vec![AggSpec::sum_product(
+            ColRef::fact("lo_extendedprice"),
+            ColRef::fact("lo_discount"),
+        )],
+        order_by: vec![],
+    }
+}
+
+/// SSB Q2.1: part/supplier/date joins, grouped by year and brand.
+pub fn ssb_q2_1(id: u64, rng: &mut StdRng) -> StarQuery {
+    let ps = part_schema();
+    let ss = supplier_schema();
+    let mfgr = rng.gen_range(1..=5u32);
+    let cat = rng.gen_range(1..=5u32);
+    let region = REGIONS[rng.gen_range(0..REGIONS.len())];
+    StarQuery {
+        id,
+        fact: "lineorder".into(),
+        fact_pred: Predicate::True,
+        dims: vec![
+            DimJoin {
+                dim: "part".into(),
+                fact_fk: "lo_partkey".into(),
+                dim_pk: "p_partkey".into(),
+                pred: Predicate::eq(
+                    ps.col("p_category"),
+                    Value::str(&format!("MFGR#{mfgr}{cat}")),
+                ),
+                payload: vec!["p_brand1".into()],
+            },
+            DimJoin {
+                dim: "supplier".into(),
+                fact_fk: "lo_suppkey".into(),
+                dim_pk: "s_suppkey".into(),
+                pred: Predicate::eq(ss.col("s_region"), Value::str(region)),
+                payload: vec![],
+            },
+            DimJoin {
+                dim: "date".into(),
+                fact_fk: "lo_orderdate".into(),
+                dim_pk: "d_datekey".into(),
+                pred: Predicate::True,
+                payload: vec!["d_year".into()],
+            },
+        ],
+        group_by: vec![ColRef::dim(2, "d_year"), ColRef::dim(0, "p_brand1")],
+        aggs: vec![AggSpec::sum(ColRef::fact("lo_revenue"))],
+        order_by: vec![
+            OrderKey {
+                output_idx: 0,
+                desc: false,
+            },
+            OrderKey {
+                output_idx: 1,
+                desc: false,
+            },
+        ],
+    }
+}
+
+/// TPC-H Q1: a pure scan-aggregate over `lineitem` (no joins). All Fig. 6
+/// instances are identical, maximizing sharing opportunities.
+pub fn tpch_q1(id: u64) -> StarQuery {
+    let ls = lineitem_schema();
+    StarQuery {
+        id,
+        fact: "lineitem".into(),
+        fact_pred: Predicate::Cmp {
+            col: ls.col("l_shipdate"),
+            op: CmpOp::Le,
+            val: Value::Int(19980902),
+        },
+        dims: vec![],
+        group_by: vec![
+            ColRef::fact("l_returnflag"),
+            ColRef::fact("l_linestatus"),
+        ],
+        aggs: vec![
+            AggSpec::sum(ColRef::fact("l_quantity")),
+            AggSpec::sum(ColRef::fact("l_extendedprice")),
+            AggSpec::sum_product(
+                ColRef::fact("l_extendedprice"),
+                ColRef::fact("l_discount"),
+            ),
+            AggSpec {
+                func: workshare_common::AggFn::Avg,
+                expr: Some(workshare_common::AggExpr::Col(ColRef::fact("l_quantity"))),
+            },
+            AggSpec::count(),
+        ],
+        order_by: vec![
+            OrderKey {
+                output_idx: 0,
+                desc: false,
+            },
+            OrderKey {
+                output_idx: 1,
+                desc: false,
+            },
+        ],
+    }
+}
+
+/// Draw `n_queries` queries from a pool of exactly `n_plans` structurally
+/// distinct plans produced by `template` (the paper's similarity knob,
+/// Figs. 14/15). Ids are reassigned sequentially.
+pub fn limited_plans<F>(
+    n_queries: usize,
+    n_plans: usize,
+    seed: u64,
+    mut template: F,
+) -> Vec<StarQuery>
+where
+    F: FnMut(u64, &mut StdRng) -> StarQuery,
+{
+    let mut r = rng(seed);
+    let mut pool: Vec<StarQuery> = Vec::with_capacity(n_plans);
+    let mut sigs = std::collections::HashSet::new();
+    let mut attempts = 0;
+    while pool.len() < n_plans && attempts < n_plans * 200 {
+        attempts += 1;
+        let q = template(pool.len() as u64, &mut r);
+        if sigs.insert(q.full_signature()) {
+            pool.push(q);
+        }
+    }
+    assert!(!pool.is_empty(), "template produced no distinct plans");
+    (0..n_queries)
+        .map(|i| {
+            let mut q = pool[r.gen_range(0..pool.len())].clone();
+            q.id = i as u64;
+            q
+        })
+        .collect()
+}
+
+/// Round-robin mix of Q1.1 / Q2.1 / Q3.2 with random predicates (Fig. 16).
+pub fn ssb_mix(n_queries: usize, seed: u64) -> Vec<StarQuery> {
+    let mut r = rng(seed);
+    (0..n_queries)
+        .map(|i| match i % 3 {
+            0 => ssb_q1_1(i as u64, &mut r),
+            1 => ssb_q2_1(i as u64, &mut r),
+            _ => ssb_q3_2(i as u64, &mut r),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q3_2_shape() {
+        let mut r = rng(1);
+        let q = ssb_q3_2(5, &mut r);
+        assert_eq!(q.dims.len(), 3);
+        assert_eq!(q.output_arity(), 4);
+        assert_eq!(q.id, 5);
+    }
+
+    #[test]
+    fn identical_seeds_identical_queries() {
+        let q1 = ssb_q3_2(1, &mut rng(9));
+        let q2 = ssb_q3_2(2, &mut rng(9));
+        assert_eq!(q1.full_signature(), q2.full_signature());
+    }
+
+    #[test]
+    fn narrow_template_has_small_year_span() {
+        let mut r = rng(2);
+        for i in 0..50 {
+            let q = ssb_q3_2_narrow(i, &mut r);
+            if let Predicate::Between { lo, hi, .. } = &q.dims[2].pred {
+                let span = hi.as_int() - lo.as_int();
+                assert!(span <= 1, "span {span} too wide");
+            } else {
+                panic!("expected Between predicate");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_template_uses_disjunctions() {
+        let mut r = rng(3);
+        let q = ssb_q3_2_wide(1, &mut r, 5, 3);
+        match &q.dims[0].pred {
+            Predicate::InSet { vals, .. } => assert_eq!(vals.len(), 5),
+            other => panic!("expected InSet, got {other:?}"),
+        }
+        match &q.dims[1].pred {
+            Predicate::InSet { vals, .. } => assert_eq!(vals.len(), 3),
+            other => panic!("expected InSet, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn limited_plans_bounds_distinct_signatures() {
+        let qs = limited_plans(100, 4, 7, ssb_q3_2);
+        let sigs: std::collections::HashSet<u64> =
+            qs.iter().map(|q| q.full_signature()).collect();
+        assert!(sigs.len() <= 4);
+        assert!(sigs.len() >= 2, "pool should have variety");
+        // Ids are unique.
+        let ids: std::collections::HashSet<u64> = qs.iter().map(|q| q.id).collect();
+        assert_eq!(ids.len(), 100);
+    }
+
+    #[test]
+    fn tpch_q1_is_scan_aggregate() {
+        let q = tpch_q1(1);
+        assert!(q.dims.is_empty());
+        assert_eq!(q.aggs.len(), 5);
+        assert_eq!(tpch_q1(2).full_signature(), q.full_signature());
+    }
+
+    #[test]
+    fn mix_cycles_templates() {
+        let qs = ssb_mix(9, 1);
+        assert_eq!(qs.len(), 9);
+        assert_eq!(qs[0].dims.len(), 1); // Q1.1
+        assert_eq!(qs[1].dims.len(), 3); // Q2.1
+        assert_eq!(qs[2].dims.len(), 3); // Q3.2
+        // Q2.1 and Q3.2 differ structurally.
+        assert_ne!(qs[1].dims[0].dim, qs[2].dims[0].dim);
+    }
+
+    #[test]
+    fn q1_1_and_q2_1_bind_against_schemas() {
+        // Just ensure column names resolve (bind panics otherwise).
+        use workshare_common::bind::bind;
+        let mut r = rng(4);
+        let q = ssb_q1_1(1, &mut r);
+        let b = bind(
+            &lineorder_schema(),
+            &[&date_schema()],
+            &q,
+        );
+        assert_eq!(b.joined_arity, 1 + 2); // fk + price + discount
+        let q2 = ssb_q2_1(1, &mut r);
+        let b2 = bind(
+            &lineorder_schema(),
+            &[&part_schema(), &supplier_schema(), &date_schema()],
+            &q2,
+        );
+        assert_eq!(b2.joined_arity, 3 + 1 + 2); // fks + lo_revenue + brand + year
+    }
+}

@@ -1,0 +1,157 @@
+//! The SSB `date` dimension: one row per calendar day, 1992-01-01 through
+//! 1998-12-31 (2,556 days — kept at full size; it is tiny).
+
+use workshare_common::codec::{Page, PageBuilder};
+use workshare_common::{ColType, Column, Schema, Value};
+
+/// Years covered by the date dimension.
+pub const YEARS: std::ops::RangeInclusive<i64> = 1992..=1998;
+
+/// Number of rows in the date dimension (7 years incl. two leap years:
+/// 5×365 + 2×366; the SSB spec's "2556" rounds this).
+pub const DATE_DAYS: usize = 2557;
+
+const MONTH_NAMES: [&str; 12] = [
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
+];
+
+fn is_leap(y: i64) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+fn month_len(y: i64, m: usize) -> i64 {
+    match m {
+        1 => 31,
+        2 => {
+            if is_leap(y) {
+                29
+            } else {
+                28
+            }
+        }
+        3 => 31,
+        4 => 30,
+        5 => 31,
+        6 => 30,
+        7 => 31,
+        8 => 31,
+        9 => 30,
+        10 => 31,
+        11 => 30,
+        12 => 31,
+        _ => unreachable!(),
+    }
+}
+
+/// `yyyymmdd` integer key for a date.
+pub fn date_key(y: i64, m: i64, d: i64) -> i64 {
+    y * 10_000 + m * 100 + d
+}
+
+/// Schema of the `date` table.
+pub fn date_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("d_datekey", ColType::Int),
+        Column::new("d_year", ColType::Int),
+        Column::new("d_month", ColType::Str(9)),
+        Column::new("d_yearmonthnum", ColType::Int),
+        Column::new("d_weeknuminyear", ColType::Int),
+        Column::new("d_daynuminyear", ColType::Int),
+    ])
+}
+
+/// Generate the full date dimension as (schema, pages, row count).
+pub fn gen_date_table() -> (Schema, Vec<Page>, usize) {
+    let schema = date_schema();
+    let mut b = PageBuilder::new(&schema);
+    let mut rows = 0usize;
+    for y in YEARS {
+        let mut daynum = 0i64;
+        for m in 1..=12 {
+            for d in 1..=month_len(y, m as usize) {
+                daynum += 1;
+                b.push(&[
+                    Value::Int(date_key(y, m, d)),
+                    Value::Int(y),
+                    Value::str(MONTH_NAMES[(m - 1) as usize]),
+                    Value::Int(y * 100 + m),
+                    Value::Int((daynum - 1) / 7 + 1),
+                    Value::Int(daynum),
+                ]);
+                rows += 1;
+            }
+        }
+    }
+    let pages = b.finish();
+    (schema, pages, rows)
+}
+
+/// All valid date keys, in calendar order (used to draw random fact dates).
+pub fn all_date_keys() -> Vec<i64> {
+    let mut keys = Vec::with_capacity(DATE_DAYS);
+    for y in YEARS {
+        for m in 1..=12 {
+            for d in 1..=month_len(y, m as usize) {
+                keys.push(date_key(y, m, d));
+            }
+        }
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_2556_days() {
+        let (_, pages, rows) = gen_date_table();
+        assert_eq!(rows, DATE_DAYS);
+        let total: usize = pages.iter().map(|p| p.row_count()).sum();
+        assert_eq!(total, DATE_DAYS);
+        assert_eq!(all_date_keys().len(), DATE_DAYS);
+    }
+
+    #[test]
+    fn leap_years_handled() {
+        assert!(is_leap(1992));
+        assert!(is_leap(1996));
+        assert!(!is_leap(1993));
+        assert!(!is_leap(1900));
+        assert!(is_leap(2000));
+        assert_eq!(month_len(1992, 2), 29);
+        assert_eq!(month_len(1993, 2), 28);
+    }
+
+    #[test]
+    fn keys_are_sorted_and_unique() {
+        let keys = all_date_keys();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(keys[0], 19920101);
+        assert_eq!(*keys.last().unwrap(), 19981231);
+    }
+
+    #[test]
+    fn rows_decode_with_consistent_year() {
+        let (schema, pages, _) = gen_date_table();
+        let yi = schema.col("d_year");
+        let ki = schema.col("d_datekey");
+        for p in &pages {
+            for row in p.decode_all(&schema) {
+                let key = row[ki].as_int();
+                assert_eq!(row[yi].as_int(), key / 10_000);
+            }
+        }
+    }
+}

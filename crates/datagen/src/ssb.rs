@@ -1,0 +1,379 @@
+//! Star Schema Benchmark tables: `customer`, `supplier`, `part`, `lineorder`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use workshare_common::codec::{Page, PageBuilder};
+use workshare_common::{ColType, Column, Schema, Value};
+use workshare_storage::{StorageManager, TableId};
+
+use crate::dates::{all_date_keys, gen_date_table};
+use crate::SsbScale;
+
+/// The 25 SSB/TPC-H nations.
+pub const NATIONS: [&str; 25] = [
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
+    "UNITED STATES",
+];
+
+/// The 5 SSB regions, aligned index-wise with `NATIONS` (5 nations each).
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Region of the `i`-th nation (SSB assigns 5 nations per region).
+pub fn region_of(nation_idx: usize) -> &'static str {
+    // TPC-H nation→region assignment: exactly 5 nations per region.
+    const MAP: [usize; 25] = [
+        0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1,
+    ];
+    REGIONS[MAP[nation_idx]]
+}
+
+/// SSB city: first 9 chars of the nation (space-padded) + digit 0-9.
+pub fn city_of(nation_idx: usize, c: usize) -> String {
+    let mut base: String = NATIONS[nation_idx].chars().take(9).collect();
+    while base.len() < 9 {
+        base.push(' ');
+    }
+    format!("{base}{}", c % 10)
+}
+
+/// Schema of the `customer` dimension.
+pub fn customer_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("c_custkey", ColType::Int),
+        Column::new("c_name", ColType::Str(18)),
+        Column::new("c_city", ColType::Str(10)),
+        Column::new("c_nation", ColType::Str(15)),
+        Column::new("c_region", ColType::Str(12)),
+        Column::new("c_mktsegment", ColType::Str(10)),
+    ])
+}
+
+/// Generate `customer` (deterministic in `(scale, seed)`).
+pub fn gen_customer(scale: SsbScale, seed: u64) -> (Schema, Vec<Page>, usize) {
+    const SEGMENTS: [&str; 5] =
+        ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+    let schema = customer_schema();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC057);
+    let n = scale.customer_rows();
+    let mut b = PageBuilder::new(&schema);
+    for k in 1..=n {
+        let nation = rng.gen_range(0..NATIONS.len());
+        b.push(&[
+            Value::Int(k as i64),
+            Value::str(&format!("Customer#{k:09}")),
+            Value::str(&city_of(nation, rng.gen_range(0..10))),
+            Value::str(NATIONS[nation]),
+            Value::str(region_of(nation)),
+            Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
+        ]);
+    }
+    let pages = b.finish();
+    (schema, pages, n)
+}
+
+/// Schema of the `supplier` dimension.
+pub fn supplier_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("s_suppkey", ColType::Int),
+        Column::new("s_name", ColType::Str(18)),
+        Column::new("s_city", ColType::Str(10)),
+        Column::new("s_nation", ColType::Str(15)),
+        Column::new("s_region", ColType::Str(12)),
+    ])
+}
+
+/// Generate `supplier`.
+pub fn gen_supplier(scale: SsbScale, seed: u64) -> (Schema, Vec<Page>, usize) {
+    let schema = supplier_schema();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5337);
+    let n = scale.supplier_rows();
+    let mut b = PageBuilder::new(&schema);
+    for k in 1..=n {
+        let nation = rng.gen_range(0..NATIONS.len());
+        b.push(&[
+            Value::Int(k as i64),
+            Value::str(&format!("Supplier#{k:09}")),
+            Value::str(&city_of(nation, rng.gen_range(0..10))),
+            Value::str(NATIONS[nation]),
+            Value::str(region_of(nation)),
+        ]);
+    }
+    let pages = b.finish();
+    (schema, pages, n)
+}
+
+/// Schema of the `part` dimension.
+pub fn part_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("p_partkey", ColType::Int),
+        Column::new("p_name", ColType::Str(22)),
+        Column::new("p_mfgr", ColType::Str(6)),
+        Column::new("p_category", ColType::Str(7)),
+        Column::new("p_brand1", ColType::Str(9)),
+        Column::new("p_color", ColType::Str(11)),
+        Column::new("p_size", ColType::Int),
+    ])
+}
+
+/// Generate `part`. Categories follow SSB: `MFGR#mc` with manufacturer
+/// `m ∈ 1..=5`, category digit `c ∈ 1..=5`; brand = category + 1..=40.
+pub fn gen_part(scale: SsbScale, seed: u64) -> (Schema, Vec<Page>, usize) {
+    const COLORS: [&str; 10] = [
+        "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+        "blanched", "blue", "blush",
+    ];
+    let schema = part_schema();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBA47);
+    let n = scale.part_rows();
+    let mut b = PageBuilder::new(&schema);
+    for k in 1..=n {
+        let mfgr = rng.gen_range(1..=5);
+        let cat = rng.gen_range(1..=5);
+        let brand = rng.gen_range(1..=40);
+        b.push(&[
+            Value::Int(k as i64),
+            Value::str(&format!("part {k}")),
+            Value::str(&format!("MFGR#{mfgr}")),
+            Value::str(&format!("MFGR#{mfgr}{cat}")),
+            Value::str(&format!("MFGR#{mfgr}{cat}{brand:02}")),
+            Value::str(COLORS[rng.gen_range(0..COLORS.len())]),
+            Value::Int(rng.gen_range(1..=50)),
+        ]);
+    }
+    let pages = b.finish();
+    (schema, pages, n)
+}
+
+/// Schema of the `lineorder` fact table.
+pub fn lineorder_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("lo_orderkey", ColType::Int),
+        Column::new("lo_linenumber", ColType::Int),
+        Column::new("lo_custkey", ColType::Int),
+        Column::new("lo_partkey", ColType::Int),
+        Column::new("lo_suppkey", ColType::Int),
+        Column::new("lo_orderdate", ColType::Int),
+        Column::new("lo_quantity", ColType::Int),
+        Column::new("lo_extendedprice", ColType::Int),
+        Column::new("lo_discount", ColType::Int),
+        Column::new("lo_revenue", ColType::Int),
+        Column::new("lo_supplycost", ColType::Int),
+    ])
+}
+
+/// Generate `lineorder` with FKs uniform over the dimension key ranges.
+pub fn gen_lineorder(scale: SsbScale, seed: u64) -> (Schema, Vec<Page>, usize) {
+    let schema = lineorder_schema();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFAC7);
+    let n = scale.lineorder_rows();
+    let customers = scale.customer_rows() as i64;
+    let suppliers = scale.supplier_rows() as i64;
+    let parts = scale.part_rows() as i64;
+    let dates = all_date_keys();
+    let mut b = PageBuilder::new(&schema);
+    let mut orderkey = 0i64;
+    let mut line = 7i64;
+    for _ in 0..n {
+        // ~4 lines per order on average, like SSB.
+        if line > rng.gen_range(1..=7) {
+            orderkey += 1;
+            line = 1;
+        } else {
+            line += 1;
+        }
+        let quantity = rng.gen_range(1..=50i64);
+        let price = rng.gen_range(900..=10_000i64) * quantity;
+        let discount = rng.gen_range(0..=10i64);
+        b.push(&[
+            Value::Int(orderkey),
+            Value::Int(line),
+            Value::Int(rng.gen_range(1..=customers)),
+            Value::Int(rng.gen_range(1..=parts)),
+            Value::Int(rng.gen_range(1..=suppliers)),
+            Value::Int(dates[rng.gen_range(0..dates.len())]),
+            Value::Int(quantity),
+            Value::Int(price),
+            Value::Int(discount),
+            Value::Int(price * (100 - discount) / 100),
+            Value::Int(price * 6 / 10),
+        ]);
+    }
+    let pages = b.finish();
+    (schema, pages, n)
+}
+
+/// Table ids of a loaded SSB database.
+#[derive(Debug, Clone, Copy)]
+pub struct SsbTables {
+    /// Fact table.
+    pub lineorder: TableId,
+    /// Date dimension.
+    pub date: TableId,
+    /// Customer dimension.
+    pub customer: TableId,
+    /// Supplier dimension.
+    pub supplier: TableId,
+    /// Part dimension.
+    pub part: TableId,
+}
+
+/// Generate and register all SSB tables.
+pub fn load_ssb(sm: &StorageManager, scale: SsbScale, seed: u64) -> SsbTables {
+    let (ds, dp, _) = gen_date_table();
+    let (cs, cp, _) = gen_customer(scale, seed);
+    let (ss, sp, _) = gen_supplier(scale, seed);
+    let (ps, pp, _) = gen_part(scale, seed);
+    let (ls, lp, _) = gen_lineorder(scale, seed);
+    SsbTables {
+        date: sm.create_table("date", ds, dp),
+        customer: sm.create_table("customer", cs, cp),
+        supplier: sm.create_table("supplier", ss, sp),
+        part: sm.create_table("part", ps, pp),
+        lineorder: sm.create_table("lineorder", ls, lp),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use workshare_common::{CostModel, Row};
+    use workshare_storage::StorageConfig;
+
+    fn rows(pages: &[Page], schema: &Schema) -> Vec<Row> {
+        pages.iter().flat_map(|p| p.decode_all(schema)).collect()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = SsbScale::new(0.1);
+        let (sc, p1, _) = gen_customer(s, 42);
+        let (_, p2, _) = gen_customer(s, 42);
+        assert_eq!(rows(&p1, &sc), rows(&p2, &sc));
+        let (_, p3, _) = gen_customer(s, 43);
+        assert_ne!(rows(&p1, &sc), rows(&p3, &sc));
+    }
+
+    #[test]
+    fn customer_keys_dense_and_nations_valid() {
+        let s = SsbScale::new(0.1);
+        let (sc, pages, n) = gen_customer(s, 1);
+        let all = rows(&pages, &sc);
+        assert_eq!(all.len(), n);
+        let nations: HashSet<&str> = NATIONS.into_iter().collect();
+        let ki = sc.col("c_custkey");
+        let ni = sc.col("c_nation");
+        for (i, r) in all.iter().enumerate() {
+            assert_eq!(r[ki].as_int(), (i + 1) as i64);
+            assert!(nations.contains(r[ni].as_str()));
+        }
+    }
+
+    #[test]
+    fn nation_selectivity_near_one_twentyfifth() {
+        let s = SsbScale::new(1.0);
+        let (sc, pages, n) = gen_customer(s, 7);
+        let ni = sc.col("c_nation");
+        let hits = rows(&pages, &sc)
+            .iter()
+            .filter(|r| r[ni].as_str() == "FRANCE")
+            .count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.04).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn every_region_has_five_nations() {
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..25 {
+            *counts.entry(region_of(i)).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 5);
+        assert!(counts.values().all(|&c| c == 5), "{counts:?}");
+    }
+
+    #[test]
+    fn lineorder_fks_resolve() {
+        let s = SsbScale::new(0.05);
+        let (ls, pages, _) = gen_lineorder(s, 3);
+        let all = rows(&pages, &ls);
+        let dates: HashSet<i64> = all_date_keys().into_iter().collect();
+        let ci = ls.col("lo_custkey");
+        let si = ls.col("lo_suppkey");
+        let pi = ls.col("lo_partkey");
+        let di = ls.col("lo_orderdate");
+        for r in &all {
+            assert!((1..=s.customer_rows() as i64).contains(&r[ci].as_int()));
+            assert!((1..=s.supplier_rows() as i64).contains(&r[si].as_int()));
+            assert!((1..=s.part_rows() as i64).contains(&r[pi].as_int()));
+            assert!(dates.contains(&r[di].as_int()));
+        }
+    }
+
+    #[test]
+    fn revenue_is_price_discounted() {
+        let s = SsbScale::new(0.05);
+        let (ls, pages, _) = gen_lineorder(s, 3);
+        let pi = ls.col("lo_extendedprice");
+        let di = ls.col("lo_discount");
+        let ri = ls.col("lo_revenue");
+        for r in rows(&pages, &ls) {
+            let (p, d, rev) = (r[pi].as_int(), r[di].as_int(), r[ri].as_int());
+            assert_eq!(rev, p * (100 - d) / 100);
+            assert!((0..=10).contains(&d));
+        }
+    }
+
+    #[test]
+    fn part_brand_extends_category() {
+        let s = SsbScale::new(0.1);
+        let (ps, pages, _) = gen_part(s, 5);
+        let ci = ps.col("p_category");
+        let bi = ps.col("p_brand1");
+        for r in rows(&pages, &ps) {
+            assert!(r[bi].as_str().starts_with(r[ci].as_str()));
+        }
+    }
+
+    #[test]
+    fn load_registers_all_five_tables() {
+        let sm = StorageManager::new(StorageConfig::default(), CostModel::default());
+        let t = load_ssb(&sm, SsbScale::new(0.05), 9);
+        assert_eq!(sm.table("lineorder"), t.lineorder);
+        assert_eq!(sm.table("date"), t.date);
+        assert!(sm.row_count(t.lineorder) >= 100);
+        assert_eq!(sm.row_count(t.date), crate::DATE_DAYS);
+    }
+
+    #[test]
+    fn city_format_is_nine_chars_plus_digit() {
+        let c = city_of(6, 3); // FRANCE
+        assert_eq!(c.len(), 10);
+        assert!(c.starts_with("FRANCE"));
+        assert!(c.ends_with('3'));
+    }
+}

@@ -1,0 +1,124 @@
+//! TPC-H `lineitem` — the substrate of the paper's Figure 6 workload
+//! (identical TPC-H Q1 instances, which stress scan sharing and SP result
+//! forwarding).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use workshare_common::codec::{Page, PageBuilder};
+use workshare_common::{ColType, Column, Schema, Value};
+use workshare_storage::{StorageManager, TableId};
+
+use crate::dates::all_date_keys;
+use crate::SsbScale;
+
+/// Schema of the TPC-H `lineitem` table (columns Q1 touches).
+pub fn lineitem_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("l_orderkey", ColType::Int),
+        Column::new("l_linenumber", ColType::Int),
+        Column::new("l_quantity", ColType::Int),
+        Column::new("l_extendedprice", ColType::Int),
+        Column::new("l_discount", ColType::Int),
+        Column::new("l_tax", ColType::Int),
+        Column::new("l_returnflag", ColType::Str(1)),
+        Column::new("l_linestatus", ColType::Str(1)),
+        Column::new("l_shipdate", ColType::Int),
+    ])
+}
+
+/// Generate `lineitem` (deterministic in `(scale, seed)`).
+pub fn gen_lineitem(scale: SsbScale, seed: u64) -> (Schema, Vec<Page>, usize) {
+    let schema = lineitem_schema();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x71C4);
+    let n = scale.lineitem_rows();
+    let dates = all_date_keys();
+    let mut b = PageBuilder::new(&schema);
+    let mut orderkey = 0i64;
+    let mut line = 7i64;
+    for _ in 0..n {
+        if line > rng.gen_range(1..=7) {
+            orderkey += 1;
+            line = 1;
+        } else {
+            line += 1;
+        }
+        let quantity = rng.gen_range(1..=50i64);
+        let flag = ["A", "N", "R"][rng.gen_range(0..3)];
+        let status = if flag == "N" { "O" } else { "F" };
+        b.push(&[
+            Value::Int(orderkey),
+            Value::Int(line),
+            Value::Int(quantity),
+            Value::Int(rng.gen_range(900..=10_000i64) * quantity),
+            Value::Int(rng.gen_range(0..=10i64)),
+            Value::Int(rng.gen_range(0..=8i64)),
+            Value::str(flag),
+            Value::str(status),
+            Value::Int(dates[rng.gen_range(0..dates.len())]),
+        ]);
+    }
+    let pages = b.finish();
+    (schema, pages, n)
+}
+
+/// Table ids of a loaded TPC-H (Q1 subset) database.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchTables {
+    /// The lineitem table.
+    pub lineitem: TableId,
+}
+
+/// Generate and register `lineitem`.
+pub fn load_tpch(sm: &StorageManager, scale: SsbScale, seed: u64) -> TpchTables {
+    let (s, p, _) = gen_lineitem(scale, seed);
+    TpchTables {
+        lineitem: sm.create_table("lineitem", s, p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workshare_common::CostModel;
+    use workshare_storage::StorageConfig;
+
+    #[test]
+    fn deterministic_and_right_size() {
+        let s = SsbScale::new(0.1);
+        let (sc, p1, n) = gen_lineitem(s, 11);
+        let (_, p2, _) = gen_lineitem(s, 11);
+        assert_eq!(n, s.lineitem_rows());
+        let r1: Vec<_> = p1.iter().flat_map(|p| p.decode_all(&sc)).collect();
+        let r2: Vec<_> = p2.iter().flat_map(|p| p.decode_all(&sc)).collect();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn flags_and_status_consistent() {
+        let s = SsbScale::new(0.05);
+        let (sc, pages, _) = gen_lineitem(s, 2);
+        let fi = sc.col("l_returnflag");
+        let si = sc.col("l_linestatus");
+        for p in &pages {
+            for r in p.decode_all(&sc) {
+                let f = r[fi].as_str().to_string();
+                let st = r[si].as_str().to_string();
+                assert!(["A", "N", "R"].contains(&f.as_str()));
+                if f == "N" {
+                    assert_eq!(st, "O");
+                } else {
+                    assert_eq!(st, "F");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loads_into_storage() {
+        let sm = StorageManager::new(StorageConfig::default(), CostModel::default());
+        let t = load_tpch(&sm, SsbScale::new(0.05), 1);
+        assert!(sm.row_count(t.lineitem) >= 100);
+        assert_eq!(sm.table("lineitem"), t.lineitem);
+    }
+}

@@ -1,0 +1,307 @@
+//! Push-based FIFO exchange — the original QPipe communication model.
+//!
+//! "Pipelined execution with push-only communication typically uses FIFO
+//! buffers to exchange results between operators. […] During SP, this forces
+//! the single thread of the pivot operator of the host packet to forward
+//! results to all satellite packets sequentially, which creates a
+//! serialization point" (paper §4, Figure 7a).
+//!
+//! The first attached reader is the host's own downstream (the page moves by
+//! reference, as in any pipeline). Every additional reader is a satellite:
+//! the producer **deep-copies** the page into that reader's FIFO and charges
+//! the copy to its own timeline — the serialization the SPL removes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use workshare_common::CostModel;
+use workshare_sim::{CostKind, Machine, SimCtx, SimQueue};
+
+use crate::batch::TupleBatch;
+
+struct ConsumerSlot {
+    queue: SimQueue<Arc<TupleBatch>>,
+    budget: Option<u64>,
+    pushed: u64,
+    primary: bool,
+    dead: bool,
+}
+
+struct FifoShared {
+    machine: Machine,
+    cost: CostModel,
+    cap_pages: usize,
+    consumers: Mutex<Vec<ConsumerSlot>>,
+    emitted: AtomicU64,
+    closed: AtomicU64, // 0 | 1
+    readers: AtomicU64,
+}
+
+/// Push-based exchange. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct FifoExchange {
+    shared: Arc<FifoShared>,
+}
+
+impl FifoExchange {
+    /// Create a FIFO exchange whose per-consumer queues hold `cap_pages`.
+    pub fn new(machine: &Machine, cost: CostModel, cap_pages: usize) -> FifoExchange {
+        FifoExchange {
+            shared: Arc::new(FifoShared {
+                machine: machine.clone(),
+                cost,
+                cap_pages: cap_pages.max(1),
+                consumers: Mutex::new(Vec::new()),
+                emitted: AtomicU64::new(0),
+                closed: AtomicU64::new(0),
+                readers: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Attach a reader (the first one is the primary / host consumer).
+    pub fn attach(&self, budget: Option<u64>) -> FifoReader {
+        let queue = SimQueue::bounded(&self.shared.machine, self.shared.cap_pages);
+        let mut consumers = self.shared.consumers.lock();
+        let primary = consumers.iter().all(|c| c.dead || !c.primary);
+        if self.shared.closed.load(Ordering::Acquire) == 1 {
+            queue.close();
+        }
+        consumers.push(ConsumerSlot {
+            queue: queue.clone(),
+            budget,
+            pushed: 0,
+            primary,
+            dead: false,
+        });
+        self.shared.readers.fetch_add(1, Ordering::Relaxed);
+        FifoReader {
+            shared: Arc::clone(&self.shared),
+            queue,
+            budget,
+            taken: 0,
+        }
+    }
+
+    /// Emit one page: move it to the primary, deep-copy it to each
+    /// satellite, charging [`CostKind::Copy`] per satellite — the
+    /// serialization point.
+    pub fn emit(&self, ctx: &SimCtx, batch: Arc<TupleBatch>) {
+        let sh = &self.shared;
+        ctx.charge(CostKind::Misc, sh.cost.exchange_page_ns);
+        // Snapshot targets under the lock; push outside it (pushes block).
+        let targets: Vec<(SimQueue<Arc<TupleBatch>>, bool)> = {
+            let mut consumers = sh.consumers.lock();
+            consumers
+                .iter_mut()
+                .filter(|c| !c.dead && c.budget.is_none_or(|b| c.pushed < b))
+                .map(|c| {
+                    c.pushed += 1;
+                    (c.queue.clone(), c.primary)
+                })
+                .collect()
+        };
+        for (queue, primary) in targets {
+            let page = if primary {
+                Arc::clone(&batch)
+            } else {
+                // Physical forwarding: copy the page, pay for it.
+                ctx.charge(CostKind::Copy, sh.cost.copy_cost(batch.bytes));
+                Arc::new(batch.deep_clone())
+            };
+            if queue.push(page).is_err() {
+                // Reader went away; mark dead so we stop copying for it.
+                let mut consumers = sh.consumers.lock();
+                if let Some(c) = consumers.iter_mut().find(|c| {
+                    // Identify by queue identity via closed state; cheap scan.
+                    c.queue.is_closed() && !c.dead
+                }) {
+                    c.dead = true;
+                }
+            }
+        }
+        sh.emitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Close all consumer queues.
+    pub fn close(&self) {
+        self.shared.closed.store(1, Ordering::Release);
+        for c in self.shared.consumers.lock().iter() {
+            c.queue.close();
+        }
+    }
+
+    /// Pages emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.shared.emitted.load(Ordering::Relaxed)
+    }
+
+    /// Whether [`close`](Self::close) was called.
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Acquire) == 1
+    }
+
+    /// Attached (not yet dropped) readers.
+    pub fn reader_count(&self) -> usize {
+        self.shared.readers.load(Ordering::Relaxed) as usize
+    }
+}
+
+/// Reading end of a [`FifoExchange`].
+pub struct FifoReader {
+    shared: Arc<FifoShared>,
+    queue: SimQueue<Arc<TupleBatch>>,
+    budget: Option<u64>,
+    taken: u64,
+}
+
+impl FifoReader {
+    /// Next page, or `None` at close/budget exhaustion.
+    pub fn next(&mut self, ctx: &SimCtx) -> Option<Arc<TupleBatch>> {
+        if self.budget.is_some_and(|b| self.taken >= b) {
+            self.queue.close();
+            return None;
+        }
+        ctx.charge(CostKind::Misc, self.shared.cost.exchange_page_ns);
+        match self.queue.pop() {
+            Some(b) => {
+                self.taken += 1;
+                Some(b)
+            }
+            None => None,
+        }
+    }
+}
+
+impl Drop for FifoReader {
+    fn drop(&mut self) {
+        self.queue.close();
+        self.shared.readers.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workshare_common::Value;
+    use workshare_sim::MachineConfig;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig {
+            cores: 8,
+            ..Default::default()
+        })
+    }
+
+    fn batch(tag: i64) -> Arc<TupleBatch> {
+        Arc::new(TupleBatch::new(vec![vec![Value::Int(tag)]]))
+    }
+
+    #[test]
+    fn budget_limits_reader() {
+        let m = machine();
+        let ex = FifoExchange::new(&m, CostModel::default(), 4);
+        let mut r = ex.attach(Some(2));
+        let exp = ex.clone();
+        m.spawn("coord", move |ctx| {
+            let p = {
+                let exp = exp.clone();
+                ctx.machine().spawn("prod", move |ctx| {
+                    for i in 0..5 {
+                        exp.emit(ctx, batch(i));
+                    }
+                    exp.close();
+                })
+            };
+            let c = ctx.machine().spawn("cons", move |ctx| {
+                let mut n = 0;
+                while r.next(ctx).is_some() {
+                    n += 1;
+                }
+                n
+            });
+            p.join().unwrap();
+            assert_eq!(c.join().unwrap(), 2);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn producer_does_not_push_past_budget() {
+        let m = machine();
+        let ex = FifoExchange::new(&m, CostModel::default(), 2);
+        // Budget 1 with capacity 2: even if the reader never drains, the
+        // producer must not block on this consumer after 1 page.
+        let _r = ex.attach(Some(1));
+        let mut r2 = ex.attach(None);
+        let exp = ex.clone();
+        m.spawn("coord", move |ctx| {
+            let p = {
+                let exp = exp.clone();
+                ctx.machine().spawn("prod", move |ctx| {
+                    for i in 0..10 {
+                        exp.emit(ctx, batch(i));
+                    }
+                    exp.close();
+                })
+            };
+            let c = ctx.machine().spawn("cons2", move |ctx| {
+                let mut n = 0;
+                while r2.next(ctx).is_some() {
+                    n += 1;
+                }
+                n
+            });
+            p.join().unwrap();
+            assert_eq!(c.join().unwrap(), 10);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn first_reader_is_primary_no_copy_single_consumer() {
+        use workshare_sim::CostKind;
+        let m = machine();
+        let ex = FifoExchange::new(&m, CostModel::default(), 4);
+        let mut r = ex.attach(None);
+        let exp = ex.clone();
+        m.spawn("coord", move |ctx| {
+            let p = {
+                let exp = exp.clone();
+                ctx.machine().spawn("prod", move |ctx| {
+                    for i in 0..10 {
+                        exp.emit(ctx, batch(i));
+                    }
+                    exp.close();
+                })
+            };
+            let c = ctx
+                .machine()
+                .spawn("cons", move |ctx| while r.next(ctx).is_some() {});
+            p.join().unwrap();
+            c.join().unwrap();
+        })
+        .join()
+        .unwrap();
+        assert_eq!(
+            m.cpu_breakdown().get(CostKind::Copy),
+            0.0,
+            "a plain pipeline (one consumer) copies nothing"
+        );
+    }
+
+    #[test]
+    fn attach_after_close_sees_empty_stream() {
+        let m = machine();
+        let ex = FifoExchange::new(&m, CostModel::default(), 4);
+        ex.close();
+        let mut r = ex.attach(None);
+        m.spawn("c", move |ctx| assert!(r.next(ctx).is_none()))
+            .join()
+            .unwrap();
+    }
+}

@@ -1,0 +1,257 @@
+//! Inter-packet exchanges: push-based FIFOs vs pull-based Shared Pages Lists.
+
+mod fifo;
+mod spl;
+
+use std::sync::Arc;
+
+pub use fifo::FifoExchange;
+pub use spl::SplExchange;
+
+use workshare_common::CostModel;
+use workshare_sim::{Machine, SimCtx};
+
+use crate::batch::TupleBatch;
+
+/// Which exchange implementation a configuration uses (paper Figure 6's
+/// `(FIFO)` vs `(SPL)` variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeKind {
+    /// Push-only model: producer forwards (copies) pages to every satellite.
+    Fifo,
+    /// Pull-based Shared Pages List: consumers read a shared list.
+    Spl,
+}
+
+/// A single-producer, multi-consumer page exchange.
+///
+/// The first attached reader is the *primary* (the host's own downstream
+/// packet); additional readers are *satellites*. Under [`ExchangeKind::Fifo`]
+/// the producer pays a deep copy per satellite page — the §4 serialization
+/// point. Under [`ExchangeKind::Spl`] all readers share one page instance.
+#[derive(Clone)]
+pub enum Exchange {
+    /// Push-based implementation.
+    Fifo(FifoExchange),
+    /// Pull-based implementation.
+    Spl(SplExchange),
+}
+
+impl Exchange {
+    /// Create an exchange of `kind` holding at most `cap_pages` in flight
+    /// (the paper's 256 KB SPL cap ÷ 32 KB pages = 8).
+    pub fn new(
+        kind: ExchangeKind,
+        machine: &Machine,
+        cost: CostModel,
+        cap_pages: usize,
+    ) -> Exchange {
+        match kind {
+            ExchangeKind::Fifo => {
+                Exchange::Fifo(FifoExchange::new(machine, cost, cap_pages))
+            }
+            ExchangeKind::Spl => {
+                Exchange::Spl(SplExchange::new(machine, cost, cap_pages))
+            }
+        }
+    }
+
+    /// Attach a reader. `budget` bounds how many pages the reader consumes
+    /// (`Some(n)` for linear-WoP circular scans, `None` = read until close).
+    pub fn attach(&self, budget: Option<u64>) -> ExchangeReader {
+        match self {
+            Exchange::Fifo(f) => ExchangeReader::Fifo(f.attach(budget)),
+            Exchange::Spl(s) => ExchangeReader::Spl(s.attach(budget)),
+        }
+    }
+
+    /// Emit one page (blocks in virtual time on back-pressure).
+    pub fn emit(&self, ctx: &SimCtx, batch: Arc<TupleBatch>) {
+        match self {
+            Exchange::Fifo(f) => f.emit(ctx, batch),
+            Exchange::Spl(s) => s.emit(ctx, batch),
+        }
+    }
+
+    /// Close the stream: readers drain then see `None`.
+    pub fn close(&self) {
+        match self {
+            Exchange::Fifo(f) => f.close(),
+            Exchange::Spl(s) => s.close(),
+        }
+    }
+
+    /// Pages emitted so far (step-WoP checks `emitted() == 0`).
+    pub fn emitted(&self) -> u64 {
+        match self {
+            Exchange::Fifo(f) => f.emitted(),
+            Exchange::Spl(s) => s.emitted(),
+        }
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        match self {
+            Exchange::Fifo(f) => f.is_closed(),
+            Exchange::Spl(s) => s.is_closed(),
+        }
+    }
+
+    /// Number of currently attached readers.
+    pub fn reader_count(&self) -> usize {
+        match self {
+            Exchange::Fifo(f) => f.reader_count(),
+            Exchange::Spl(s) => s.reader_count(),
+        }
+    }
+}
+
+/// Reading end of an [`Exchange`].
+pub enum ExchangeReader {
+    /// Reader over a push-based FIFO.
+    Fifo(fifo::FifoReader),
+    /// Reader over a Shared Pages List.
+    Spl(spl::SplReader),
+}
+
+impl ExchangeReader {
+    /// Next page, or `None` when the stream closed or the budget is spent.
+    pub fn next(&mut self, ctx: &SimCtx) -> Option<Arc<TupleBatch>> {
+        match self {
+            ExchangeReader::Fifo(r) => r.next(ctx),
+            ExchangeReader::Spl(r) => r.next(ctx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workshare_common::Value;
+    use workshare_sim::MachineConfig;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig {
+            cores: 8,
+            ..Default::default()
+        })
+    }
+
+    fn batch(tag: i64, rows: usize) -> Arc<TupleBatch> {
+        Arc::new(TupleBatch::new(
+            (0..rows).map(|i| vec![Value::Int(tag * 1000 + i as i64)]).collect(),
+        ))
+    }
+
+    /// Both kinds deliver every page, in order, to every reader.
+    fn delivery_roundtrip(kind: ExchangeKind) {
+        let m = machine();
+        let ex = Exchange::new(kind, &m, CostModel::default(), 4);
+        let readers: Vec<_> = (0..3).map(|_| ex.attach(None)).collect();
+        let exp = ex.clone();
+        let coordinator = m.spawn("coord", move |ctx| {
+            let producer = {
+                let exp = exp.clone();
+                ctx.machine().spawn("prod", move |ctx| {
+                    for i in 0..20 {
+                        exp.emit(ctx, batch(i, 5));
+                    }
+                    exp.close();
+                })
+            };
+            let consumers: Vec<_> = readers
+                .into_iter()
+                .enumerate()
+                .map(|(ci, mut r)| {
+                    ctx.machine().spawn(&format!("cons{ci}"), move |ctx| {
+                        let mut tags = Vec::new();
+                        while let Some(b) = r.next(ctx) {
+                            tags.push(b.rows[0][0].as_int() / 1000);
+                        }
+                        tags
+                    })
+                })
+                .collect();
+            producer.join().unwrap();
+            consumers
+                .into_iter()
+                .map(|c| c.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        let results = coordinator.join().unwrap();
+        for tags in results {
+            assert_eq!(tags, (0..20).collect::<Vec<i64>>());
+        }
+    }
+
+    #[test]
+    fn fifo_delivers_all_pages_in_order_to_all_readers() {
+        delivery_roundtrip(ExchangeKind::Fifo);
+    }
+
+    #[test]
+    fn spl_delivers_all_pages_in_order_to_all_readers() {
+        delivery_roundtrip(ExchangeKind::Spl);
+    }
+
+    /// The defining cost difference: with S satellites, push-based FIFO
+    /// charges ~S deep copies per page; SPL charges none.
+    #[test]
+    fn fifo_charges_copy_per_satellite_spl_does_not() {
+        use workshare_sim::CostKind;
+        for (kind, expect_copies) in [(ExchangeKind::Fifo, true), (ExchangeKind::Spl, false)]
+        {
+            let m = machine();
+            let ex = Exchange::new(kind, &m, CostModel::default(), 4);
+            let readers: Vec<_> = (0..4).map(|_| ex.attach(None)).collect();
+            let exp = ex.clone();
+            m.spawn("coord", move |ctx| {
+                let p = {
+                    let exp = exp.clone();
+                    ctx.machine().spawn("prod", move |ctx| {
+                        for i in 0..10 {
+                            exp.emit(ctx, batch(i, 50));
+                        }
+                        exp.close();
+                    })
+                };
+                let cs: Vec<_> = readers
+                    .into_iter()
+                    .map(|mut r| {
+                        ctx.machine()
+                            .spawn("c", move |ctx| while r.next(ctx).is_some() {})
+                    })
+                    .collect();
+                p.join().unwrap();
+                for c in cs {
+                    c.join().unwrap();
+                }
+            })
+            .join()
+            .unwrap();
+            let copy_ns = m.cpu_breakdown().get(CostKind::Copy);
+            if expect_copies {
+                assert!(copy_ns > 0.0, "{kind:?} must pay forwarding copies");
+            } else {
+                assert_eq!(copy_ns, 0.0, "{kind:?} must not pay forwarding copies");
+            }
+        }
+    }
+
+    #[test]
+    fn emitted_counter_tracks_pages() {
+        let m = machine();
+        let ex = Exchange::new(ExchangeKind::Spl, &m, CostModel::default(), 4);
+        assert_eq!(ex.emitted(), 0);
+        let _r = ex.attach(None);
+        let exp = ex.clone();
+        m.spawn("p", move |ctx| {
+            exp.emit(ctx, batch(1, 1));
+            exp.close();
+        })
+        .join()
+        .unwrap();
+        assert_eq!(ex.emitted(), 1);
+        assert!(ex.is_closed());
+    }
+}

@@ -1,0 +1,592 @@
+//! Shared Pages Lists — the paper's §4 pull-based SP mechanism.
+//!
+//! A SPL is a bounded list of pages with **one producer and many
+//! consumers** (Figure 8):
+//!
+//! * The producer appends at the head; consumers read from their private
+//!   cursors toward the head, entirely independently — the producer does *no*
+//!   forwarding work, eliminating the push-model serialization point.
+//! * Every page carries a reference count initialized to the number of
+//!   consumers that will read it; the **last** consumer to read a page frees
+//!   it (§4.1).
+//! * For linear WoPs (§4.2) each consumer records its **point of entry** and
+//!   a page *budget* (one full wrap of a circular scan). When the producer
+//!   emits the page just before a consumer's entry point, that consumer is a
+//!   *finishing packet*: it stops participating in the reference counts of
+//!   subsequent pages and exits the SPL upon reading its final page.
+//! * The list is bounded (`max_pages`, default 256 KB / 32 KB = 8): the
+//!   producer blocks when the window is full, regulating differently paced
+//!   actors exactly like a FIFO buffer would.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use workshare_common::fxhash::FxHashMap;
+use workshare_common::CostModel;
+use workshare_sim::{CostKind, Machine, SimCtx, WaitSet};
+
+use crate::batch::TupleBatch;
+
+struct PageSlot {
+    batch: Arc<TupleBatch>,
+    /// Consumers that still have to read this page.
+    remaining: usize,
+}
+
+struct SplState {
+    window: VecDeque<PageSlot>,
+    /// Sequence number of `window[0]`.
+    head_seq: u64,
+    /// Sequence number the next emitted page receives.
+    next_seq: u64,
+    /// Consumers whose `end_seq > next_seq` (they will read the next page).
+    active: usize,
+    /// `end_seq → how many consumers finish just before that sequence`.
+    ends: FxHashMap<u64, usize>,
+    closed: bool,
+}
+
+struct SplShared {
+    state: Mutex<SplState>,
+    ws: WaitSet,
+    cost: CostModel,
+    max_pages: usize,
+    emitted: AtomicU64,
+    readers: AtomicU64,
+}
+
+/// Pull-based shared pages list. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct SplExchange {
+    shared: Arc<SplShared>,
+}
+
+impl SplExchange {
+    /// Create a SPL bounded to `max_pages` in-flight pages.
+    pub fn new(machine: &Machine, cost: CostModel, max_pages: usize) -> SplExchange {
+        SplExchange {
+            shared: Arc::new(SplShared {
+                state: Mutex::new(SplState {
+                    window: VecDeque::new(),
+                    head_seq: 0,
+                    next_seq: 0,
+                    active: 0,
+                    ends: FxHashMap::default(),
+                    closed: false,
+                }),
+                ws: WaitSet::new(machine),
+                cost,
+                max_pages: max_pages.max(1),
+                emitted: AtomicU64::new(0),
+                readers: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Attach a consumer starting at the current head of production (its
+    /// *point of entry*). With `budget = Some(n)` the consumer reads exactly
+    /// `n` pages (linear WoP); with `None` it reads until the SPL closes.
+    pub fn attach(&self, budget: Option<u64>) -> SplReader {
+        let mut s = self.shared.state.lock();
+        let start = s.next_seq;
+        let end = match budget {
+            Some(n) => start.saturating_add(n),
+            None => u64::MAX,
+        };
+        if end > start {
+            s.active += 1;
+            if end != u64::MAX {
+                *s.ends.entry(end).or_insert(0) += 1;
+            }
+        }
+        self.shared.readers.fetch_add(1, Ordering::Relaxed);
+        SplReader {
+            shared: Arc::clone(&self.shared),
+            cursor: start,
+            end_seq: end,
+            detached: end == start,
+        }
+    }
+
+    /// Append a page. Blocks (virtual time) while the window is full. Pages
+    /// emitted with zero active consumers are dropped (nobody will read
+    /// them) but still advance the sequence.
+    pub fn emit(&self, ctx: &SimCtx, batch: Arc<TupleBatch>) {
+        let sh = &self.shared;
+        // One list-lock acquisition + append; no per-consumer work: this is
+        // the whole point of pull-based SP.
+        ctx.charge(CostKind::Locks, sh.cost.lock_acquire_ns);
+        ctx.charge(CostKind::Misc, sh.cost.exchange_page_ns);
+        sh.ws.wait_until(|| {
+            let s = sh.state.lock();
+            s.window.len() < sh.max_pages || s.active == 0
+        });
+        {
+            let mut s = sh.state.lock();
+            assert!(!s.closed, "emit after close");
+            let readers = s.active;
+            let seq = s.next_seq;
+            s.next_seq = seq + 1;
+            // Finishing packets: consumers whose entry point is the *next*
+            // page read this one as their last and leave the active set.
+            if let Some(n) = s.ends.remove(&(seq + 1)) {
+                s.active -= n;
+            }
+            if readers > 0 {
+                if s.window.is_empty() {
+                    s.head_seq = seq;
+                }
+                s.window.push_back(PageSlot {
+                    batch,
+                    remaining: readers,
+                });
+            } else if s.window.is_empty() {
+                s.head_seq = seq + 1;
+            }
+        }
+        sh.emitted.fetch_add(1, Ordering::Relaxed);
+        sh.ws.notify_all();
+    }
+
+    /// Close the stream; unbudgeted readers drain and then see `None`.
+    pub fn close(&self) {
+        self.shared.state.lock().closed = true;
+        self.shared.ws.notify_all();
+    }
+
+    /// Pages emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.shared.emitted.load(Ordering::Relaxed)
+    }
+
+    /// Whether the SPL is closed.
+    pub fn is_closed(&self) -> bool {
+        self.shared.state.lock().closed
+    }
+
+    /// Attached (not yet dropped) readers.
+    pub fn reader_count(&self) -> usize {
+        self.shared.readers.load(Ordering::Relaxed) as usize
+    }
+
+    /// Number of consumers that will read the next emitted page.
+    pub fn active_consumers(&self) -> usize {
+        self.shared.state.lock().active
+    }
+
+    /// Pages currently retained in the window.
+    pub fn window_len(&self) -> usize {
+        self.shared.state.lock().window.len()
+    }
+}
+
+/// A consumer cursor over a [`SplExchange`].
+pub struct SplReader {
+    shared: Arc<SplShared>,
+    cursor: u64,
+    end_seq: u64,
+    detached: bool,
+}
+
+impl SplReader {
+    /// Next page: `None` when the budget is exhausted or the SPL closed and
+    /// drained. Blocks in virtual time while the producer is behind.
+    pub fn next(&mut self, ctx: &SimCtx) -> Option<Arc<TupleBatch>> {
+        if self.cursor >= self.end_seq {
+            self.detached = true;
+            return None;
+        }
+        let sh = Arc::clone(&self.shared);
+        ctx.charge(CostKind::Locks, sh.cost.lock_acquire_ns);
+        ctx.charge(CostKind::Misc, sh.cost.exchange_page_ns);
+        let cursor = self.cursor;
+        let got: Option<Arc<TupleBatch>> = sh.ws.wait_for(|| {
+            let mut s = sh.state.lock();
+            if cursor < s.next_seq {
+                debug_assert!(
+                    cursor >= s.head_seq,
+                    "cursor {cursor} fell behind head {}",
+                    s.head_seq
+                );
+                let idx = (cursor - s.head_seq) as usize;
+                let slot = &mut s.window[idx];
+                let batch = Arc::clone(&slot.batch);
+                slot.remaining -= 1;
+                // Last reader of the head page(s) frees them.
+                let mut freed = false;
+                while s
+                    .window
+                    .front()
+                    .is_some_and(|f| f.remaining == 0)
+                {
+                    s.window.pop_front();
+                    s.head_seq += 1;
+                    freed = true;
+                }
+                drop(s);
+                if freed {
+                    sh.ws.notify_all();
+                }
+                return Some(Some(batch));
+            }
+            if s.closed {
+                return Some(None);
+            }
+            None
+        });
+        match got {
+            Some(batch) => {
+                self.cursor += 1;
+                if self.cursor >= self.end_seq {
+                    self.detached = true; // budget complete: clean exit
+                }
+                Some(batch)
+            }
+            None => {
+                // Closed before the budget completed: release claims.
+                self.release();
+                None
+            }
+        }
+    }
+
+    /// Pages read so far relative to the point of entry.
+    pub fn pages_read(&self) -> u64 {
+        self.cursor
+    }
+
+    fn release(&mut self) {
+        if self.detached {
+            return;
+        }
+        self.detached = true;
+        let mut s = self.shared.state.lock();
+        // Un-claim retained pages this reader was counted for.
+        let upto = self.end_seq.min(s.next_seq);
+        let head = s.head_seq;
+        for seq in self.cursor.max(head)..upto {
+            let idx = (seq - head) as usize;
+            if let Some(slot) = s.window.get_mut(idx) {
+                slot.remaining -= 1;
+            }
+        }
+        while s.window.front().is_some_and(|f| f.remaining == 0) {
+            s.window.pop_front();
+            s.head_seq += 1;
+        }
+        // Un-register the future-page claim.
+        if self.end_seq > s.next_seq {
+            s.active -= 1;
+            if self.end_seq != u64::MAX {
+                if let Some(n) = s.ends.get_mut(&self.end_seq) {
+                    *n -= 1;
+                    if *n == 0 {
+                        s.ends.remove(&self.end_seq);
+                    }
+                }
+            }
+        }
+        drop(s);
+        self.shared.ws.notify_all();
+    }
+}
+
+impl Drop for SplReader {
+    fn drop(&mut self) {
+        self.release();
+        self.shared.readers.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workshare_common::Value;
+    use workshare_sim::MachineConfig;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig {
+            cores: 8,
+            ..Default::default()
+        })
+    }
+
+    fn batch(tag: i64) -> Arc<TupleBatch> {
+        Arc::new(TupleBatch::new(vec![vec![Value::Int(tag)]]))
+    }
+
+    fn tag(b: &TupleBatch) -> i64 {
+        b.rows[0][0].as_int()
+    }
+
+    #[test]
+    fn budgeted_reader_stops_exactly_at_budget() {
+        let m = machine();
+        let spl = SplExchange::new(&m, CostModel::default(), 4);
+        let mut r = spl.attach(Some(3));
+        let sp = spl.clone();
+        m.spawn("coord", move |ctx| {
+            let p = {
+                let sp = sp.clone();
+                ctx.machine().spawn("prod", move |ctx| {
+                    for i in 0..10 {
+                        sp.emit(ctx, batch(i));
+                    }
+                    sp.close();
+                })
+            };
+            let c = ctx.machine().spawn("cons", move |ctx| {
+                let mut seen = Vec::new();
+                while let Some(b) = r.next(ctx) {
+                    seen.push(tag(&b));
+                }
+                seen
+            });
+            p.join().unwrap();
+            assert_eq!(c.join().unwrap(), vec![0, 1, 2]);
+        })
+        .join()
+        .unwrap();
+        // All pages were reclaimed: budget-complete readers stopped claiming.
+        assert_eq!(spl.window_len(), 0);
+        assert_eq!(spl.active_consumers(), 0);
+    }
+
+    #[test]
+    fn late_attach_reads_only_future_pages() {
+        let m = machine();
+        let spl = SplExchange::new(&m, CostModel::default(), 4);
+        let sp = spl.clone();
+        m.spawn("coord", move |ctx| {
+            // No consumers yet: first 3 pages are dropped.
+            let sp2 = sp.clone();
+            let p1 = ctx.machine().spawn("prod1", move |ctx| {
+                for i in 0..3 {
+                    sp2.emit(ctx, batch(i));
+                }
+            });
+            p1.join().unwrap();
+            let mut r = sp.attach(None);
+            let sp3 = sp.clone();
+            let p2 = ctx.machine().spawn("prod2", move |ctx| {
+                for i in 3..6 {
+                    sp3.emit(ctx, batch(i));
+                }
+                sp3.close();
+            });
+            let c = ctx.machine().spawn("cons", move |ctx| {
+                let mut seen = Vec::new();
+                while let Some(b) = r.next(ctx) {
+                    seen.push(tag(&b));
+                }
+                seen
+            });
+            p2.join().unwrap();
+            assert_eq!(c.join().unwrap(), vec![3, 4, 5]);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn window_respects_max_size_with_slow_consumer() {
+        let m = machine();
+        let spl = SplExchange::new(&m, CostModel::default(), 2);
+        let mut r = spl.attach(None);
+        let sp = spl.clone();
+        let probe = spl.clone();
+        m.spawn("coord", move |ctx| {
+            let p = {
+                let sp = sp.clone();
+                ctx.machine().spawn("prod", move |ctx| {
+                    for i in 0..20 {
+                        sp.emit(ctx, batch(i));
+                    }
+                    sp.close();
+                })
+            };
+            let c = ctx.machine().spawn("cons", move |ctx| {
+                let mut n = 0;
+                while let Some(_b) = r.next(ctx) {
+                    // Slow consumer: the producer must stall at the cap.
+                    ctx.charge(CostKind::Misc, 10_000.0);
+                    n += 1;
+                }
+                n
+            });
+            // While running, the window can never exceed 2 pages.
+            let w = ctx.machine().spawn("watch", move |ctx| {
+                for _ in 0..50 {
+                    assert!(probe.window_len() <= 2);
+                    ctx.sleep(1_000.0);
+                }
+            });
+            p.join().unwrap();
+            assert_eq!(c.join().unwrap(), 20);
+            w.join().unwrap();
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn pages_freed_by_last_reader_only() {
+        let m = machine();
+        let spl = SplExchange::new(&m, CostModel::default(), 8);
+        let mut fast = spl.attach(None);
+        let mut slow = spl.attach(None);
+        let sp = spl.clone();
+        let probe = spl.clone();
+        m.spawn("coord", move |ctx| {
+            let p = {
+                let sp = sp.clone();
+                ctx.machine().spawn("prod", move |ctx| {
+                    for i in 0..4 {
+                        sp.emit(ctx, batch(i));
+                    }
+                    sp.close();
+                })
+            };
+            p.join().unwrap();
+            // Fast reader drains everything; pages must be retained for slow.
+            let f = ctx.machine().spawn("fast", move |ctx| {
+                let mut n = 0;
+                while fast.next(ctx).is_some() {
+                    n += 1;
+                }
+                n
+            });
+            assert_eq!(f.join().unwrap(), 4);
+            assert_eq!(probe.window_len(), 4, "slow reader still holds claims");
+            let s = ctx.machine().spawn("slow", move |ctx| {
+                let mut n = 0;
+                while slow.next(ctx).is_some() {
+                    n += 1;
+                }
+                n
+            });
+            assert_eq!(s.join().unwrap(), 4);
+            assert_eq!(probe.window_len(), 0, "last reader freed the pages");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn dropping_a_reader_releases_its_claims() {
+        let m = machine();
+        let spl = SplExchange::new(&m, CostModel::default(), 2);
+        let mut keeper = spl.attach(None);
+        let straggler = spl.attach(None);
+        let sp = spl.clone();
+        m.spawn("coord", move |ctx| {
+            // Drop the straggler before reading anything: the producer must
+            // then be able to push all pages through `keeper` alone.
+            drop(straggler);
+            let p = {
+                let sp = sp.clone();
+                ctx.machine().spawn("prod", move |ctx| {
+                    for i in 0..10 {
+                        sp.emit(ctx, batch(i));
+                    }
+                    sp.close();
+                })
+            };
+            let c = ctx.machine().spawn("cons", move |ctx| {
+                let mut n = 0;
+                while keeper.next(ctx).is_some() {
+                    n += 1;
+                }
+                n
+            });
+            p.join().unwrap();
+            assert_eq!(c.join().unwrap(), 10);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(spl.reader_count(), 0);
+    }
+
+    #[test]
+    fn close_unblocks_waiting_reader() {
+        let m = machine();
+        let spl = SplExchange::new(&m, CostModel::default(), 2);
+        let mut r = spl.attach(None);
+        let sp = spl.clone();
+        m.spawn("coord", move |ctx| {
+            let c = ctx
+                .machine()
+                .spawn("cons", move |ctx| r.next(ctx).is_none());
+            let cl = ctx.machine().spawn("closer", move |ctx| {
+                ctx.sleep(1e6);
+                sp.close();
+            });
+            cl.join().unwrap();
+            assert!(c.join().unwrap());
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn zero_budget_reader_returns_none_immediately() {
+        let m = machine();
+        let spl = SplExchange::new(&m, CostModel::default(), 2);
+        let mut r = spl.attach(Some(0));
+        m.spawn("c", move |ctx| {
+            assert!(r.next(ctx).is_none());
+        })
+        .join()
+        .unwrap();
+        assert_eq!(spl.active_consumers(), 0);
+    }
+
+    #[test]
+    fn many_consumers_interleaved_budgets() {
+        // Consumers with different budgets attached at different points all
+        // see exactly their windows.
+        let m = machine();
+        let spl = SplExchange::new(&m, CostModel::default(), 4);
+        let sp = spl.clone();
+        m.spawn("coord", move |ctx| {
+            let mut r_all = sp.attach(Some(12));
+            let all = ctx.machine().spawn("all", move |ctx| {
+                let mut v = Vec::new();
+                while let Some(b) = r_all.next(ctx) {
+                    v.push(tag(&b));
+                }
+                v
+            });
+            let sp2 = sp.clone();
+            let prod = ctx.machine().spawn("prod", move |ctx| {
+                for i in 0..12 {
+                    sp2.emit(ctx, batch(i));
+                }
+            });
+            // Attach a second consumer mid-stream from this thread; its
+            // entry point is wherever production currently stands.
+            ctx.sleep(1.0);
+            let mut r_mid = sp.attach(Some(2));
+            let mid = ctx.machine().spawn("mid", move |ctx| {
+                let mut v = Vec::new();
+                while let Some(b) = r_mid.next(ctx) {
+                    v.push(tag(&b));
+                }
+                v
+            });
+            prod.join().unwrap();
+            let got_all = all.join().unwrap();
+            let got_mid = mid.join().unwrap();
+            assert_eq!(got_all, (0..12).collect::<Vec<i64>>());
+            assert_eq!(got_mid.len(), 2);
+            // Mid's pages are consecutive and within range.
+            assert_eq!(got_mid[1], got_mid[0] + 1);
+            sp.close();
+        })
+        .join()
+        .unwrap();
+    }
+}

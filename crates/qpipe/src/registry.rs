@@ -1,0 +1,178 @@
+//! SP sharing registries: detecting identical in-flight sub-plans.
+//!
+//! "This design allows each stage to monitor only its packets for detecting
+//! sharing opportunities efficiently. If it finds an identical packet, and
+//! their interarrival delay is inside the WoP of the pivot operator, it
+//! attaches the new packet (satellite packet) to it (host packet)" (§2.3).
+//!
+//! A registry maps a structural plan signature to the host's output
+//! exchange. `try_attach` enforces the pivot operator's WoP against the
+//! host's progress (pages emitted / closed).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use workshare_common::fxhash::FxHashMap;
+
+use crate::exchange::{Exchange, ExchangeReader};
+use crate::wop::Wop;
+
+#[derive(Default)]
+struct RegState {
+    entries: FxHashMap<u64, Exchange>,
+    hosts: u64,
+    satellites: u64,
+}
+
+/// A per-stage SP registry. Cheap to clone.
+#[derive(Clone, Default)]
+pub struct SpRegistry {
+    state: Arc<Mutex<RegState>>,
+}
+
+impl SpRegistry {
+    /// Create an empty registry.
+    pub fn new() -> SpRegistry {
+        SpRegistry::default()
+    }
+
+    /// Register `exchange` as the host output for plans with `signature`.
+    /// An existing *usable* host is kept (first packet wins); stale entries
+    /// (already producing or closed beyond their WoP) are replaced.
+    pub fn register(&self, signature: u64, exchange: Exchange, wop: Wop) {
+        let mut s = self.state.lock();
+        let replace = match s.entries.get(&signature) {
+            Some(old) => !wop.can_attach(old.emitted(), old.is_closed()),
+            None => true,
+        };
+        if replace {
+            s.entries.insert(signature, exchange);
+            s.hosts += 1;
+        }
+    }
+
+    /// Attach to the host with `signature` if one exists and its WoP is
+    /// still open; returns a satellite reader.
+    pub fn try_attach(
+        &self,
+        signature: u64,
+        wop: Wop,
+        budget: Option<u64>,
+    ) -> Option<ExchangeReader> {
+        let mut s = self.state.lock();
+        let ex = s.entries.get(&signature)?;
+        if !wop.can_attach(ex.emitted(), ex.is_closed()) {
+            return None;
+        }
+        let reader = ex.attach(budget);
+        s.satellites += 1;
+        Some(reader)
+    }
+
+    /// (hosts registered, satellites attached).
+    pub fn stats(&self) -> (u64, u64) {
+        let s = self.state.lock();
+        (s.hosts, s.satellites)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::TupleBatch;
+    use crate::exchange::ExchangeKind;
+    use workshare_common::{CostModel, Value};
+    use workshare_sim::{Machine, MachineConfig};
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig {
+            cores: 4,
+            ..Default::default()
+        })
+    }
+
+    fn exchange(m: &Machine) -> Exchange {
+        Exchange::new(ExchangeKind::Spl, m, CostModel::default(), 8)
+    }
+
+    #[test]
+    fn attach_before_first_output_succeeds_step_wop() {
+        let m = machine();
+        let reg = SpRegistry::new();
+        let ex = exchange(&m);
+        reg.register(7, ex.clone(), Wop::Step);
+        assert!(reg.try_attach(7, Wop::Step, None).is_some());
+        assert_eq!(reg.stats(), (1, 1));
+    }
+
+    #[test]
+    fn attach_after_first_output_fails_step_wop() {
+        let m = machine();
+        let reg = SpRegistry::new();
+        let ex = exchange(&m);
+        let _keep = ex.attach(None);
+        reg.register(7, ex.clone(), Wop::Step);
+        let exp = ex.clone();
+        m.spawn("p", move |ctx| {
+            exp.emit(ctx, Arc::new(TupleBatch::new(vec![vec![Value::Int(1)]])));
+        })
+        .join()
+        .unwrap();
+        assert!(reg.try_attach(7, Wop::Step, None).is_none());
+    }
+
+    #[test]
+    fn linear_wop_attaches_mid_production_but_not_after_close() {
+        let m = machine();
+        let reg = SpRegistry::new();
+        let ex = exchange(&m);
+        let _keep = ex.attach(None);
+        reg.register(9, ex.clone(), Wop::Linear);
+        let exp = ex.clone();
+        m.spawn("p", move |ctx| {
+            exp.emit(ctx, Arc::new(TupleBatch::new(vec![vec![Value::Int(1)]])));
+        })
+        .join()
+        .unwrap();
+        assert!(reg.try_attach(9, Wop::Linear, Some(5)).is_some());
+        ex.close();
+        assert!(reg.try_attach(9, Wop::Linear, Some(5)).is_none());
+    }
+
+    #[test]
+    fn unknown_signature_misses() {
+        let reg = SpRegistry::new();
+        assert!(reg.try_attach(42, Wop::Step, None).is_none());
+    }
+
+    #[test]
+    fn stale_host_is_replaced_on_register() {
+        let m = machine();
+        let reg = SpRegistry::new();
+        let old = exchange(&m);
+        reg.register(5, old.clone(), Wop::Step);
+        old.close(); // stale now
+        let fresh = exchange(&m);
+        reg.register(5, fresh.clone(), Wop::Step);
+        // Attach must hit the fresh host (hold the reader: drop detaches).
+        let reader = reg.try_attach(5, Wop::Step, None);
+        assert!(reader.is_some());
+        assert_eq!(fresh.reader_count(), 1);
+        assert_eq!(old.reader_count(), 0);
+    }
+
+    #[test]
+    fn usable_host_is_not_replaced() {
+        let m = machine();
+        let reg = SpRegistry::new();
+        let first = exchange(&m);
+        reg.register(5, first.clone(), Wop::Step);
+        let second = exchange(&m);
+        reg.register(5, second.clone(), Wop::Step);
+        let reader = reg.try_attach(5, Wop::Step, None);
+        assert!(reader.is_some());
+        assert_eq!(first.reader_count(), 1, "first host kept");
+        assert_eq!(second.reader_count(), 0);
+    }
+}

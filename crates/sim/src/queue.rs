@@ -1,0 +1,328 @@
+//! Bounded multi-producer / multi-consumer queue in virtual time.
+//!
+//! [`SimQueue`] is the workhorse channel of the engine: stage work queues,
+//! push-based FIFO exchanges and the CJOIN pipeline are all built on it.
+//! Capacity-bounded pushes model the paper's flow control ("a parent packet
+//! may need to wait for incoming pages of a child and, conversely, a child
+//! packet may wait for a parent packet to consume its pages").
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::machine::Machine;
+use crate::waitset::WaitSet;
+
+/// Error returned when pushing to a closed queue; carries the item back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct QueueClosed<T>(pub T);
+
+struct QState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+struct QShared<T> {
+    state: Mutex<QState<T>>,
+    not_empty: WaitSet,
+    not_full: WaitSet,
+    cap: usize,
+}
+
+/// Bounded MPMC queue whose blocking operations suspend vthreads in virtual
+/// time. Cheap to clone (all clones address the same queue).
+pub struct SimQueue<T> {
+    shared: Arc<QShared<T>>,
+}
+
+impl<T> Clone for SimQueue<T> {
+    fn clone(&self) -> Self {
+        SimQueue {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for SimQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.shared.state.lock();
+        f.debug_struct("SimQueue")
+            .field("len", &s.items.len())
+            .field("cap", &self.shared.cap)
+            .field("closed", &s.closed)
+            .finish()
+    }
+}
+
+impl<T: Send + 'static> SimQueue<T> {
+    /// Create a queue with capacity `cap` (use [`SimQueue::unbounded`] for no
+    /// limit). `cap` must be at least 1.
+    pub fn bounded(machine: &Machine, cap: usize) -> Self {
+        assert!(cap >= 1, "queue capacity must be >= 1");
+        SimQueue {
+            shared: Arc::new(QShared {
+                state: Mutex::new(QState {
+                    items: VecDeque::new(),
+                    closed: false,
+                }),
+                not_empty: WaitSet::new(machine),
+                not_full: WaitSet::new(machine),
+                cap,
+            }),
+        }
+    }
+
+    /// Create a queue without a capacity bound.
+    pub fn unbounded(machine: &Machine) -> Self {
+        Self::bounded(machine, usize::MAX)
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().items.len()
+    }
+
+    /// Whether the queue currently holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.shared.state.lock().closed
+    }
+
+    /// Close the queue: pending and future `pop`s drain remaining items then
+    /// return `None`; future `push`es fail.
+    pub fn close(&self) {
+        self.shared.state.lock().closed = true;
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+    }
+
+    /// Push, blocking in virtual time while the queue is full.
+    pub fn push(&self, item: T) -> Result<(), QueueClosed<T>> {
+        let mut item = Some(item);
+        let shared = &self.shared;
+        shared.not_full.wait_for(|| {
+            let mut s = shared.state.lock();
+            if s.closed {
+                return Some(Err(QueueClosed(item.take().expect("item consumed twice"))));
+            }
+            if s.items.len() < shared.cap {
+                s.items.push_back(item.take().expect("item consumed twice"));
+                drop(s);
+                shared.not_empty.notify_all();
+                return Some(Ok(()));
+            }
+            None
+        })
+    }
+
+    /// Push without blocking; returns the item back if the queue is full.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut s = self.shared.state.lock();
+        if s.closed || s.items.len() >= self.shared.cap {
+            return Err(item);
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.shared.not_empty.notify_all();
+        Ok(())
+    }
+
+    /// Pop, blocking in virtual time while the queue is empty. Returns `None`
+    /// once the queue is closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let shared = &self.shared;
+        shared.not_empty.wait_for(|| {
+            let mut s = shared.state.lock();
+            if let Some(x) = s.items.pop_front() {
+                drop(s);
+                shared.not_full.notify_all();
+                return Some(Some(x));
+            }
+            if s.closed {
+                return Some(None);
+            }
+            None
+        })
+    }
+
+    /// Pop without blocking.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut s = self.shared.state.lock();
+        let x = s.items.pop_front();
+        if x.is_some() {
+            drop(s);
+            self.shared.not_full.notify_all();
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostKind, Machine, MachineConfig};
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig {
+            cores: 2,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn fifo_order_single_producer_consumer() {
+        let m = machine();
+        let q = SimQueue::bounded(&m, 4);
+        let qp = q.clone();
+        let p = m.spawn("prod", move |ctx| {
+            for i in 0..100 {
+                ctx.charge(CostKind::Misc, 10.0);
+                qp.push(i).unwrap();
+            }
+            qp.close();
+        });
+        let qc = q.clone();
+        let c = m.spawn("cons", move |ctx| {
+            let mut seen = Vec::new();
+            while let Some(x) = qc.pop() {
+                ctx.charge(CostKind::Misc, 10.0);
+                seen.push(x);
+            }
+            seen
+        });
+        p.join().unwrap();
+        let seen = c.join().unwrap();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_capacity_blocks_producer() {
+        let m = machine();
+        let q = SimQueue::bounded(&m, 2);
+        let qp = q.clone();
+        let p = m.spawn("prod", move |_| {
+            for i in 0..10 {
+                qp.push(i).unwrap();
+            }
+            qp.close();
+        });
+        let qc = q.clone();
+        let c = m.spawn("cons", move |ctx| {
+            let mut n = 0;
+            while let Some(_x) = qc.pop() {
+                // Consumer is slower; producer must block at cap 2.
+                ctx.charge(CostKind::Misc, 1000.0);
+                n += 1;
+            }
+            n
+        });
+        p.join().unwrap();
+        assert_eq!(c.join().unwrap(), 10);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let m = machine();
+        let q: SimQueue<u32> = SimQueue::bounded(&m, 2);
+        let qc = q.clone();
+        let c = m.spawn("cons", move |_| qc.pop());
+        let qx = q.clone();
+        let closer = m.spawn("closer", move |ctx| {
+            ctx.sleep(1e6);
+            qx.close();
+        });
+        closer.join().unwrap();
+        assert_eq!(c.join().unwrap(), None);
+    }
+
+    #[test]
+    fn push_after_close_returns_item() {
+        let m = machine();
+        let q: SimQueue<u32> = SimQueue::bounded(&m, 2);
+        q.close();
+        let h = m.spawn("p", move |_| q.push(9));
+        assert_eq!(h.join().unwrap(), Err(QueueClosed(9)));
+    }
+
+    #[test]
+    fn close_drains_remaining_items() {
+        let m = machine();
+        let q = SimQueue::bounded(&m, 8);
+        let qp = q.clone();
+        m.spawn("p", move |_| {
+            qp.push(1).unwrap();
+            qp.push(2).unwrap();
+            qp.close();
+        })
+        .join()
+        .unwrap();
+        let qc = q.clone();
+        let c = m.spawn("c", move |_| {
+            let a = qc.pop();
+            let b = qc.pop();
+            let end = qc.pop();
+            (a, b, end)
+        });
+        assert_eq!(c.join().unwrap(), (Some(1), Some(2), None));
+    }
+
+    #[test]
+    fn mpmc_delivers_every_item_once() {
+        let m = machine();
+        let q = SimQueue::bounded(&m, 16);
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = q.clone();
+                m.spawn(&format!("p{p}"), move |ctx| {
+                    for i in 0..50 {
+                        ctx.charge(CostKind::Misc, 5.0);
+                        q.push(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..3)
+            .map(|c| {
+                let q = q.clone();
+                m.spawn(&format!("c{c}"), move |ctx| {
+                    let mut got = Vec::new();
+                    while let Some(x) = q.pop() {
+                        ctx.charge(CostKind::Misc, 5.0);
+                        got.push(x);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expect: Vec<i32> = (0..4)
+            .flat_map(|p| (0..50).map(move |i| p * 1000 + i))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn try_ops_do_not_block() {
+        let m = machine();
+        let q = SimQueue::bounded(&m, 1);
+        assert_eq!(q.try_pop(), None::<u32>);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Err(2));
+        assert_eq!(q.try_pop(), Some(1));
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Buffer pool with clock (second-chance) eviction.
+//!
+//! Page-granular cache shared by every scanner in the system. Concurrent
+//! scanners over the same table hit each other's pages here — the buffer-pool
+//! reuse that shared scans amplify and independent scans defeat.
+
+use workshare_common::codec::Page;
+use workshare_common::fxhash::FxHashMap;
+
+/// Cache key: (table, page number).
+pub(crate) type PageKey = (u32, u32);
+
+struct Frame {
+    page: Page,
+    referenced: bool,
+}
+
+/// Clock-eviction page cache. Not thread-safe by itself; the storage manager
+/// wraps it in a mutex (that latch is the contention point the paper's
+/// buffer-pool discussion refers to).
+pub struct BufferPool {
+    frames: FxHashMap<PageKey, Frame>,
+    ring: Vec<PageKey>,
+    hand: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferPool {
+    /// Pool holding at most `capacity` pages.
+    pub fn new(capacity: usize) -> BufferPool {
+        BufferPool {
+            frames: FxHashMap::default(),
+            ring: Vec::new(),
+            hand: 0,
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a page, marking it referenced.
+    pub fn get(&mut self, key: PageKey) -> Option<Page> {
+        match self.frames.get_mut(&key) {
+            Some(f) => {
+                f.referenced = true;
+                self.hits += 1;
+                Some(f.page.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a page, evicting via the clock if at capacity.
+    pub fn insert(&mut self, key: PageKey, page: Page) {
+        if self.frames.contains_key(&key) {
+            return;
+        }
+        while self.frames.len() >= self.capacity {
+            self.evict_one();
+        }
+        self.frames.insert(
+            key,
+            Frame {
+                page,
+                referenced: false,
+            },
+        );
+        self.ring.push(key);
+    }
+
+    fn evict_one(&mut self) {
+        debug_assert!(!self.ring.is_empty());
+        loop {
+            if self.hand >= self.ring.len() {
+                self.hand = 0;
+            }
+            let key = self.ring[self.hand];
+            match self.frames.get_mut(&key) {
+                Some(f) if f.referenced => {
+                    f.referenced = false;
+                    self.hand += 1;
+                }
+                Some(_) => {
+                    self.frames.remove(&key);
+                    self.ring.swap_remove(self.hand);
+                    return;
+                }
+                None => {
+                    // Stale ring entry from a previous eviction.
+                    self.ring.swap_remove(self.hand);
+                }
+            }
+        }
+    }
+
+    /// Number of cached pages.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// (hits, misses) since creation or last [`clear`](Self::clear).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Drop all cached pages and reset statistics ("clear the caches before
+    /// every measurement", paper §5.1).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.ring.clear();
+        self.hand = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workshare_common::codec::PageBuilder;
+    use workshare_common::{ColType, Column, Schema, Value};
+
+    fn page(tag: i64) -> Page {
+        let s = Schema::new(vec![Column::new("x", ColType::Int)]);
+        let mut b = PageBuilder::new(&s);
+        b.push(&[Value::Int(tag)]);
+        b.finish().pop().unwrap()
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut bp = BufferPool::new(4);
+        bp.insert((0, 0), page(0));
+        assert!(bp.get((0, 0)).is_some());
+        assert!(bp.get((0, 1)).is_none());
+        assert_eq!(bp.stats(), (1, 1));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut bp = BufferPool::new(3);
+        for i in 0..10 {
+            bp.insert((0, i), page(i as i64));
+        }
+        assert_eq!(bp.len(), 3);
+    }
+
+    #[test]
+    fn clock_gives_second_chance_to_referenced_pages() {
+        let mut bp = BufferPool::new(2);
+        bp.insert((0, 0), page(0));
+        bp.insert((0, 1), page(1));
+        // Touch page 0 so it is referenced.
+        bp.get((0, 0));
+        // Inserting a third page must evict page 1 (unreferenced).
+        bp.insert((0, 2), page(2));
+        assert!(bp.get((0, 0)).is_some(), "referenced page survived");
+        assert!(bp.get((0, 1)).is_none(), "unreferenced page evicted");
+        assert!(bp.get((0, 2)).is_some());
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let mut bp = BufferPool::new(2);
+        bp.insert((0, 0), page(0));
+        bp.insert((0, 0), page(99));
+        assert_eq!(bp.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut bp = BufferPool::new(2);
+        bp.insert((0, 0), page(0));
+        bp.get((0, 0));
+        bp.clear();
+        assert!(bp.is_empty());
+        assert_eq!(bp.stats(), (0, 0));
+        assert!(bp.get((0, 0)).is_none());
+    }
+
+    #[test]
+    fn eviction_cycles_through_many_inserts() {
+        let mut bp = BufferPool::new(8);
+        for round in 0..5 {
+            for i in 0..16u32 {
+                bp.insert((round, i), page(i as i64));
+                bp.get((round, i % 8));
+            }
+        }
+        assert_eq!(bp.len(), 8);
+    }
+}

@@ -1,0 +1,27 @@
+//! # workshare-storage — storage manager over the simulated disk
+//!
+//! The paper runs on Shore-MT; this crate provides the equivalent substrate:
+//! heap tables of fixed-width rows in 32 KB pages, read through a **buffer
+//! pool** (clock eviction) that sits above a simulated disk. Three I/O modes
+//! reproduce the paper's experimental settings:
+//!
+//! * [`IoMode::Memory`] — the database is RAM-resident (Fig. 10 left,
+//!   Figs. 11/12): reads never touch the disk model.
+//! * [`IoMode::BufferedDisk`] — disk-resident behind an **FS cache** with
+//!   extent-granular read-ahead, which coalesces sequential I/O and masks
+//!   CJOIN's preprocessor overhead exactly as the Linux page cache does in
+//!   the paper (Fig. 13).
+//! * [`IoMode::DirectDisk`] — direct I/O: every buffer-pool miss issues a
+//!   per-page disk request, exposing seek and per-request costs (Fig. 13's
+//!   `Direct I/O` series).
+//!
+//! All methods take the calling vthread's `SimCtx` so CPU costs (latching)
+//! and I/O waits land on the virtual timeline.
+
+mod bufferpool;
+mod fscache;
+mod manager;
+
+pub use bufferpool::BufferPool;
+pub use fscache::FsCache;
+pub use manager::{IoMode, StorageConfig, StorageManager, TableId};

@@ -1,0 +1,402 @@
+//! The storage manager: tables, I/O modes, and the page read path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use workshare_common::codec::Page;
+use workshare_common::{CostModel, Schema, PAGE_SIZE};
+use workshare_sim::disk::StreamId;
+use workshare_sim::{CostKind, SimCtx};
+
+use crate::bufferpool::BufferPool;
+use crate::fscache::FsCache;
+
+/// Identifies a registered table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableId(pub u32);
+
+/// Residency / I/O behavior of the database (paper §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMode {
+    /// Memory-resident database: reads never touch the disk model.
+    Memory,
+    /// Disk-resident behind the FS cache (read-ahead, coalescing).
+    BufferedDisk,
+    /// Disk-resident with direct I/O: per-page requests, no FS cache.
+    DirectDisk,
+}
+
+/// Storage manager configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StorageConfig {
+    /// Residency mode.
+    pub io_mode: IoMode,
+    /// Buffer-pool capacity in pages.
+    pub buffer_pool_pages: usize,
+    /// FS-cache read-ahead extent size in pages (32 pages = 1 MB extents).
+    pub fs_extent_pages: usize,
+    /// FS-cache capacity in extents.
+    pub fs_cache_extents: usize,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig {
+            io_mode: IoMode::Memory,
+            // "A large buffer pool that fits datasets of scale factors up to
+            // 30" — default generous; experiments override (e.g. Fig. 15 uses
+            // a pool fitting 10 % of the database).
+            buffer_pool_pages: 1 << 20,
+            fs_extent_pages: 32,
+            fs_cache_extents: 1 << 16,
+        }
+    }
+}
+
+struct TableData {
+    name: String,
+    schema: Arc<Schema>,
+    pages: Arc<Vec<Page>>,
+    rows: usize,
+}
+
+/// Heap-table storage over the simulated disk. Cheap to clone (shared).
+#[derive(Clone)]
+pub struct StorageManager {
+    inner: Arc<StorageInner>,
+}
+
+struct StorageInner {
+    config: StorageConfig,
+    cost: CostModel,
+    tables: RwLock<Vec<TableData>>,
+    pool: Mutex<BufferPool>,
+    fs: Mutex<FsCache>,
+    stream_counter: AtomicU64,
+}
+
+impl StorageManager {
+    /// Create a storage manager with the given configuration and cost model.
+    pub fn new(config: StorageConfig, cost: CostModel) -> StorageManager {
+        StorageManager {
+            inner: Arc::new(StorageInner {
+                config,
+                cost,
+                tables: RwLock::new(Vec::new()),
+                pool: Mutex::new(BufferPool::new(config.buffer_pool_pages)),
+                fs: Mutex::new(FsCache::new(config.fs_cache_extents)),
+                stream_counter: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// Active configuration.
+    pub fn config(&self) -> StorageConfig {
+        self.inner.config
+    }
+
+    /// Cost model used for latch charging.
+    pub fn cost_model(&self) -> CostModel {
+        self.inner.cost
+    }
+
+    /// Register a table from pre-built pages (the datagen loaders call this).
+    pub fn create_table(
+        &self,
+        name: &str,
+        schema: Schema,
+        pages: Vec<Page>,
+    ) -> TableId {
+        let rows = pages.iter().map(|p| p.row_count()).sum();
+        let mut tables = self.inner.tables.write();
+        assert!(
+            tables.iter().all(|t| t.name != name),
+            "table '{name}' already exists"
+        );
+        let id = TableId(tables.len() as u32);
+        tables.push(TableData {
+            name: name.to_string(),
+            schema: Arc::new(schema),
+            pages: Arc::new(pages),
+            rows,
+        });
+        id
+    }
+
+    /// Resolve a table by name; panics if absent (plans are machine-built).
+    pub fn table(&self, name: &str) -> TableId {
+        self.try_table(name)
+            .unwrap_or_else(|| panic!("no table named '{name}'"))
+    }
+
+    /// Resolve a table by name.
+    pub fn try_table(&self, name: &str) -> Option<TableId> {
+        self.inner
+            .tables
+            .read()
+            .iter()
+            .position(|t| t.name == name)
+            .map(|i| TableId(i as u32))
+    }
+
+    /// Table schema (shared).
+    pub fn schema(&self, t: TableId) -> Arc<Schema> {
+        Arc::clone(&self.inner.tables.read()[t.0 as usize].schema)
+    }
+
+    /// Number of pages in the table.
+    pub fn page_count(&self, t: TableId) -> usize {
+        self.inner.tables.read()[t.0 as usize].pages.len()
+    }
+
+    /// Number of rows in the table.
+    pub fn row_count(&self, t: TableId) -> usize {
+        self.inner.tables.read()[t.0 as usize].rows
+    }
+
+    /// Table name.
+    pub fn table_name(&self, t: TableId) -> String {
+        self.inner.tables.read()[t.0 as usize].name.clone()
+    }
+
+    /// Total encoded bytes of the table.
+    pub fn table_bytes(&self, t: TableId) -> u64 {
+        self.inner.tables.read()[t.0 as usize]
+            .pages
+            .iter()
+            .map(|p| p.byte_len() as u64)
+            .sum()
+    }
+
+    /// Allocate a fresh I/O stream id (one per scan cursor; the disk model
+    /// charges a seek when served streams interleave).
+    pub fn new_stream(&self) -> StreamId {
+        self.inner.stream_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Read one page on behalf of `ctx`, charging latch CPU and blocking on
+    /// simulated I/O according to the configured [`IoMode`].
+    pub fn read_page(
+        &self,
+        ctx: &SimCtx,
+        t: TableId,
+        page_no: usize,
+        stream: StreamId,
+    ) -> Page {
+        let (page, total_pages) = {
+            let tables = self.inner.tables.read();
+            let td = &tables[t.0 as usize];
+            (td.pages[page_no].clone(), td.pages.len())
+        };
+        let cost = &self.inner.cost;
+        match self.inner.config.io_mode {
+            IoMode::Memory => {
+                // Resident database: only the buffer-pool latch is paid.
+                ctx.charge(CostKind::Locks, cost.lock_acquire_ns);
+            }
+            IoMode::BufferedDisk => {
+                let key = (t.0, page_no as u32);
+                ctx.charge(CostKind::Locks, cost.lock_acquire_ns);
+                let hit = self.inner.pool.lock().get(key).is_some();
+                if !hit {
+                    let extent_pages = self.inner.config.fs_extent_pages.max(1);
+                    let extent = (page_no / extent_pages) as u32;
+                    let cached = self.inner.fs.lock().probe((t.0, extent));
+                    if !cached {
+                        // Read-ahead: fetch the whole extent in one request.
+                        let first = extent as usize * extent_pages;
+                        let npages = extent_pages.min(total_pages - first);
+                        ctx.io_read(stream, (npages * PAGE_SIZE) as u64);
+                        self.inner.fs.lock().admit((t.0, extent));
+                    } else {
+                        // Copy from the OS cache into the pool.
+                        ctx.charge(
+                            CostKind::Misc,
+                            cost.copy_cost(page.byte_len()),
+                        );
+                    }
+                    self.inner.pool.lock().insert(key, page.clone());
+                }
+            }
+            IoMode::DirectDisk => {
+                let key = (t.0, page_no as u32);
+                ctx.charge(CostKind::Locks, cost.lock_acquire_ns);
+                let hit = self.inner.pool.lock().get(key).is_some();
+                if !hit {
+                    ctx.io_read(stream, page.byte_len() as u64);
+                    self.inner.pool.lock().insert(key, page.clone());
+                }
+            }
+        }
+        page
+    }
+
+    /// Buffer-pool (hits, misses).
+    pub fn pool_stats(&self) -> (u64, u64) {
+        self.inner.pool.lock().stats()
+    }
+
+    /// FS-cache (hits, misses).
+    pub fn fs_stats(&self) -> (u64, u64) {
+        self.inner.fs.lock().stats()
+    }
+
+    /// Drop buffer-pool and FS-cache contents ("we clear the file system
+    /// caches before every measurement", paper §5.1).
+    pub fn reset_caches(&self) {
+        self.inner.pool.lock().clear();
+        self.inner.fs.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workshare_common::codec::PageBuilder;
+    use workshare_common::{ColType, Column, Value};
+    use workshare_sim::{Machine, MachineConfig};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", ColType::Int),
+            Column::new("pad", ColType::Str(100)),
+        ])
+    }
+
+    fn build_table(rows: usize) -> Vec<Page> {
+        let s = schema();
+        let mut b = PageBuilder::new(&s);
+        for i in 0..rows {
+            b.push(&[Value::Int(i as i64), Value::str("x")]);
+        }
+        b.finish()
+    }
+
+    fn manager(mode: IoMode, pool_pages: usize) -> StorageManager {
+        StorageManager::new(
+            StorageConfig {
+                io_mode: mode,
+                buffer_pool_pages: pool_pages,
+                fs_extent_pages: 4,
+                fs_cache_extents: 1024,
+            },
+            CostModel::default(),
+        )
+    }
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig {
+            cores: 2,
+            ..Default::default()
+        })
+    }
+
+    fn scan_all(m: &Machine, sm: &StorageManager, t: TableId) -> usize {
+        let sm = sm.clone();
+        let pages = sm.page_count(t);
+        m.spawn("scan", move |ctx| {
+            let stream = sm.new_stream();
+            let schema = sm.schema(t);
+            let mut n = 0;
+            for p in 0..pages {
+                let page = sm.read_page(ctx, t, p, stream);
+                n += page.decode_all(&schema).len();
+            }
+            n
+        })
+        .join()
+        .unwrap()
+    }
+
+    #[test]
+    fn memory_mode_never_touches_disk() {
+        let m = machine();
+        let sm = manager(IoMode::Memory, 16);
+        let t = sm.create_table("t", schema(), build_table(5000));
+        let n = scan_all(&m, &sm, t);
+        assert_eq!(n, 5000);
+        assert_eq!(m.disk_stats().bytes_read, 0);
+    }
+
+    #[test]
+    fn buffered_disk_reads_extents_once() {
+        let m = machine();
+        let sm = manager(IoMode::BufferedDisk, 4096);
+        let t = sm.create_table("t", schema(), build_table(5000));
+        let pages = sm.page_count(t);
+        scan_all(&m, &sm, t);
+        let s1 = m.disk_stats();
+        // Extent reads: ceil(pages/4) requests.
+        assert_eq!(s1.requests as usize, pages.div_ceil(4));
+        assert!(s1.bytes_read >= (pages * PAGE_SIZE) as u64);
+        // Second scan: everything cached (pool or FS cache) → no new I/O.
+        scan_all(&m, &sm, t);
+        assert_eq!(m.disk_stats().requests, s1.requests);
+    }
+
+    #[test]
+    fn direct_disk_reads_per_page() {
+        let m = machine();
+        let sm = manager(IoMode::DirectDisk, 4096);
+        let t = sm.create_table("t", schema(), build_table(5000));
+        let pages = sm.page_count(t);
+        scan_all(&m, &sm, t);
+        assert_eq!(m.disk_stats().requests as usize, pages);
+    }
+
+    #[test]
+    fn tiny_pool_rereads_after_eviction_in_direct_mode() {
+        let m = machine();
+        let sm = manager(IoMode::DirectDisk, 2);
+        let t = sm.create_table("t", schema(), build_table(5000));
+        let pages = sm.page_count(t);
+        assert!(pages > 4);
+        scan_all(&m, &sm, t);
+        let r1 = m.disk_stats().requests;
+        scan_all(&m, &sm, t);
+        let r2 = m.disk_stats().requests;
+        assert_eq!(r2, 2 * r1, "nothing stays cached with a 2-page pool");
+    }
+
+    #[test]
+    fn reset_caches_forces_io_again() {
+        let m = machine();
+        let sm = manager(IoMode::BufferedDisk, 4096);
+        let t = sm.create_table("t", schema(), build_table(1000));
+        scan_all(&m, &sm, t);
+        let r1 = m.disk_stats().requests;
+        sm.reset_caches();
+        scan_all(&m, &sm, t);
+        assert_eq!(m.disk_stats().requests, 2 * r1);
+    }
+
+    #[test]
+    fn table_registry_lookup_and_metadata() {
+        let sm = manager(IoMode::Memory, 16);
+        let t = sm.create_table("lineorder", schema(), build_table(100));
+        assert_eq!(sm.table("lineorder"), t);
+        assert_eq!(sm.try_table("nope"), None);
+        assert_eq!(sm.row_count(t), 100);
+        assert_eq!(sm.table_name(t), "lineorder");
+        assert!(sm.table_bytes(t) > 0);
+        assert!(sm.page_count(t) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_table_rejected() {
+        let sm = manager(IoMode::Memory, 16);
+        sm.create_table("t", schema(), vec![]);
+        sm.create_table("t", schema(), vec![]);
+    }
+
+    #[test]
+    fn streams_are_unique() {
+        let sm = manager(IoMode::Memory, 16);
+        let a = sm.new_stream();
+        let b = sm.new_stream();
+        assert_ne!(a, b);
+    }
+}

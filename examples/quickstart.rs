@@ -1,0 +1,52 @@
+//! Quickstart: generate a small SSB database, run the same concurrent
+//! workload under three sharing configurations, and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use workshare::harness::run_batch;
+use workshare::{workload, Dataset, NamedConfig, RunConfig};
+
+fn main() {
+    // 1. Generate data once (our SF 0.5 ≈ SSB SF 0.5 at 1/100 row scale).
+    let dataset = Dataset::ssb(0.5, 42);
+    println!(
+        "Generated SSB dataset: {} tables, {} pages, {:.1} MB",
+        dataset.table_names().len(),
+        dataset.total_pages(),
+        dataset.total_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    // 2. Build a batch of 32 concurrent SSB Q3.2 star queries with random
+    //    predicates (the paper's sensitivity-analysis workload).
+    let mut rng = workload::rng(7);
+    let queries: Vec<_> = (0..32)
+        .map(|i| workload::ssb_q3_2(i as u64, &mut rng))
+        .collect();
+
+    // 3. Run the batch under three configurations on a virtual 24-core
+    //    machine and compare response times.
+    println!("\n{:<10} {:>12} {:>12} {:>12}", "config", "mean (s)", "max (s)", "cores");
+    for engine in [NamedConfig::Qpipe, NamedConfig::QpipeSp, NamedConfig::CjoinSp] {
+        let cfg = RunConfig::named(engine);
+        let report = run_batch(&dataset, &cfg, &queries, false);
+        println!(
+            "{:<10} {:>12.4} {:>12.4} {:>12.2}",
+            report.config,
+            report.mean_latency_secs(),
+            report.max_latency_secs(),
+            report.avg_cores_used
+        );
+    }
+
+    // 4. Inspect one query's actual result rows.
+    let cfg = RunConfig::named(NamedConfig::QpipeSp);
+    let report = run_batch(&dataset, &cfg, &queries[..1], true);
+    let rows = &report.results.as_ref().unwrap()[0];
+    println!("\nFirst query returned {} groups; top 3:", rows.len());
+    for row in rows.iter().take(3) {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("  {}", cells.join(" | "));
+    }
+}

@@ -1,0 +1,60 @@
+//! Sharing advisor: applies the paper's Table 1 rules of thumb to *your*
+//! workload shape. Give it a concurrency level and a similarity level and it
+//! measures all engine configurations on a matching synthetic workload,
+//! recommending the best one.
+//!
+//! ```sh
+//! cargo run --release --example sharing_advisor -- 64 high
+//! cargo run --release --example sharing_advisor -- 4 low
+//! ```
+
+use workshare::harness::run_batch;
+use workshare::{workload, Dataset, IoMode, NamedConfig, RunConfig, StarQuery};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let concurrency: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let similarity = args.get(2).map(|s| s.as_str()).unwrap_or("high").to_string();
+
+    let queries: Vec<StarQuery> = match similarity.as_str() {
+        "high" => workload::limited_plans(concurrency, 4, 7, workload::ssb_q3_2_narrow),
+        "mid" => workload::limited_plans(concurrency, 16, 7, workload::ssb_q3_2),
+        _ => {
+            let mut r = workload::rng(7);
+            (0..concurrency)
+                .map(|i| workload::ssb_q3_2(i as u64, &mut r))
+                .collect()
+        }
+    };
+    let distinct: std::collections::HashSet<u64> =
+        queries.iter().map(|q| q.full_signature()).collect();
+    println!(
+        "Advisor input: {concurrency} concurrent queries, similarity='{similarity}' \
+         ({} distinct plans)\n",
+        distinct.len()
+    );
+
+    let dataset = Dataset::ssb(0.5, 42);
+    let mut best: Option<(&'static str, f64)> = None;
+    println!("{:<10} {:>12} {:>8}", "config", "mean (s)", "cores");
+    for engine in NamedConfig::all() {
+        let mut cfg = RunConfig::named(engine);
+        cfg.io_mode = IoMode::BufferedDisk;
+        let rep = run_batch(&dataset, &cfg, &queries, false);
+        let mean = rep.mean_latency_secs();
+        println!("{:<10} {:>12.4} {:>8.2}", rep.config, mean, rep.avg_cores_used);
+        if best.is_none_or(|(_, b)| mean < b) {
+            best = Some((rep.config, mean));
+        }
+    }
+    let (winner, secs) = best.unwrap();
+    println!("\nMeasured recommendation: {winner} ({secs:.4}s mean response).");
+
+    // The paper's a-priori rule (Table 1).
+    let rule = if concurrency <= 16 {
+        "low concurrency → query-centric operators + SP (QPipe-SP)"
+    } else {
+        "high concurrency → GQP shared operators + SP (CJOIN-SP)"
+    };
+    println!("Paper rule of thumb: {rule}.");
+}

@@ -1,0 +1,28 @@
+//! # workshare
+//!
+//! Reproduction of *“Sharing Data and Work Across Concurrent Analytical
+//! Queries”* (Psaroudakis, Athanassoulis, Ailamaki — VLDB 2013).
+//!
+//! This root crate re-exports the public facade from [`workshare_core`]; the
+//! individual subsystems live in their own crates:
+//!
+//! * [`workshare_sim`] — virtual-time multicore machine and simulated disk.
+//! * [`workshare_common`] — values, schemas, predicates, plans, bitmaps.
+//! * [`workshare_storage`] — paged storage manager, buffer pool, FS cache.
+//! * [`workshare_datagen`] — SSB / TPC-H data generators.
+//! * [`workshare_qpipe`] — staged engine with Simultaneous Pipelining (SP).
+//! * [`workshare_cjoin`] — CJOIN Global Query Plan with shared operators.
+//! * [`workshare_core`] — engine configurations, planner, harness, workloads.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+pub use workshare_core::*;
+
+/// Crate-level smoke check used by documentation tests.
+///
+/// ```
+/// assert_eq!(workshare::paper(), "VLDB 2013");
+/// ```
+pub fn paper() -> &'static str {
+    "VLDB 2013"
+}

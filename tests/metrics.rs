@@ -1,0 +1,113 @@
+//! Invariants of the measurement pipeline itself — the numbers the figures
+//! are built from must be internally consistent for every engine.
+
+use std::sync::OnceLock;
+
+use workshare::harness::{run_batch, run_clients};
+use workshare::{workload, Dataset, IoMode, NamedConfig, RunConfig};
+use workshare_sim::{CostKind, COST_KINDS};
+
+fn ssb() -> &'static Dataset {
+    static D: OnceLock<Dataset> = OnceLock::new();
+    D.get_or_init(|| Dataset::ssb(0.05, 2024))
+}
+
+#[test]
+fn report_invariants_hold_for_every_engine() {
+    let mut r = workload::rng(41);
+    let queries: Vec<_> = (0..6)
+        .map(|i| workload::ssb_q3_2(i as u64, &mut r))
+        .collect();
+    for engine in NamedConfig::all() {
+        let cfg = RunConfig::named(engine);
+        let rep = run_batch(ssb(), &cfg, &queries, false);
+        assert_eq!(rep.queries, 6, "{engine:?}");
+        assert_eq!(rep.latencies_secs.len(), 6, "{engine:?}");
+        for &l in &rep.latencies_secs {
+            assert!(l > 0.0, "{engine:?}: non-positive latency");
+            assert!(
+                l <= rep.makespan_secs * 1.0001,
+                "{engine:?}: latency {l} beyond makespan {}",
+                rep.makespan_secs
+            );
+        }
+        // Cores bound by the machine.
+        assert!(rep.avg_cores_used > 0.0 && rep.avg_cores_used <= 24.0, "{engine:?}");
+        // Work conservation: busy cores × makespan ≈ total charged CPU.
+        let busy = rep.avg_cores_used * rep.makespan_secs;
+        let charged = rep.cpu.total_secs();
+        assert!(
+            (busy - charged).abs() / charged.max(1e-9) < 0.05,
+            "{engine:?}: busy={busy} charged={charged}"
+        );
+        // Memory-resident run: no disk traffic.
+        assert_eq!(rep.disk.bytes_read, 0, "{engine:?}");
+        assert_eq!(rep.read_rate_mbps, 0.0, "{engine:?}");
+        // Breakdown categories are all non-negative and total to the sum.
+        let total: f64 = COST_KINDS.iter().map(|&k| rep.cpu.secs(k)).sum();
+        assert!((total - rep.cpu.total_secs()).abs() < 1e-9, "{engine:?}");
+    }
+}
+
+#[test]
+fn disk_metrics_consistent_on_disk_modes() {
+    let mut r = workload::rng(42);
+    let queries: Vec<_> = (0..4)
+        .map(|i| workload::ssb_q3_2(i as u64, &mut r))
+        .collect();
+    for io in [IoMode::BufferedDisk, IoMode::DirectDisk] {
+        let mut cfg = RunConfig::named(NamedConfig::QpipeCs);
+        cfg.io_mode = io;
+        let rep = run_batch(ssb(), &cfg, &queries, false);
+        assert!(rep.disk.bytes_read > 0, "{io:?}");
+        assert!(rep.disk.requests > 0, "{io:?}");
+        assert!(rep.disk.busy_ns > 0.0, "{io:?}");
+        assert!(rep.read_rate_mbps > 0.0, "{io:?}");
+        // The device can't be busy longer than the run.
+        assert!(
+            rep.disk.busy_ns <= rep.makespan_secs * 1e9 * 1.0001,
+            "{io:?}: busy {} > makespan {}",
+            rep.disk.busy_ns,
+            rep.makespan_secs * 1e9
+        );
+    }
+}
+
+#[test]
+fn admission_time_only_reported_for_cjoin() {
+    let mut r = workload::rng(43);
+    let queries: Vec<_> = (0..3)
+        .map(|i| workload::ssb_q3_2(i as u64, &mut r))
+        .collect();
+    let qp = run_batch(ssb(), &RunConfig::named(NamedConfig::QpipeSp), &queries, false);
+    assert_eq!(qp.admission_secs(), 0.0);
+    assert_eq!(qp.cpu.secs(CostKind::Routing), 0.0);
+    let cj = run_batch(ssb(), &RunConfig::named(NamedConfig::Cjoin), &queries, false);
+    assert!(cj.admission_secs() > 0.0);
+    assert!(cj.cpu.secs(CostKind::Routing) > 0.0);
+}
+
+#[test]
+fn throughput_report_is_consistent() {
+    let cfg = RunConfig::named(NamedConfig::CjoinSp);
+    let rep = run_clients(ssb(), &cfg, "lineorder", 4, 1.0, 3, |id, rng| {
+        workload::ssb_q3_2(id, rng)
+    });
+    assert!(rep.completed > 0);
+    let per_hour = rep.completed as f64 / (1.0 / 3600.0);
+    assert!((rep.queries_per_hour - per_hour).abs() < 1e-6);
+    assert!(rep.mean_latency_secs > 0.0);
+    assert!(rep.avg_cores_used > 0.0 && rep.avg_cores_used <= 24.0);
+}
+
+#[test]
+fn sharing_stats_bounded_by_query_count() {
+    let queries = workload::limited_plans(10, 2, 4, workload::ssb_q3_2_narrow);
+    let rep = run_batch(ssb(), &RunConfig::named(NamedConfig::QpipeSp), &queries, false);
+    let s = rep.qpipe_sharing.unwrap();
+    let join_shares: u64 = s.join_satellites_by_level.iter().sum();
+    assert!(join_shares <= 10);
+    // Q3.2 touches 4 tables; satellites bounded by queries × tables.
+    assert!(s.scan_satellites <= 40);
+    assert!(s.scan_hosts <= 4);
+}

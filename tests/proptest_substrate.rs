@@ -1,0 +1,198 @@
+//! Property-based tests of the substrate invariants (DESIGN.md §6).
+
+use proptest::prelude::*;
+
+use workshare_common::codec::{decode_row, encode_row, PageBuilder};
+use workshare_common::{ColType, Column, Predicate, QueryBitmap, Schema, Value};
+use workshare_sim::{CostKind, Machine, MachineConfig};
+
+// ---------------------------------------------------------------------------
+// Row codec
+// ---------------------------------------------------------------------------
+
+fn arb_coltype() -> impl Strategy<Value = ColType> {
+    prop_oneof![
+        Just(ColType::Int),
+        Just(ColType::Float),
+        (1usize..24).prop_map(ColType::Str),
+    ]
+}
+
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn codec_roundtrips_arbitrary_rows(tys in proptest::collection::vec(arb_coltype(), 1..6), seed in any::<u64>()) {
+        let cols: Vec<Column> = tys
+            .iter()
+            .enumerate()
+            .map(|(i, ty)| Column::new(&format!("c{i}"), *ty))
+            .collect();
+        let schema = Schema::new(cols);
+        // Build a deterministic row from the seed.
+        let mut row = Vec::new();
+        for (i, ty) in tys.iter().enumerate() {
+            let v = match ty {
+                ColType::Int => Value::Int((seed as i64).wrapping_mul(i as i64 + 1)),
+                ColType::Float => Value::Float((seed as f64) / (i as f64 + 1.5)),
+                ColType::Str(n) => {
+                    let len = (seed as usize + i) % (n + 1);
+                    Value::str(&"x".repeat(len))
+                }
+            };
+            row.push(v);
+        }
+        let mut buf = Vec::new();
+        encode_row(&schema, &row, &mut buf);
+        prop_assert_eq!(buf.len(), schema.row_width());
+        let back = decode_row(&schema, &buf, 0);
+        prop_assert_eq!(back, row);
+    }
+
+    #[test]
+    fn pages_preserve_row_order(n in 1usize..200) {
+        let schema = Schema::new(vec![
+            Column::new("k", ColType::Int),
+            Column::new("s", ColType::Str(6)),
+        ]);
+        let rows: Vec<Vec<Value>> = (0..n as i64)
+            .map(|i| vec![Value::Int(i), Value::str(&format!("r{}", i % 100))])
+            .collect();
+        let mut b = PageBuilder::with_page_size(&schema, 256);
+        for r in &rows {
+            b.push(r);
+        }
+        let pages = b.finish();
+        let decoded: Vec<_> = pages.iter().flat_map(|p| p.decode_all(&schema)).collect();
+        prop_assert_eq!(decoded, rows);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// QueryBitmap vs reference set semantics
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bitmap_matches_btreeset_model(
+        xs in proptest::collection::btree_set(0usize..300, 0..40),
+        ys in proptest::collection::btree_set(0usize..300, 0..40),
+        refs in proptest::collection::btree_set(0usize..300, 0..40),
+    ) {
+        let mut a = QueryBitmap::zeros(300);
+        for &x in &xs { a.set(x); }
+        let mut e = QueryBitmap::zeros(300);
+        for &y in &ys { e.set(y); }
+        let mut referencing = QueryBitmap::zeros(300);
+        for &r in &refs { referencing.set(r); }
+
+        // Model: keep x if (x ∈ ys) or (x ∉ refs).
+        let expect: std::collections::BTreeSet<usize> = xs
+            .iter()
+            .copied()
+            .filter(|x| ys.contains(x) || !refs.contains(x))
+            .collect();
+        let mut t = a.clone();
+        let any = t.and_filtered(Some(&e), &referencing);
+        prop_assert_eq!(t.iter_ones().collect::<std::collections::BTreeSet<_>>(), expect.clone());
+        prop_assert_eq!(any, !expect.is_empty());
+        prop_assert_eq!(t.count_ones(), expect.len());
+    }
+
+    #[test]
+    fn bitmap_or_and_roundtrip(
+        xs in proptest::collection::btree_set(0usize..200, 0..30),
+        ys in proptest::collection::btree_set(0usize..200, 0..30),
+    ) {
+        let mut a = QueryBitmap::zeros(1);
+        for &x in &xs { a.set(x); }
+        let mut b = QueryBitmap::zeros(1);
+        for &y in &ys { b.set(y); }
+        let mut u = a.clone();
+        u.or_assign(&b);
+        let union: std::collections::BTreeSet<usize> = xs.union(&ys).copied().collect();
+        prop_assert_eq!(u.iter_ones().collect::<std::collections::BTreeSet<_>>(), union);
+        let mut i = a.clone();
+        i.and_assign(&b);
+        let inter: std::collections::BTreeSet<usize> = xs.intersection(&ys).copied().collect();
+        prop_assert_eq!(i.iter_ones().collect::<std::collections::BTreeSet<_>>(), inter);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Predicate evaluation vs naive model
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn between_equals_two_comparisons(v in any::<i64>(), lo in -50i64..50, hi in -50i64..50) {
+        let row = vec![Value::Int(v)];
+        let between = Predicate::between(0, lo, hi);
+        let model = v >= lo && v <= hi;
+        prop_assert_eq!(between.eval(&row), model);
+    }
+
+    #[test]
+    fn in_set_equals_linear_scan(v in 0i64..40, set in proptest::collection::vec(0i64..40, 0..12)) {
+        let row = vec![Value::Int(v)];
+        let p = Predicate::in_set(0, set.iter().map(|&x| Value::Int(x)).collect());
+        prop_assert_eq!(p.eval(&row), set.contains(&v));
+    }
+
+    #[test]
+    fn de_morgan_holds(v in any::<i64>(), a in -20i64..20, b in -20i64..20) {
+        let row = vec![Value::Int(v)];
+        let p1 = Predicate::eq(0, a);
+        let p2 = Predicate::eq(0, b);
+        let not_or = Predicate::Not(Box::new(Predicate::Or(vec![p1.clone(), p2.clone()])));
+        let and_not = Predicate::And(vec![
+            Predicate::Not(Box::new(p1)),
+            Predicate::Not(Box::new(p2)),
+        ]);
+        prop_assert_eq!(not_or.eval(&row), and_not.eval(&row));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler work conservation
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn scheduler_conserves_work(
+        cores in 1u32..8,
+        costs in proptest::collection::vec(1_000.0f64..100_000.0, 1..12),
+    ) {
+        let m = Machine::new(MachineConfig { cores, ..Default::default() });
+        let total: f64 = costs.iter().sum();
+        let costs2 = costs.clone();
+        m.spawn("parent", move |ctx| {
+            let hs: Vec<_> = costs2
+                .iter()
+                .map(|&c| ctx.machine().spawn("w", move |ctx| ctx.charge(CostKind::Misc, c)))
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+        })
+        .join()
+        .unwrap();
+        let makespan = m.now_ns();
+        let busy = m.busy_core_secs() * 1e9;
+        // Work conservation: busy time equals charged work.
+        prop_assert!((busy - total).abs() < total * 1e-6 + 10.0);
+        // Makespan bounds: total/cores <= makespan <= total (+eps).
+        prop_assert!(makespan >= total / cores as f64 - 10.0);
+        prop_assert!(makespan <= total + 10.0);
+        // The longest job lower-bounds the makespan.
+        let longest = costs.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(makespan >= longest - 10.0);
+    }
+}

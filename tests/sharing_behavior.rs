@@ -1,0 +1,200 @@
+//! Behavioral tests of the sharing machinery itself: that the mechanisms the
+//! paper describes actually engage, and that their resource effects have the
+//! right sign.
+
+use std::sync::OnceLock;
+
+use workshare::harness::{run_batch, run_batch_on};
+use workshare::{workload, Dataset, ExchangeKind, IoMode, NamedConfig, RunConfig};
+use workshare_sim::CostKind;
+
+fn ssb() -> &'static Dataset {
+    static D: OnceLock<Dataset> = OnceLock::new();
+    D.get_or_init(|| Dataset::ssb(0.1, 99))
+}
+
+#[test]
+fn circular_scans_cut_disk_traffic() {
+    let mut r = workload::rng(4);
+    let queries: Vec<_> = (0..8)
+        .map(|i| workload::ssb_q3_2(i as u64, &mut r))
+        .collect();
+    let mut independent = RunConfig::named(NamedConfig::Qpipe);
+    independent.io_mode = IoMode::DirectDisk;
+    let mut shared = RunConfig::named(NamedConfig::QpipeCs);
+    shared.io_mode = IoMode::DirectDisk;
+    let a = run_batch(ssb(), &independent, &queries, false);
+    let b = run_batch(ssb(), &shared, &queries, false);
+    assert!(
+        b.disk.bytes_read * 4 < a.disk.bytes_read,
+        "shared scans must read far less: shared={} independent={}",
+        b.disk.bytes_read,
+        a.disk.bytes_read
+    );
+}
+
+#[test]
+fn sp_joins_cut_cpu_on_similar_workloads() {
+    let queries = workload::limited_plans(16, 2, 7, workload::ssb_q3_2_narrow);
+    let cs = run_batch(ssb(), &RunConfig::named(NamedConfig::QpipeCs), &queries, false);
+    let sp = run_batch(ssb(), &RunConfig::named(NamedConfig::QpipeSp), &queries, false);
+    let cs_cpu = cs.cpu.total_secs();
+    let sp_cpu = sp.cpu.total_secs();
+    assert!(
+        sp_cpu < cs_cpu * 0.7,
+        "SP must remove redundant join work: sp={sp_cpu} cs={cs_cpu}"
+    );
+    let sharing = sp.qpipe_sharing.unwrap();
+    let shares: u64 = sharing.join_satellites_by_level.iter().sum();
+    assert!(shares >= 10, "14 of 16 queries should share: {sharing:?}");
+}
+
+#[test]
+fn cjoin_hashing_cpu_stays_flat_with_concurrency() {
+    // The Fig. 12 signature: shared hashing is independent of query count.
+    let runs: Vec<f64> = [4usize, 16]
+        .iter()
+        .map(|&n| {
+            let mut r = workload::rng(8);
+            let queries: Vec<_> = (0..n)
+                .map(|i| workload::ssb_q3_2_wide(i as u64, &mut r, 8, 8))
+                .collect();
+            let rep = run_batch(ssb(), &RunConfig::named(NamedConfig::Cjoin), &queries, false);
+            rep.cpu.secs(CostKind::Hashing)
+        })
+        .collect();
+    assert!(
+        runs[1] < runs[0] * 2.0,
+        "4x the queries must cost < 2x the shared hashing: {runs:?}"
+    );
+}
+
+#[test]
+fn query_centric_hashing_cpu_scales_with_concurrency() {
+    let runs: Vec<f64> = [4usize, 16]
+        .iter()
+        .map(|&n| {
+            let mut r = workload::rng(8);
+            let queries: Vec<_> = (0..n)
+                .map(|i| workload::ssb_q3_2_wide(i as u64, &mut r, 8, 8))
+                .collect();
+            let rep = run_batch(ssb(), &RunConfig::named(NamedConfig::QpipeCs), &queries, false);
+            rep.cpu.secs(CostKind::Hashing)
+        })
+        .collect();
+    assert!(
+        runs[1] > runs[0] * 3.0,
+        "4x the queries must cost ~4x the private hashing: {runs:?}"
+    );
+}
+
+#[test]
+fn cjoin_sp_skips_admission_for_identical_packets() {
+    let queries = workload::limited_plans(12, 3, 11, workload::ssb_q3_2_narrow);
+    let plain = run_batch(ssb(), &RunConfig::named(NamedConfig::Cjoin), &queries, false);
+    let sp = run_batch(ssb(), &RunConfig::named(NamedConfig::CjoinSp), &queries, false);
+    let plain_stats = plain.cjoin.clone().unwrap();
+    let sp_stats = sp.cjoin.clone().unwrap();
+    assert_eq!(plain_stats.admitted, 12);
+    assert_eq!(plain_stats.sp_shares, 0);
+    assert!(
+        sp_stats.admitted <= 3,
+        "only distinct plans admitted: {sp_stats:?}"
+    );
+    assert_eq!(sp_stats.admitted + sp_stats.sp_shares, 12);
+    // Admission CPU drops accordingly.
+    assert!(sp.admission_secs() < plain.admission_secs());
+}
+
+#[test]
+fn push_sp_charges_copies_pull_sp_does_not() {
+    let queries: Vec<_> = (0..8).map(|i| workload::tpch_q1(i as u64)).collect();
+    let tpch = Dataset::tpch(0.05, 5);
+    let mut fifo = RunConfig::named(NamedConfig::QpipeCs);
+    fifo.exchange = ExchangeKind::Fifo;
+    let mut spl = RunConfig::named(NamedConfig::QpipeCs);
+    spl.exchange = ExchangeKind::Spl;
+    let f = run_batch_on(&tpch, &fifo, "lineitem", &queries, false);
+    let s = run_batch_on(&tpch, &spl, "lineitem", &queries, false);
+    assert!(
+        f.cpu.secs(CostKind::Copy) > 0.0,
+        "push SP must pay forwarding copies"
+    );
+    assert_eq!(
+        s.cpu.secs(CostKind::Copy),
+        0.0,
+        "pull SP must not forward at all"
+    );
+    assert!(s.mean_latency_secs() <= f.mean_latency_secs() * 1.01);
+}
+
+#[test]
+fn step_wop_closes_after_first_output() {
+    // Submit one query; let it finish completely; submit an identical one.
+    // With SP the second must NOT reuse (host closed) yet must be correct.
+    let queries = workload::limited_plans(2, 1, 13, workload::ssb_q3_2_narrow);
+    let dataset = ssb();
+    let cfg = RunConfig::named(NamedConfig::QpipeSp);
+    let machine = workshare_sim::Machine::new(cfg.machine_config());
+    let storage = dataset.instantiate(cfg.storage_config(), cfg.cost);
+    let engine = workshare::Engine::new(&machine, &storage, &cfg, "lineorder");
+    let e2 = engine.clone();
+    let q0 = queries[0].clone();
+    let q1 = queries[1].clone();
+    let same = machine
+        .spawn("seq", move |_ctx| {
+            let t0 = e2.submit(&q0);
+            let r0 = t0.wait();
+            let t1 = e2.submit(&q1);
+            let r1 = t1.wait();
+            r0 == r1
+        })
+        .join()
+        .unwrap();
+    assert!(same, "sequential identical queries agree");
+    let sharing = engine.qpipe_sharing().unwrap();
+    let shares: u64 = sharing.join_satellites_by_level.iter().sum();
+    assert_eq!(shares, 0, "step WoP must be closed after completion");
+    engine.shutdown();
+}
+
+#[test]
+fn fs_cache_masks_preprocessor_vs_direct_io() {
+    // Fig. 13's mechanism: with buffered I/O the CJOIN scan reads extents
+    // (few seeks); with direct I/O per-page requests slow the preprocessor.
+    let mut r = workload::rng(21);
+    let queries: Vec<_> = (0..4)
+        .map(|i| workload::ssb_q3_2(i as u64, &mut r))
+        .collect();
+    let mut buffered = RunConfig::named(NamedConfig::Cjoin);
+    buffered.io_mode = IoMode::BufferedDisk;
+    let mut direct = RunConfig::named(NamedConfig::Cjoin);
+    direct.io_mode = IoMode::DirectDisk;
+    let b = run_batch(ssb(), &buffered, &queries, false);
+    let d = run_batch(ssb(), &direct, &queries, false);
+    assert!(
+        d.disk.requests > b.disk.requests * 4,
+        "direct I/O must issue many more requests: {} vs {}",
+        d.disk.requests,
+        b.disk.requests
+    );
+    assert!(
+        d.makespan_secs > b.makespan_secs,
+        "direct I/O must be slower: {} vs {}",
+        d.makespan_secs,
+        b.makespan_secs
+    );
+}
+
+#[test]
+fn volcano_uses_fewer_total_cpu_but_no_sharing() {
+    let mut r = workload::rng(31);
+    let one: Vec<_> = (0..1)
+        .map(|i| workload::ssb_q3_2(i as u64, &mut r))
+        .collect();
+    let v = run_batch(ssb(), &RunConfig::named(NamedConfig::Volcano), &one, false);
+    let q = run_batch(ssb(), &RunConfig::named(NamedConfig::Qpipe), &one, false);
+    // Mature single-threaded executor: less total work for one query.
+    assert!(v.cpu.total_secs() < q.cpu.total_secs());
+    assert!(v.qpipe_sharing.is_none() && v.cjoin.is_none());
+}
