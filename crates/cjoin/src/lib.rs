@@ -19,7 +19,12 @@
 //!   dimension table, holding the union of dimension tuples selected by any
 //!   active query, each tagged with a [`QueryBitmap`]. Probing ANDs bitmaps
 //!   (`bits &= entry | ¬referencing`), so queries that do not join a
-//!   dimension pass through it untouched.
+//!   dimension pass through it untouched. Filtering runs **batch-at-a-time**
+//!   ([`filter`]): tuple bitmaps live in a word-strided
+//!   [`workshare_common::BitmapBank`], dimension hashes are probed once per
+//!   key run, and a per-worker scratch keeps the steady-state loop free of
+//!   per-tuple heap allocations (the tuple-at-a-time reference kernel is
+//!   retained behind [`CjoinConfig::scalar_filter`]).
 //! * **Distributor parts** (the paper's fix for the single-threaded
 //!   distributor bottleneck) route surviving tuples to the queries whose bit
 //!   is set, applying per-query fact predicates (evaluated on CJOIN output,
@@ -29,6 +34,11 @@
 //!   admitted — skipping admission, bitmap extension, and all per-query
 //!   bitwise work.
 
+pub mod filter;
 mod stage;
 
+pub use filter::{
+    filter_page_scalar, filter_page_vectorized, DimEntry, FilterCore, FilterCounters,
+    FilterScratch, FilteredPage,
+};
 pub use stage::{CjoinConfig, CjoinOutput, CjoinStage, CjoinStats};

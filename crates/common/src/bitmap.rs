@@ -139,6 +139,335 @@ impl QueryBitmap {
             })
         })
     }
+
+    /// The backing 64-bit words (the unit batch operators work in).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch-at-a-time structures
+// ---------------------------------------------------------------------------
+
+/// A reusable selection bitmap over the tuples of one batch: bit `i` set
+/// means tuple `i` is selected. This is the unit the batch-at-a-time filter
+/// pipeline threads between operators — predicates produce one, shared
+/// filters consume and narrow one — replacing per-tuple `bool` control flow
+/// with whole-word bit arithmetic.
+///
+/// Invariant: bits at positions `>= len` are always zero, so `count` /
+/// `any` / word-level ANDs need no tail masking.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SelVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SelVec {
+    /// Empty selection (reusable; call [`SelVec::reset`] before use).
+    pub fn new() -> SelVec {
+        SelVec::default()
+    }
+
+    /// Resize to cover `len` tuples and set every bit to `selected`,
+    /// reusing the existing allocation.
+    pub fn reset(&mut self, len: usize, selected: bool) {
+        let nwords = len.div_ceil(64);
+        self.words.clear();
+        self.words
+            .resize(nwords, if selected { u64::MAX } else { 0 });
+        self.len = len;
+        if selected && len % 64 != 0 {
+            // Maintain the zero-tail invariant.
+            *self.words.last_mut().unwrap() = (1u64 << (len % 64)) - 1;
+        }
+    }
+
+    /// Number of tuples covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the selection covers zero tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Select tuple `i`.
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Deselect tuple `i`.
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether tuple `i` is selected.
+    pub fn get(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Whether any tuple is selected.
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|w| *w != 0)
+    }
+
+    /// Number of selected tuples.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Become a copy of `other`, reusing this buffer.
+    pub fn copy_from(&mut self, other: &SelVec) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.len = other.len;
+    }
+
+    /// `self &= other` (both must cover the same batch).
+    pub fn and_assign(&mut self, other: &SelVec) {
+        debug_assert_eq!(self.len, other.len);
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    /// Iterate selected tuple indices in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// Visit each selected tuple and deselect those for which `keep` returns
+    /// false. Word-at-a-time: dead words are skipped entirely.
+    pub fn retain(&mut self, mut keep: impl FnMut(usize) -> bool) {
+        for wi in 0..self.words.len() {
+            let mut scan = self.words[wi];
+            if scan == 0 {
+                continue;
+            }
+            let mut kept = scan;
+            while scan != 0 {
+                let tz = scan.trailing_zeros() as usize;
+                scan &= scan - 1;
+                if !keep(wi * 64 + tz) {
+                    kept &= !(1u64 << tz);
+                }
+            }
+            self.words[wi] = kept;
+        }
+    }
+
+    /// The backing words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// One contiguous bank of per-tuple query-membership bitmaps for a whole
+/// work batch, word-strided: tuple `i`'s bitmap occupies words
+/// `[i*stride, (i+1)*stride)`. This replaces the per-tuple
+/// `QueryBitmap::clone()` of the scalar filter path with a single
+/// `Vec<u64>` that a worker reuses batch after batch — the steady-state
+/// filter loop performs zero heap allocations per tuple.
+#[derive(Debug, Clone, Default)]
+pub struct BitmapBank {
+    words: Vec<u64>,
+    stride: usize,
+    len: usize,
+}
+
+impl BitmapBank {
+    /// Empty bank (reusable; call [`BitmapBank::reset`] before use).
+    pub fn new() -> BitmapBank {
+        BitmapBank::default()
+    }
+
+    /// Resize to `len` tuples and stamp every tuple's bitmap with a copy of
+    /// `seed` (the page's active-query membership), reusing the allocation.
+    pub fn reset(&mut self, len: usize, seed: &QueryBitmap) {
+        self.stride = seed.word_count();
+        self.len = len;
+        self.words.clear();
+        let sw = seed.words();
+        if sw.len() == 1 {
+            self.words.resize(len, sw[0]);
+        } else {
+            self.words.reserve(len * self.stride);
+            for _ in 0..len {
+                self.words.extend_from_slice(sw);
+            }
+        }
+    }
+
+    /// Words per tuple bitmap.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of tuple bitmaps held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bank holds zero tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tuple `i`'s bitmap words.
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.words[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Whether bit `bit` of tuple `i` is set.
+    pub fn get(&self, i: usize, bit: usize) -> bool {
+        bit / 64 < self.stride && self.row(i)[bit / 64] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// Shared-filter AND on tuple `i`: `row &= entry | !referencing`, the
+    /// word-level form of [`QueryBitmap::and_filtered`]. Missing words on
+    /// either operand read as zero. Returns whether any bit survives.
+    pub fn and_filtered_row(
+        &mut self,
+        i: usize,
+        entry: Option<&[u64]>,
+        referencing: &[u64],
+    ) -> bool {
+        let row = &mut self.words[i * self.stride..(i + 1) * self.stride];
+        let mut any = 0u64;
+        for (j, w) in row.iter_mut().enumerate() {
+            let e = entry.and_then(|b| b.get(j)).copied().unwrap_or(0);
+            let r = referencing.get(j).copied().unwrap_or(0);
+            *w &= e | !r;
+            any |= *w;
+        }
+        any != 0
+    }
+
+    /// AND tuple `i`'s bitmap with a precomputed mask of exactly `stride`
+    /// words (the hot-loop form: the filter kernel computes
+    /// `entry | !referencing` once per key run and reapplies it per tuple).
+    /// Returns whether any bit survives.
+    #[inline]
+    pub fn and_mask_row(&mut self, i: usize, mask: &[u64]) -> bool {
+        debug_assert_eq!(mask.len(), self.stride);
+        let row = &mut self.words[i * self.stride..(i + 1) * self.stride];
+        let mut any = 0u64;
+        for (w, m) in row.iter_mut().zip(mask) {
+            *w &= m;
+            any |= *w;
+        }
+        any != 0
+    }
+
+    /// Single-word specialization of [`BitmapBank::and_mask_row`] for banks
+    /// with `stride == 1` (up to 64 query slots, the common case).
+    #[inline]
+    pub fn and_word(&mut self, i: usize, mask: u64) -> bool {
+        debug_assert_eq!(self.stride, 1);
+        let w = &mut self.words[i];
+        *w &= mask;
+        *w != 0
+    }
+
+    /// AND every tuple's bitmap with `mask` as whole-word operations;
+    /// returns the number of tuples with at least one surviving bit.
+    pub fn and_assign_all(&mut self, mask: &QueryBitmap) -> usize {
+        let mw = mask.words();
+        let mut survivors = 0;
+        for row in self.words.chunks_exact_mut(self.stride.max(1)) {
+            let mut any = 0u64;
+            for (j, w) in row.iter_mut().enumerate() {
+                *w &= mw.get(j).copied().unwrap_or(0);
+                any |= *w;
+            }
+            survivors += (any != 0) as usize;
+        }
+        survivors
+    }
+
+    /// Whether any tuple has any bit set.
+    pub fn any_alive(&self) -> bool {
+        self.words.iter().any(|w| *w != 0)
+    }
+
+    /// Number of tuples with at least one bit set.
+    pub fn survivor_count(&self) -> usize {
+        if self.stride == 0 {
+            return 0;
+        }
+        self.words
+            .chunks_exact(self.stride)
+            .filter(|row| row.iter().any(|w| *w != 0))
+            .count()
+    }
+
+    /// Write bit `bit` of every tuple into `out` (`out[i] = bank[i].bit`):
+    /// the distributor's per-query routing column.
+    pub fn extract_column(&self, bit: usize, out: &mut SelVec) {
+        out.reset(self.len, false);
+        let (wi, mask) = (bit / 64, 1u64 << (bit % 64));
+        if wi >= self.stride {
+            return;
+        }
+        for i in 0..self.len {
+            if self.words[i * self.stride + wi] & mask != 0 {
+                out.set(i);
+            }
+        }
+    }
+
+    /// Keep only the tuples selected in `keep`, in order (stable
+    /// compaction), producing the survivor-aligned bank of a filtered page.
+    pub fn compact_into(&self, keep: &SelVec, dst: &mut BitmapBank) {
+        dst.stride = self.stride;
+        dst.words.clear();
+        dst.len = 0;
+        for i in keep.iter_ones() {
+            dst.words.extend_from_slice(self.row(i));
+            dst.len += 1;
+        }
+    }
+
+    /// Copy tuple `i`'s bitmap out as a standalone [`QueryBitmap`].
+    pub fn to_query_bitmap(&self, i: usize) -> QueryBitmap {
+        QueryBitmap {
+            words: self.row(i).to_vec().into_boxed_slice(),
+        }
+    }
+
+    /// Append one tuple bitmap (scalar reference path compatibility); the
+    /// bitmap is truncated or zero-extended to the bank's stride.
+    pub fn push_bitmap(&mut self, bits: &QueryBitmap) {
+        let bw = bits.words();
+        for j in 0..self.stride {
+            self.words.push(bw.get(j).copied().unwrap_or(0));
+        }
+        self.len += 1;
+    }
+
+    /// Reset to an empty bank with the given stride (scalar path builds
+    /// banks incrementally with [`BitmapBank::push_bitmap`]).
+    pub fn reset_empty(&mut self, stride: usize) {
+        self.words.clear();
+        self.stride = stride;
+        self.len = 0;
+    }
 }
 
 #[cfg(test)]
@@ -263,5 +592,163 @@ mod tests {
         assert!(!b.any());
         assert_eq!(b.count_ones(), 0);
         assert_eq!(b.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn selvec_reset_respects_tail_invariant() {
+        let mut s = SelVec::new();
+        s.reset(70, true);
+        assert_eq!(s.len(), 70);
+        assert_eq!(s.count(), 70);
+        assert!(s.get(69) && !s.get(70));
+        // Words beyond len stay zero, so count never overshoots.
+        assert_eq!(s.words().len(), 2);
+        assert_eq!(s.words()[1].count_ones(), 6);
+        s.reset(3, false);
+        assert_eq!(s.count(), 0);
+        assert!(!s.any());
+    }
+
+    #[test]
+    fn selvec_retain_deselects() {
+        let mut s = SelVec::new();
+        s.reset(130, true);
+        s.retain(|i| i % 3 == 0);
+        let expect: Vec<usize> = (0..130).filter(|i| i % 3 == 0).collect();
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), expect);
+        assert_eq!(s.count(), expect.len());
+        // retain never revives deselected tuples.
+        s.retain(|_| true);
+        assert_eq!(s.count(), expect.len());
+    }
+
+    #[test]
+    fn selvec_and_assign_intersects() {
+        let mut a = SelVec::new();
+        a.reset(100, true);
+        a.retain(|i| i % 2 == 0);
+        let mut b = SelVec::new();
+        b.reset(100, true);
+        b.retain(|i| i % 3 == 0);
+        a.and_assign(&b);
+        assert_eq!(
+            a.iter_ones().collect::<Vec<_>>(),
+            (0..100).filter(|i| i % 6 == 0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn bank_reset_broadcasts_seed() {
+        let mut seed = QueryBitmap::zeros(130);
+        seed.set(0);
+        seed.set(129);
+        let mut bank = BitmapBank::new();
+        bank.reset(5, &seed);
+        assert_eq!(bank.len(), 5);
+        assert_eq!(bank.stride(), seed.word_count());
+        for i in 0..5 {
+            assert!(bank.get(i, 0) && bank.get(i, 129) && !bank.get(i, 64));
+            assert_eq!(bank.to_query_bitmap(i), seed);
+        }
+        assert_eq!(bank.survivor_count(), 5);
+        assert!(bank.any_alive());
+    }
+
+    #[test]
+    fn bank_and_filtered_row_matches_scalar() {
+        // Same scenario as and_filtered_passes_non_referencing_queries.
+        let mut referencing = QueryBitmap::zeros(64);
+        referencing.set(0);
+        referencing.set(1);
+        let mut entry = QueryBitmap::zeros(64);
+        entry.set(0);
+        let mut members = QueryBitmap::zeros(64);
+        members.set(0);
+        members.set(1);
+        members.set(2);
+        let mut bank = BitmapBank::new();
+        bank.reset(3, &members);
+        assert!(bank.and_filtered_row(1, Some(entry.words()), referencing.words()));
+        let mut scalar = members.clone();
+        scalar.and_filtered(Some(&entry), &referencing);
+        assert_eq!(bank.to_query_bitmap(1), scalar);
+        // Untouched rows keep the seed bitmap.
+        assert_eq!(bank.to_query_bitmap(0), members);
+        // A miss (entry = None) on a fully-referencing filter kills the row.
+        let all_ref = QueryBitmap::ones(64);
+        assert!(!bank.and_filtered_row(2, None, all_ref.words()));
+        assert_eq!(bank.survivor_count(), 2);
+        assert_eq!(
+            (0..3).filter(|&i| bank.to_query_bitmap(i).any()).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn bank_and_assign_all_counts_survivors() {
+        let mut members = QueryBitmap::zeros(128);
+        members.set(3);
+        members.set(100);
+        let mut bank = BitmapBank::new();
+        bank.reset(4, &members);
+        let mut mask = QueryBitmap::zeros(128);
+        mask.set(100);
+        assert_eq!(bank.and_assign_all(&mask), 4);
+        for i in 0..4 {
+            assert!(!bank.get(i, 3) && bank.get(i, 100));
+        }
+        assert_eq!(bank.and_assign_all(&QueryBitmap::zeros(128)), 0);
+        assert!(!bank.any_alive());
+        assert_eq!(bank.survivor_count(), 0);
+    }
+
+    #[test]
+    fn bank_extract_column_and_compact() {
+        let mut members = QueryBitmap::zeros(64);
+        members.set(0);
+        members.set(1);
+        let mut bank = BitmapBank::new();
+        bank.reset(4, &members);
+        // Kill bit 0 on rows 1 and 3.
+        let mut entry = QueryBitmap::zeros(64);
+        entry.set(1);
+        let mut refq = QueryBitmap::zeros(64);
+        refq.set(0);
+        bank.and_filtered_row(1, Some(entry.words()), refq.words());
+        bank.and_filtered_row(3, None, refq.words());
+        let mut col = SelVec::new();
+        bank.extract_column(0, &mut col);
+        assert_eq!(col.iter_ones().collect::<Vec<_>>(), vec![0, 2]);
+        bank.extract_column(1, &mut col);
+        assert_eq!(col.count(), 4);
+        // Out-of-stride column reads as all-zero.
+        bank.extract_column(64 * bank.stride() + 5, &mut col);
+        assert_eq!(col.count(), 0);
+        // Compact down to rows 0 and 2.
+        let mut keep = SelVec::new();
+        keep.reset(4, false);
+        keep.set(0);
+        keep.set(2);
+        let mut dst = BitmapBank::new();
+        bank.compact_into(&keep, &mut dst);
+        assert_eq!(dst.len(), 2);
+        assert_eq!(dst.to_query_bitmap(0), bank.to_query_bitmap(0));
+        assert_eq!(dst.to_query_bitmap(1), bank.to_query_bitmap(2));
+    }
+
+    #[test]
+    fn bank_push_bitmap_extends_and_truncates() {
+        let mut bank = BitmapBank::new();
+        bank.reset_empty(2);
+        let mut small = QueryBitmap::zeros(64);
+        small.set(5);
+        bank.push_bitmap(&small); // zero-extended to 2 words
+        let mut big = QueryBitmap::zeros(256);
+        big.set(64);
+        big.set(200);
+        bank.push_bitmap(&big); // truncated to 2 words
+        assert_eq!(bank.len(), 2);
+        assert!(bank.get(0, 5) && !bank.get(0, 64));
+        assert!(bank.get(1, 64) && !bank.get(1, 200));
     }
 }

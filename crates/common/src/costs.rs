@@ -23,8 +23,6 @@ pub struct CostModel {
     pub scan_page_fixed_ns: f64,
     /// Per-tuple decode cost during scans.
     pub scan_tuple_ns: f64,
-    /// Per atomic predicate term, per tuple.
-    pub select_term_ns: f64,
     /// Hash-table insert during a join build, per tuple (`hash()` part).
     pub hash_build_tuple_ns: f64,
     /// Hash-table lookup during a join probe, per tuple (`hash()`+`equal()`).
@@ -56,6 +54,26 @@ pub struct CostModel {
     pub route_tuple_ns: f64,
     /// Extra per-tuple cost of the Volcano (tuple-at-a-time) baseline.
     pub volcano_tuple_overhead_ns: f64,
+    /// Fixed per-batch cost of entering the vectorized shared-filter path
+    /// (scratch reset, selection-vector setup).
+    pub filter_batch_fixed_ns: f64,
+    /// Hash probe per distinct *key run* in a batch: the vectorized filter
+    /// probes once per run of equal consecutive FKs instead of once per
+    /// tuple, which is how batch routing absorbs join-product skew.
+    pub filter_probe_run_ns: f64,
+    /// Bitmap-bank AND per 64-bit word. Contiguous word-strided layout makes
+    /// this cheaper than the pointer-chasing per-tuple
+    /// [`bitmap_word_and_ns`](CostModel::bitmap_word_and_ns) charge of the
+    /// scalar path.
+    pub bank_word_and_ns: f64,
+    /// Predicate evaluation, per atomic term per tuple, at the batch rate
+    /// (operator dispatch amortized by `select_batch_fixed_ns`). Every
+    /// engine evaluates selections batch-at-a-time, so this is the one
+    /// selection rate in the model.
+    pub select_term_vec_ns: f64,
+    /// Fixed per-batch predicate-evaluation cost (operator dispatch is paid
+    /// once per batch, not once per tuple).
+    pub select_batch_fixed_ns: f64,
 }
 
 impl Default for CostModel {
@@ -67,7 +85,6 @@ impl Default for CostModel {
             // runs at ~1.6 µs/tuple end-to-end single-threaded, most of it
             // in the scan stage.
             scan_tuple_ns: 220.0,
-            select_term_ns: 15.0,
             hash_build_tuple_ns: 90.0,
             hash_probe_tuple_ns: 70.0,
             join_output_tuple_ns: 80.0,
@@ -87,16 +104,18 @@ impl Default for CostModel {
             // is how the paper's Fig. 16 shows Postgres *ahead* at low
             // concurrency. Raise to model a naive iterator engine.
             volcano_tuple_overhead_ns: 0.0,
+            filter_batch_fixed_ns: 400.0,
+            // One probe per key run still pays the full hash+equal cost plus
+            // the shared-operator slot indirection.
+            filter_probe_run_ns: 110.0,
+            bank_word_and_ns: 1.5,
+            select_term_vec_ns: 6.0,
+            select_batch_fixed_ns: 120.0,
         }
     }
 }
 
 impl CostModel {
-    /// Cost of evaluating `pred` over `n` tuples.
-    pub fn select_cost(&self, terms: usize, n: usize) -> f64 {
-        self.select_term_ns * terms.max(1) as f64 * n as f64
-    }
-
     /// Cost of sorting `n` tuples.
     pub fn sort_cost(&self, n: usize) -> f64 {
         if n <= 1 {
@@ -108,6 +127,22 @@ impl CostModel {
     /// Cost of copying `bytes` (push-based SP forwarding).
     pub fn copy_cost(&self, bytes: usize) -> f64 {
         self.copy_byte_ns * bytes as f64
+    }
+
+    /// Cost of one vectorized shared-filter pass over a batch: `runs` hash
+    /// probes (one per key run) plus `words` bitmap-bank word ANDs. Charged
+    /// per batch, replacing the scalar path's per-tuple probe + AND charges.
+    pub fn filter_batch_cost(&self, runs: u64, words: u64) -> f64 {
+        self.filter_batch_fixed_ns
+            + self.filter_probe_run_ns * runs as f64
+            + self.bank_word_and_ns * words as f64
+    }
+
+    /// Cost of vectorized predicate evaluation of `terms` atomic terms over
+    /// an `n`-tuple batch.
+    pub fn select_batch_cost(&self, terms: usize, n: usize) -> f64 {
+        self.select_batch_fixed_ns
+            + self.select_term_vec_ns * terms.max(1) as f64 * n as f64
     }
 }
 
@@ -124,14 +159,6 @@ mod tests {
     }
 
     #[test]
-    fn select_cost_scales_with_terms_and_tuples() {
-        let c = CostModel::default();
-        assert_eq!(c.select_cost(2, 100), c.select_term_ns * 200.0);
-        // Predicate::True (0 terms) still costs at least 1 term.
-        assert_eq!(c.select_cost(0, 10), c.select_term_ns * 10.0);
-    }
-
-    #[test]
     fn sort_cost_is_n_log_n() {
         let c = CostModel::default();
         let n1 = c.sort_cost(1024);
@@ -145,5 +172,38 @@ mod tests {
     fn copy_cost_linear_in_bytes() {
         let c = CostModel::default();
         assert_eq!(c.copy_cost(32 * 1024), c.copy_byte_ns * 32.0 * 1024.0);
+    }
+
+    #[test]
+    fn batch_charges_scale_per_run_and_word() {
+        let c = CostModel::default();
+        let base = c.filter_batch_cost(0, 0);
+        assert_eq!(base, c.filter_batch_fixed_ns);
+        assert_eq!(
+            c.filter_batch_cost(10, 100) - base,
+            c.filter_probe_run_ns * 10.0 + c.bank_word_and_ns * 100.0
+        );
+        // The vectorized filter of a clustered batch (few key runs) is
+        // cheaper than the scalar per-tuple charges for the same tuples.
+        let tuples = 1000u64;
+        let words = tuples; // one-word bitmaps
+        let scalar = (c.hash_probe_tuple_ns + c.shared_probe_extra_ns) * tuples as f64
+            + c.bitmap_word_and_ns * words as f64;
+        let vectorized = c.filter_batch_cost(tuples / 10, words);
+        assert!(vectorized < scalar / 2.0, "{vectorized} vs {scalar}");
+    }
+
+    #[test]
+    fn select_batch_cost_amortizes_dispatch() {
+        let c = CostModel::default();
+        assert_eq!(
+            c.select_batch_cost(2, 100),
+            c.select_batch_fixed_ns + c.select_term_vec_ns * 200.0
+        );
+        // Zero-term predicates still charge one term, as in select_cost.
+        assert_eq!(
+            c.select_batch_cost(0, 10),
+            c.select_batch_fixed_ns + c.select_term_vec_ns * 10.0
+        );
     }
 }

@@ -25,7 +25,7 @@ pub mod predicate;
 pub mod schema;
 pub mod value;
 
-pub use bitmap::QueryBitmap;
+pub use bitmap::{BitmapBank, QueryBitmap, SelVec};
 pub use costs::CostModel;
 pub use plan::{AggExpr, AggFn, AggSpec, ColRef, ColSource, DimJoin, OrderKey, StarQuery};
 pub use predicate::{CmpOp, Predicate};

@@ -6,7 +6,8 @@
 
 use std::hash::{Hash, Hasher};
 
-use crate::value::Value;
+use crate::bitmap::SelVec;
+use crate::value::{Row, Value};
 
 /// Comparison operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -134,6 +135,99 @@ impl Predicate {
         }
     }
 
+    /// Batch evaluation: returns the selection bitmap of rows satisfying the
+    /// predicate. Convenience wrapper over [`Predicate::eval_batch_into`].
+    pub fn eval_batch(&self, rows: &[Row]) -> SelVec {
+        let mut sel = SelVec::new();
+        self.eval_batch_into(rows, &mut sel);
+        sel
+    }
+
+    /// Batch evaluation into a reusable selection bitmap (zero allocations
+    /// once `sel`'s capacity has grown to the batch size).
+    ///
+    /// The common shapes take vectorized fast paths: `True` is a bulk fill,
+    /// `Cmp` dispatches the operator once and runs a tight loop over the
+    /// still-selected rows, and `And` narrows the selection term by term
+    /// (rows deselected by an earlier conjunct are never touched again —
+    /// word-level skipping makes low-selectivity conjunctions cheap).
+    pub fn eval_batch_into(&self, rows: &[Row], sel: &mut SelVec) {
+        sel.reset(rows.len(), true);
+        self.restrict(&|i| &rows[i], sel);
+    }
+
+    /// Narrow an existing selection over a gathered subset: position `j` of
+    /// `sel` corresponds to `rows[idx[j]]`; rows already deselected are
+    /// never evaluated. This is how the CJOIN distributor applies per-query
+    /// fact predicates to exactly the rows in the query's routing column,
+    /// without materializing the survivors.
+    pub fn restrict_batch_gather(&self, rows: &[Row], idx: &[u32], sel: &mut SelVec) {
+        debug_assert_eq!(sel.len(), idx.len());
+        self.restrict(&|j| &rows[idx[j] as usize], sel);
+    }
+
+    /// Narrow `sel` to rows (as mapped by `row_at`) satisfying `self`.
+    fn restrict<'a>(&self, row_at: &dyn Fn(usize) -> &'a Row, sel: &mut SelVec) {
+        match self {
+            Predicate::True => {}
+            Predicate::Cmp { col, op, val } => {
+                let col = *col;
+                // Dispatch the operator once per batch, not once per tuple.
+                if let Value::Int(k) = val {
+                    let k = *k;
+                    let f: fn(i64, i64) -> bool = match op {
+                        CmpOp::Eq => |a, b| a == b,
+                        CmpOp::Ne => |a, b| a != b,
+                        CmpOp::Lt => |a, b| a < b,
+                        CmpOp::Le => |a, b| a <= b,
+                        CmpOp::Gt => |a, b| a > b,
+                        CmpOp::Ge => |a, b| a >= b,
+                    };
+                    sel.retain(|i| match &row_at(i)[col] {
+                        Value::Int(v) => f(*v, k),
+                        other => op.apply(other, val),
+                    });
+                } else {
+                    let op = *op;
+                    sel.retain(|i| op.apply(&row_at(i)[col], val));
+                }
+            }
+            Predicate::Between { col, lo, hi } => {
+                let col = *col;
+                if let (Value::Int(lo), Value::Int(hi)) = (lo, hi) {
+                    let (lo, hi) = (*lo, *hi);
+                    sel.retain(|i| match &row_at(i)[col] {
+                        Value::Int(v) => (lo..=hi).contains(v),
+                        other => {
+                            other >= &Value::Int(lo) && other <= &Value::Int(hi)
+                        }
+                    });
+                } else {
+                    sel.retain(|i| {
+                        let v = &row_at(i)[col];
+                        v >= lo && v <= hi
+                    });
+                }
+            }
+            Predicate::InSet { col, vals } => {
+                let col = *col;
+                sel.retain(|i| vals.binary_search(&row_at(i)[col]).is_ok());
+            }
+            Predicate::And(ps) => {
+                for p in ps {
+                    if !sel.any() {
+                        break;
+                    }
+                    p.restrict(row_at, sel);
+                }
+            }
+            other => {
+                // Or / Not: fall back to row-at-a-time over the survivors.
+                sel.retain(|i| other.eval(row_at(i)));
+            }
+        }
+    }
+
     /// Number of atomic comparison terms — used by the cost model to charge
     /// predicate evaluation.
     pub fn term_count(&self) -> usize {
@@ -239,6 +333,102 @@ mod tests {
         assert_eq!(a.signature(), b.signature(), "canonical order");
         let c = Predicate::in_set(1, vec![Value::str("C")]);
         assert_ne!(a.signature(), c.signature());
+    }
+
+    fn batch_rows() -> Vec<Vec<Value>> {
+        (0..200i64)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::str(if i % 3 == 0 { "FRANCE" } else { "GERMANY" }),
+                    Value::Float(i as f64 / 2.0),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn eval_batch_agrees_with_scalar_eval() {
+        let rows = batch_rows();
+        let preds = vec![
+            Predicate::True,
+            Predicate::eq(0, 7i64),
+            Predicate::Cmp {
+                col: 0,
+                op: CmpOp::Ge,
+                val: Value::Int(150),
+            },
+            Predicate::eq(1, Value::str("FRANCE")),
+            Predicate::between(0, 20i64, 90i64),
+            Predicate::in_set(0, (0..40).step_by(3).map(Value::Int).collect()),
+            Predicate::And(vec![
+                Predicate::between(0, 10i64, 180i64),
+                Predicate::eq(1, Value::str("GERMANY")),
+            ]),
+            Predicate::Or(vec![
+                Predicate::eq(0, 3i64),
+                Predicate::Cmp {
+                    col: 2,
+                    op: CmpOp::Gt,
+                    val: Value::Float(90.0),
+                },
+            ]),
+            Predicate::Not(Box::new(Predicate::between(0, 50i64, 150i64))),
+        ];
+        for p in &preds {
+            let sel = p.eval_batch(&rows);
+            let expect: Vec<usize> = rows
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| p.eval(r))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(sel.iter_ones().collect::<Vec<_>>(), expect, "{p:?}");
+            assert_eq!(sel.count(), expect.len());
+        }
+    }
+
+    #[test]
+    fn restrict_batch_gather_maps_positions_and_narrows() {
+        let rows = batch_rows();
+        let idx: Vec<u32> = [5u32, 21, 60, 150, 199].into();
+        let p = Predicate::between(0, 20i64, 160i64);
+        let mut sel = crate::bitmap::SelVec::new();
+        sel.reset(idx.len(), true);
+        p.restrict_batch_gather(&rows, &idx, &mut sel);
+        let expect: Vec<usize> = idx
+            .iter()
+            .enumerate()
+            .filter(|(_, &ri)| p.eval(&rows[ri as usize]))
+            .map(|(j, _)| j)
+            .collect();
+        assert_eq!(sel.iter_ones().collect::<Vec<_>>(), expect);
+        assert_eq!(sel.len(), idx.len());
+        // Pre-deselected positions stay deselected and are never revived.
+        let mut narrowed = crate::bitmap::SelVec::new();
+        narrowed.reset(idx.len(), true);
+        narrowed.clear(expect[0]);
+        p.restrict_batch_gather(&rows, &idx, &mut narrowed);
+        assert_eq!(
+            narrowed.iter_ones().collect::<Vec<_>>(),
+            expect[1..].to_vec()
+        );
+    }
+
+    #[test]
+    fn eval_batch_reuses_capacity() {
+        let rows = batch_rows();
+        let p = Predicate::eq(1, Value::str("FRANCE"));
+        let mut sel = crate::bitmap::SelVec::new();
+        p.eval_batch_into(&rows, &mut sel);
+        let first = sel.count();
+        // Second run over a smaller batch reuses the buffer and must not
+        // leak stale bits past the new length.
+        p.eval_batch_into(&rows[..10], &mut sel);
+        assert_eq!(sel.len(), 10);
+        assert!(sel.count() <= 10);
+        p.eval_batch_into(&rows, &mut sel);
+        assert_eq!(sel.count(), first);
     }
 
     #[test]

@@ -69,6 +69,10 @@ pub struct RunConfig {
     /// DataPath-style shared aggregation inside the CJOIN distributor
     /// (extension; see `workshare_cjoin::CjoinConfig::shared_aggregation`).
     pub cjoin_shared_agg: bool,
+    /// Run CJOIN with the retained tuple-at-a-time filter kernel instead of
+    /// the vectorized batch kernel (the property tests' reference path; see
+    /// `workshare_cjoin::CjoinConfig::scalar_filter`).
+    pub cjoin_scalar_filter: bool,
     /// Johnson et al. [14] run-time prediction model for scan sharing
     /// (only share once the machine saturates). Fig. 6 ablation.
     pub cs_prediction: bool,
@@ -88,6 +92,7 @@ impl Default for RunConfig {
             buffer_pool_pages: None,
             sp_aggs: false,
             cjoin_shared_agg: false,
+            cjoin_scalar_filter: false,
             cs_prediction: false,
             cost: CostModel::default(),
             disk: DiskConfig::default(),
@@ -149,6 +154,7 @@ impl RunConfig {
             exchange: self.exchange,
             sp: self.engine == NamedConfig::CjoinSp,
             shared_aggregation: self.cjoin_shared_agg,
+            scalar_filter: self.cjoin_scalar_filter,
             ..Default::default()
         }
     }

@@ -44,7 +44,7 @@ pub fn gen_lineitem(scale: SsbScale, seed: u64) -> (Schema, Vec<Page>, usize) {
             line += 1;
         }
         let quantity = rng.gen_range(1..=50i64);
-        let flag = ["A", "N", "R"][rng.gen_range(0..3)];
+        let flag = ["A", "N", "R"][rng.gen_range(0..3usize)];
         let status = if flag == "N" { "O" } else { "F" };
         b.push(&[
             Value::Int(orderkey),

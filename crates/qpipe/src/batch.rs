@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use workshare_common::value::{Row, Value};
-use workshare_common::PAGE_SIZE;
+use workshare_common::{SelVec, PAGE_SIZE};
 
 /// A page worth of decoded tuples. Exchanged by `Arc` so SPL consumers share
 /// one copy; push-based FIFOs deep-clone per satellite (the copy the paper's
@@ -53,6 +53,19 @@ impl TupleBatch {
             rows: self.rows.clone(),
             bytes: self.bytes,
         }
+    }
+
+    /// Iterate the rows a selection bitmap keeps (the batch-at-a-time
+    /// contract: operators produce a [`SelVec`] with
+    /// `Predicate::eval_batch_into` and consumers walk only the survivors).
+    pub fn selected_rows<'a>(&'a self, sel: &'a SelVec) -> impl Iterator<Item = &'a Row> {
+        debug_assert_eq!(sel.len(), self.rows.len());
+        sel.iter_ones().map(|i| &self.rows[i])
+    }
+
+    /// Materialize the selected rows as a new batch (recomputing bytes).
+    pub fn gather(&self, sel: &SelVec) -> TupleBatch {
+        TupleBatch::new(self.selected_rows(sel).cloned().collect())
     }
 }
 
@@ -151,5 +164,18 @@ mod tests {
         let _ = bb.push(row(1));
         let out = bb.flush().unwrap();
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn selected_rows_walks_survivors_only() {
+        let b = TupleBatch::new((0..10).map(row).collect());
+        let mut sel = SelVec::new();
+        sel.reset(10, true);
+        sel.retain(|i| i % 4 == 0);
+        let got: Vec<i64> = b.selected_rows(&sel).map(|r| r[0].as_int()).collect();
+        assert_eq!(got, vec![0, 4, 8]);
+        let gathered = b.gather(&sel);
+        assert_eq!(gathered.len(), 3);
+        assert_eq!(gathered.bytes, 3 * (8 + 2 + 3));
     }
 }

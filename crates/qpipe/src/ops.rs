@@ -8,7 +8,7 @@
 use workshare_common::bind::BoundQuery;
 use workshare_common::fxhash::FxHashMap;
 use workshare_common::value::Row;
-use workshare_common::{CostModel, Predicate};
+use workshare_common::{CostModel, Predicate, SelVec};
 use workshare_sim::{CostKind, SimCtx};
 
 use crate::batch::BatchBuilder;
@@ -26,13 +26,15 @@ pub fn run_fact_select(
 ) {
     let terms = pred.term_count();
     let mut builder = BatchBuilder::new();
+    let mut sel = SelVec::new();
     while let Some(batch) = input.next(ctx) {
-        ctx.charge(CostKind::Select, cost.select_cost(terms, batch.len()));
-        for row in &batch.rows {
-            if pred.eval(row) {
-                if let Some(full) = builder.push(bound.project_fact(row)) {
-                    out.emit(ctx, full);
-                }
+        // Batch-at-a-time: one vectorized predicate pass produces the
+        // selection bitmap; only survivors are projected.
+        ctx.charge(CostKind::Select, cost.select_batch_cost(terms, batch.len()));
+        pred.eval_batch_into(&batch.rows, &mut sel);
+        for row in batch.selected_rows(&sel) {
+            if let Some(full) = builder.push(bound.project_fact(row)) {
+                out.emit(ctx, full);
             }
         }
     }
@@ -55,18 +57,18 @@ pub fn run_dim_select(
 ) {
     let terms = pred.term_count();
     let mut builder = BatchBuilder::new();
+    let mut sel = SelVec::new();
     while let Some(batch) = input.next(ctx) {
-        ctx.charge(CostKind::Select, cost.select_cost(terms, batch.len()));
-        for row in &batch.rows {
-            if pred.eval(row) {
-                let mut projected = Row::with_capacity(1 + payload_idx.len());
-                projected.push(row[pk_idx].clone());
-                for &i in payload_idx {
-                    projected.push(row[i].clone());
-                }
-                if let Some(full) = builder.push(projected) {
-                    out.emit(ctx, full);
-                }
+        ctx.charge(CostKind::Select, cost.select_batch_cost(terms, batch.len()));
+        pred.eval_batch_into(&batch.rows, &mut sel);
+        for row in batch.selected_rows(&sel) {
+            let mut projected = Row::with_capacity(1 + payload_idx.len());
+            projected.push(row[pk_idx].clone());
+            for &i in payload_idx {
+                projected.push(row[i].clone());
+            }
+            if let Some(full) = builder.push(projected) {
+                out.emit(ctx, full);
             }
         }
     }

@@ -1,0 +1,200 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace's property tests use:
+//! the [`proptest!`] macro (with `#![proptest_config(...)]`), range / tuple /
+//! [`Just`] / [`any`] / `prop_oneof!` strategies, `prop_map`, the
+//! `collection::{vec, btree_set}` combinators, and `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design: cases are generated from a
+//! deterministic per-case seed (override with `PROPTEST_SEED`), and there is
+//! **no shrinking** — a failing case panics with the case number and seed so
+//! it can be replayed.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — strategies over containers.
+pub mod collection {
+    use std::collections::BTreeSet;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Vec`s with sizes drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.usize_in(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeSet`s with *target* sizes drawn from `size`
+    /// (duplicate draws may produce smaller sets, as in real proptest).
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::btree_set`.
+    pub fn btree_set<S: Strategy>(
+        element: S,
+        size: std::ops::Range<usize>,
+    ) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = rng.usize_in(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::bool` — boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform boolean strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// `proptest::prelude` — the glob import test files use.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Pick uniformly among several strategies with one common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $( $crate::strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Assert inside a property (no shrinking: behaves like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `#[test] fn name(pat in strategy, …) { … }`
+/// becomes a normal test that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($config:expr; $(
+        $(#[$meta:meta])+
+        fn $name:ident ( $( $pat:pat_param in $strategy:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                let seed = rng.seed();
+                $( let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut rng); )+
+                let guard = $crate::test_runner::CaseGuard::new(stringify!($name), case, seed);
+                $body
+                guard.passed();
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in 3usize..10, (a, b) in (0i64..5, 10i64..=12)) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0..5).contains(&a));
+            prop_assert!((10..=12).contains(&b));
+        }
+
+        #[test]
+        fn collections_and_maps(
+            v in crate::collection::vec(0u32..7, 2..6),
+            s in crate::collection::btree_set(0usize..100, 0..10),
+            y in any::<u64>().prop_map(|u| u as u128 * 2),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 7));
+            prop_assert!(s.len() < 10);
+            prop_assert_eq!(y % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_just(choice in prop_oneof![Just(1u8), Just(2), (5u8..7).prop_map(|v| v)]) {
+            prop_assert!(choice == 1 || choice == 2 || choice == 5 || choice == 6);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::for_case("deterministic", 3);
+        let mut b = TestRng::for_case("deterministic", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,116 @@
+//! Deterministic case runner plumbing for the [`proptest!`](crate::proptest)
+//! macro expansion.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-test configuration (subset of proptest's).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies: deterministic per (test name, case index),
+/// overridable globally via the `PROPTEST_SEED` env var for replay.
+pub struct TestRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl TestRng {
+    /// RNG for one case of one named test.
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x5EED_CAFE_F00D_0001);
+        // FNV-1a over the test name keeps distinct tests on distinct streams.
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let seed = base ^ h ^ ((case as u64) << 32);
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this case ran with (printed on failure).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform value below `bound` (`bound == 0` yields 0).
+    pub fn bounded(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform size drawn from a half-open range (empty range yields start).
+    pub fn usize_in(&mut self, r: std::ops::Range<usize>) -> usize {
+        if r.start >= r.end {
+            return r.start;
+        }
+        r.start + self.bounded((r.end - r.start) as u64) as usize
+    }
+}
+
+/// Prints replay context if a case body panics (no shrinking: the case
+/// number and seed are the replay handle).
+pub struct CaseGuard {
+    test_name: &'static str,
+    case: u32,
+    seed: u64,
+    passed: bool,
+}
+
+impl CaseGuard {
+    /// Arm the guard for one case.
+    pub fn new(test_name: &'static str, case: u32, seed: u64) -> CaseGuard {
+        CaseGuard {
+            test_name,
+            case,
+            seed,
+            passed: false,
+        }
+    }
+
+    /// Disarm: the case body completed without panicking.
+    pub fn passed(mut self) {
+        self.passed = true;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if !self.passed && std::thread::panicking() {
+            eprintln!(
+                "proptest shim: test `{}` failed at case {} (seed {:#x}); \
+                 set PROPTEST_SEED to replay",
+                self.test_name, self.case, self.seed
+            );
+        }
+    }
+}

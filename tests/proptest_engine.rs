@@ -139,3 +139,45 @@ proptest! {
         prop_assert_eq!(shared, reference);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The vectorized batch filter path must be indistinguishable from the
+    /// retained scalar reference path: row-identical output and identical
+    /// `CjoinStats`, across random star queries and admission batch shapes
+    /// (slot counts drive the bitmap widths both kernels stride over).
+    #[test]
+    fn vectorized_filter_matches_scalar_reference(
+        mut queries in proptest::collection::vec(arb_query(), 1..5),
+        dup in proptest::bool::ANY,
+        shared_agg in proptest::bool::ANY,
+    ) {
+        if dup {
+            let q = queries[0].clone();
+            queries.push(q);
+        }
+        for (i, q) in queries.iter_mut().enumerate() {
+            q.id = i as u64;
+        }
+        let mut vec_cfg = RunConfig::named(NamedConfig::CjoinSp);
+        vec_cfg.cjoin_shared_agg = shared_agg;
+        let mut scalar_cfg = vec_cfg;
+        scalar_cfg.cjoin_scalar_filter = true;
+        let vec_run = run_batch(ssb(), &vec_cfg, &queries, true);
+        let scalar_run = run_batch(ssb(), &scalar_cfg, &queries, true);
+        prop_assert_eq!(
+            vec_run.results.as_ref().unwrap(),
+            scalar_run.results.as_ref().unwrap(),
+            "kernels diverged (shared_agg={})", shared_agg
+        );
+        // admission_batches shifts with pipeline timing (a faster filter
+        // path changes when the preprocessor observes pending admissions);
+        // every workload-derived counter must match exactly.
+        let mut vs = vec_run.cjoin.unwrap();
+        let mut ss = scalar_run.cjoin.unwrap();
+        vs.admission_batches = 0;
+        ss.admission_batches = 0;
+        prop_assert_eq!(vs, ss, "stats diverged");
+    }
+}
