@@ -1,5 +1,5 @@
 //! Ablation — the "to share or not to share" prediction model (Johnson et
-//! al. [14], discussed in paper §1.3/§4): under push-based SP, a run-time
+//! al. \[14\], discussed in paper §1.3/§4): under push-based SP, a run-time
 //! model decides per arrival whether to share; the paper's SPL makes the
 //! model unnecessary.
 //!

@@ -17,7 +17,8 @@
 //!   each query's completion when the scan wraps to its point of entry.
 //! * **Filters** are shared selection + shared hash-join pairs: one per
 //!   dimension table, holding the union of dimension tuples selected by any
-//!   active query, each tagged with a [`QueryBitmap`]. Probing ANDs bitmaps
+//!   active query, each tagged with a
+//!   [`QueryBitmap`](workshare_common::QueryBitmap). Probing ANDs bitmaps
 //!   (`bits &= entry | ¬referencing`), so queries that do not join a
 //!   dimension pass through it untouched. Filtering runs **batch-at-a-time**
 //!   ([`filter`]): tuple bitmaps live in a word-strided
@@ -41,4 +42,4 @@ pub use filter::{
     filter_page_scalar, filter_page_vectorized, DimEntry, FilterCore, FilterCounters,
     FilterScratch, FilteredPage,
 };
-pub use stage::{CjoinConfig, CjoinOutput, CjoinStage, CjoinStats};
+pub use stage::{CjoinConfig, CjoinOutput, CjoinRuntimeStats, CjoinStage, CjoinStats};

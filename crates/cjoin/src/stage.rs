@@ -65,6 +65,33 @@ impl Default for CjoinConfig {
     }
 }
 
+/// Live signals the sharing governor reads from a running stage
+/// ([`CjoinStage::runtime_stats`]): the observed workload shape that
+/// parameterizes the cost-model crossover estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CjoinRuntimeStats {
+    /// Queries currently active in the GQP.
+    pub active_queries: usize,
+    /// Observed average key-run length in filtered fact pages (tuple×filter
+    /// probe steps per actual hash probe), as an EWMA over batches so a
+    /// workload shift re-converges quickly. 1.0 until the pipeline has
+    /// filtered its first page; rises with clustered or skewed foreign keys.
+    pub avg_key_run: f64,
+    /// Observed admission-scan predicate selectivity (dimension rows
+    /// selected / scanned, from `Predicate::eval_batch*` hit counts), as an
+    /// EWMA over admission scans. `None` until the first admission scan.
+    pub dim_selectivity: Option<f64>,
+}
+
+/// Fold `sample` into an optional EWMA cell with smoothing factor `alpha`.
+fn ewma_fold(cell: &Mutex<Option<f64>>, sample: f64, alpha: f64) {
+    let mut v = cell.lock();
+    *v = Some(match *v {
+        None => sample,
+        Some(prev) => (1.0 - alpha) * prev + alpha * sample,
+    });
+}
+
 /// Sharing/admission statistics of the stage.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CjoinStats {
@@ -220,6 +247,10 @@ struct StageInner {
     admission_batches: AtomicU64,
     sp_shares: AtomicU64,
     admission_dim_rows: AtomicU64,
+    /// Governor signals, EWMA-smoothed per observation (admission scan /
+    /// filtered batch) so they track workload shifts.
+    dim_sel_ewma: Mutex<Option<f64>>,
+    key_run_ewma: Mutex<Option<f64>>,
 }
 
 #[derive(Clone)]
@@ -269,6 +300,8 @@ impl CjoinStage {
             admission_batches: AtomicU64::new(0),
             sp_shares: AtomicU64::new(0),
             admission_dim_rows: AtomicU64::new(0),
+            dim_sel_ewma: Mutex::new(None),
+            key_run_ewma: Mutex::new(None),
         });
         let stage = CjoinStage { inner };
         stage.spawn_preprocessor();
@@ -405,6 +438,15 @@ impl CjoinStage {
         self.inner.state.read().queries.len()
     }
 
+    /// Live workload-shape signals for the sharing governor.
+    pub fn runtime_stats(&self) -> CjoinRuntimeStats {
+        CjoinRuntimeStats {
+            active_queries: self.active_queries(),
+            avg_key_run: self.inner.key_run_ewma.lock().unwrap_or(1.0),
+            dim_selectivity: *self.inner.dim_sel_ewma.lock(),
+        }
+    }
+
     /// Stop the pipeline threads.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::Release);
@@ -529,6 +571,17 @@ impl CjoinStage {
                             )
                         }
                     };
+                    // Observed skew signal for the governor: this batch's
+                    // tuple×filter probe steps per actual hash probe (key
+                    // run), EWMA-folded so shifts in page clustering show up
+                    // within a few batches.
+                    if counters.key_runs > 0 {
+                        ewma_fold(
+                            &inner.key_run_ewma,
+                            counters.probes as f64 / counters.key_runs as f64,
+                            0.1,
+                        );
+                    }
                     // Shared-operator bookkeeping costs (the §5.2.2
                     // overhead). The scalar path charges per tuple; the
                     // vectorized path charges per key run + per bank word.
@@ -750,6 +803,13 @@ fn admit_batch(inner: &StageInner, ctx: &SimCtx, pending: Vec<Admission>) {
                         + inner.cost.select_batch_cost(terms, rows.len()),
                 );
                 dj.pred.eval_batch_into(&rows, &mut sel);
+                if !rows.is_empty() {
+                    ewma_fold(
+                        &inner.dim_sel_ewma,
+                        sel.count() as f64 / rows.len() as f64,
+                        0.2,
+                    );
+                }
                 let mut s = inner.state.write();
                 let filter = &mut s.filters[fi];
                 for (i, row) in rows.into_iter().enumerate() {

@@ -14,6 +14,8 @@
 //! * [`CostModel`] — calibrated virtual CPU cost constants.
 //! * [`fxhash`] — a fast non-cryptographic hasher for hot join paths.
 
+#![warn(missing_docs)]
+
 pub mod agg;
 pub mod bind;
 pub mod bitmap;
@@ -26,7 +28,7 @@ pub mod schema;
 pub mod value;
 
 pub use bitmap::{BitmapBank, QueryBitmap, SelVec};
-pub use costs::CostModel;
+pub use costs::{CostModel, SharingSignals};
 pub use plan::{AggExpr, AggFn, AggSpec, ColRef, ColSource, DimJoin, OrderKey, StarQuery};
 pub use predicate::{CmpOp, Predicate};
 pub use schema::{ColType, Column, Schema};

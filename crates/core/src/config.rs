@@ -6,6 +6,36 @@ use workshare_qpipe::{ExchangeKind, QpipeConfig};
 use workshare_sim::{DiskConfig, MachineConfig};
 use workshare_storage::{IoMode, StorageConfig};
 
+use crate::governor::GovernorConfig;
+
+/// How submissions are routed between the query-centric and shared
+/// execution paths. `None` in [`RunConfig::policy`] keeps the legacy
+/// behavior: the single engine named by [`RunConfig::engine`] runs every
+/// query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecPolicy {
+    /// Route every submission to a private Volcano-style plan.
+    QueryCentric,
+    /// Route every submission to the shared path: the CJOIN star stage for
+    /// star queries on the engine's fact table, the sharing-enabled QPipe
+    /// engine otherwise.
+    Shared,
+    /// Cost-driven per-submission routing with hysteresis
+    /// ([`SharingGovernor`](crate::governor::SharingGovernor)).
+    Adaptive,
+}
+
+impl ExecPolicy {
+    /// Display label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecPolicy::QueryCentric => "Gov-QC",
+            ExecPolicy::Shared => "Gov-Shared",
+            ExecPolicy::Adaptive => "Adaptive",
+        }
+    }
+}
+
 /// The named configurations evaluated throughout the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NamedConfig {
@@ -73,13 +103,20 @@ pub struct RunConfig {
     /// the vectorized batch kernel (the property tests' reference path; see
     /// `workshare_cjoin::CjoinConfig::scalar_filter`).
     pub cjoin_scalar_filter: bool,
-    /// Johnson et al. [14] run-time prediction model for scan sharing
+    /// Johnson et al. \[14\] run-time prediction model for scan sharing
     /// (only share once the machine saturates). Fig. 6 ablation.
     pub cs_prediction: bool,
     /// Cost model.
     pub cost: CostModel,
     /// Simulated disk parameters.
     pub disk: DiskConfig,
+    /// Execution policy: `None` runs the single engine named by `engine`;
+    /// `Some(_)` builds the governed engine (both paths) and routes per
+    /// submission.
+    pub policy: Option<ExecPolicy>,
+    /// Sharing-governor knobs (hysteresis, calibration EWMA), used when
+    /// `policy` is [`ExecPolicy::Adaptive`].
+    pub governor: GovernorConfig,
 }
 
 impl Default for RunConfig {
@@ -96,6 +133,8 @@ impl Default for RunConfig {
             cs_prediction: false,
             cost: CostModel::default(),
             disk: DiskConfig::default(),
+            policy: None,
+            governor: GovernorConfig::default(),
         }
     }
 }
@@ -106,6 +145,39 @@ impl RunConfig {
         RunConfig {
             engine,
             ..Default::default()
+        }
+    }
+
+    /// Governed-engine constructor: both execution paths are built and
+    /// `policy` routes each submission. The `engine` field still selects
+    /// the shared side's parameters (CJOIN-SP defaults).
+    pub fn governed(policy: ExecPolicy) -> RunConfig {
+        RunConfig {
+            engine: NamedConfig::CjoinSp,
+            policy: Some(policy),
+            ..Default::default()
+        }
+    }
+
+    /// Display label: the policy's when governed, the engine's otherwise.
+    pub fn label(&self) -> &'static str {
+        match self.policy {
+            Some(p) => p.label(),
+            None => self.engine.label(),
+        }
+    }
+
+    /// QPipe parameters of the governed engine's shared path: circular
+    /// scans and SP on, regardless of the named engine (sharing is what the
+    /// shared route is *for*).
+    pub fn governed_qpipe_config(&self) -> QpipeConfig {
+        QpipeConfig {
+            exchange: self.exchange,
+            circular_scans: true,
+            sp_joins: true,
+            sp_aggs: self.sp_aggs,
+            cs_prediction: false,
+            cap_pages: 8,
         }
     }
 
@@ -186,6 +258,20 @@ mod tests {
     fn cjoin_sp_flag_follows_engine() {
         assert!(!RunConfig::named(NamedConfig::Cjoin).cjoin_config().sp);
         assert!(RunConfig::named(NamedConfig::CjoinSp).cjoin_config().sp);
+    }
+
+    #[test]
+    fn governed_configs_label_by_policy() {
+        let rc = RunConfig::governed(ExecPolicy::Adaptive);
+        assert_eq!(rc.policy, Some(ExecPolicy::Adaptive));
+        assert_eq!(rc.label(), "Adaptive");
+        assert_eq!(RunConfig::governed(ExecPolicy::QueryCentric).label(), "Gov-QC");
+        assert_eq!(RunConfig::governed(ExecPolicy::Shared).label(), "Gov-Shared");
+        // Ungoverned configs keep the engine's label.
+        assert_eq!(RunConfig::named(NamedConfig::Cjoin).label(), "CJOIN");
+        // The governed shared path always has its sharing hooks on.
+        let qp = rc.governed_qpipe_config();
+        assert!(qp.circular_scans && qp.sp_joins);
     }
 
     #[test]

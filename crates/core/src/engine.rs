@@ -1,23 +1,50 @@
-//! Unified engine facade over the three execution paths.
+//! Unified engine facade over the execution paths, including the governed
+//! engine that routes each submission between query-centric and shared
+//! execution ([`ExecPolicy`], [`crate::governor::SharingGovernor`]).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use workshare_cjoin::CjoinStage;
 use workshare_common::bind::bind;
-use workshare_common::{CostModel, StarQuery};
+use workshare_common::{CostModel, SharingSignals, StarQuery};
 use workshare_qpipe::QpipeEngine;
 use workshare_sim::{CostKind, Machine, WaitSet};
-use workshare_storage::StorageManager;
+use workshare_storage::{StorageManager, TableId};
 
-use crate::config::{NamedConfig, RunConfig};
+use crate::config::{ExecPolicy, NamedConfig, RunConfig};
+use crate::governor::{GovernorStats, Route, SharingGovernor};
 use crate::ticket::{SlotResult, Ticket};
 use crate::volcano::run_volcano_query;
+
+/// The governed engine: both execution paths plus the router between them.
+struct Governed {
+    policy: ExecPolicy,
+    /// Shared star path (bound to the engine's fact table).
+    stage: CjoinStage,
+    /// Shared path for non-star queries and foreign fact tables (circular
+    /// scans + SP on).
+    qpipe: QpipeEngine,
+    governor: Arc<SharingGovernor>,
+    /// Queries submitted through this engine and not yet completed — the
+    /// governor's concurrency signal (tracked in Adaptive mode).
+    in_flight: Arc<AtomicU64>,
+    /// The CJOIN stage's fact table.
+    fact: TableId,
+    /// Virtual cores (saturation divisor of the query-centric estimate).
+    cores: f64,
+    /// CJOIN filter workers (parallelism divisor of the shared estimate).
+    pipeline_parallelism: f64,
+    /// Sequential disk bandwidth, bytes per virtual second; 0 when the
+    /// database is memory-resident (no I/O terms in the estimates).
+    disk_bandwidth: f64,
+}
 
 enum EngineKind {
     Qpipe(QpipeEngine),
     Cjoin(CjoinStage),
     Volcano,
+    Governed(Governed),
 }
 
 struct EngineInner {
@@ -30,6 +57,24 @@ struct EngineInner {
     gate_open: Arc<AtomicBool>,
 }
 
+/// Observed-latency feedback plumbing of one adaptive submission: completes
+/// back into the governor (and the in-flight counter) when the query does,
+/// carrying the exact signals the routing decision was based on.
+struct RouteFeedback {
+    governor: Arc<SharingGovernor>,
+    route: Route,
+    signals: SharingSignals,
+    in_flight: Arc<AtomicU64>,
+}
+
+impl RouteFeedback {
+    fn complete(&self, latency_secs: f64) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        self.governor
+            .observe_latency(self.route, latency_secs, &self.signals);
+    }
+}
+
 /// An engine instance bound to one machine and one mounted database.
 /// Cheap to clone.
 #[derive(Clone)]
@@ -40,26 +85,55 @@ pub struct Engine {
 impl Engine {
     /// Build the engine selected by `config` over an already mounted
     /// storage manager. `fact_table` names the CJOIN stage's fact table
-    /// (ignored by the other engines).
+    /// (ignored by the other engines). With [`RunConfig::policy`] set, both
+    /// paths are built and submissions are routed per the policy.
     pub fn new(
         machine: &Machine,
         storage: &StorageManager,
         config: &RunConfig,
         fact_table: &str,
     ) -> Engine {
-        let kind = match config.engine {
-            NamedConfig::Qpipe | NamedConfig::QpipeCs | NamedConfig::QpipeSp => {
-                EngineKind::Qpipe(QpipeEngine::new(
+        let kind = match config.policy {
+            Some(policy) => EngineKind::Governed(Governed {
+                policy,
+                stage: CjoinStage::new(
                     machine,
                     storage,
-                    config.qpipe_config(),
+                    fact_table,
+                    config.cjoin_config(),
                     config.cost,
-                ))
-            }
-            NamedConfig::Cjoin | NamedConfig::CjoinSp => EngineKind::Cjoin(
-                CjoinStage::new(machine, storage, fact_table, config.cjoin_config(), config.cost),
-            ),
-            NamedConfig::Volcano => EngineKind::Volcano,
+                ),
+                qpipe: QpipeEngine::new(
+                    machine,
+                    storage,
+                    config.governed_qpipe_config(),
+                    config.cost,
+                ),
+                governor: Arc::new(SharingGovernor::new(config.cost, config.governor)),
+                in_flight: Arc::new(AtomicU64::new(0)),
+                fact: storage.table(fact_table),
+                cores: config.cores as f64,
+                pipeline_parallelism: config.cjoin_config().n_workers.max(1) as f64,
+                disk_bandwidth: if config.io_mode == workshare_storage::IoMode::Memory {
+                    0.0
+                } else {
+                    config.disk.bandwidth_bytes_per_sec
+                },
+            }),
+            None => match config.engine {
+                NamedConfig::Qpipe | NamedConfig::QpipeCs | NamedConfig::QpipeSp => {
+                    EngineKind::Qpipe(QpipeEngine::new(
+                        machine,
+                        storage,
+                        config.qpipe_config(),
+                        config.cost,
+                    ))
+                }
+                NamedConfig::Cjoin | NamedConfig::CjoinSp => EngineKind::Cjoin(
+                    CjoinStage::new(machine, storage, fact_table, config.cjoin_config(), config.cost),
+                ),
+                NamedConfig::Volcano => EngineKind::Volcano,
+            },
         };
         Engine {
             inner: Arc::new(EngineInner {
@@ -87,8 +161,10 @@ impl Engine {
     /// Hold all per-query work at the start line (batch semantics).
     pub fn close_gate(&self) {
         self.inner.gate_open.store(false, Ordering::Release);
-        if let EngineKind::Qpipe(e) = &self.inner.kind {
-            e.close_gate();
+        match &self.inner.kind {
+            EngineKind::Qpipe(e) => e.close_gate(),
+            EngineKind::Governed(g) => g.qpipe.close_gate(),
+            _ => {}
         }
     }
 
@@ -96,99 +172,203 @@ impl Engine {
     pub fn open_gate(&self) {
         self.inner.gate_open.store(true, Ordering::Release);
         self.inner.gate_ws.notify_all();
-        if let EngineKind::Qpipe(e) = &self.inner.kind {
-            e.open_gate();
+        match &self.inner.kind {
+            EngineKind::Qpipe(e) => e.open_gate(),
+            EngineKind::Governed(g) => g.qpipe.open_gate(),
+            _ => {}
         }
     }
 
     /// Submit a query; returns a [`Ticket`].
     pub fn submit(&self, q: &StarQuery) -> Ticket {
-        let inner = &self.inner;
-        match &inner.kind {
+        match &self.inner.kind {
             EngineKind::Qpipe(e) => Ticket::Qpipe(e.submit(q)),
-            EngineKind::Cjoin(stage) => {
-                if inner.shared_agg {
-                    // DataPath extension: the distributor aggregates in
-                    // place; adapt the stage's buffered result to a Ticket.
-                    let slot = SlotResult::new(&inner.machine, inner.machine.now_ns());
-                    let agg = stage.submit_aggregated(q);
-                    let slot2 = Arc::clone(&slot);
-                    inner.machine.spawn(&format!("cj-sagg-q{}", q.id), move |ctx| {
-                        let rows = agg.wait();
-                        slot2.complete(rows, ctx.machine().now_ns());
-                    });
-                    return Ticket::Slot(slot);
-                }
-                // CJOIN evaluates the joins; a query-centric aggregation
-                // packet sits on top (paper §3.2: "subsequent operators in a
-                // query plan, e.g. aggregations or sorts, are query-centric").
-                let slot = SlotResult::new(&inner.machine, inner.machine.now_ns());
-                let mut output = stage.submit(q);
-                let fact_schema = inner.storage.schema(inner.storage.table(&q.fact));
-                let dim_schemas: Vec<_> = q
-                    .dims
-                    .iter()
-                    .map(|d| inner.storage.schema(inner.storage.table(&d.dim)))
-                    .collect();
-                let dim_refs: Vec<&workshare_common::Schema> =
-                    dim_schemas.iter().map(|s| s.as_ref()).collect();
-                let bound = bind(&fact_schema, &dim_refs, q);
-                let order = q.order_by.clone();
-                let cost = inner.cost;
-                let slot2 = Arc::clone(&slot);
-                let gate_ws = inner.gate_ws.clone();
-                let gate_open = Arc::clone(&inner.gate_open);
-                inner.machine.spawn(&format!("cj-agg-q{}", q.id), move |ctx| {
-                    if !gate_open.load(Ordering::Acquire) {
-                        gate_ws.wait_until(|| gate_open.load(Ordering::Acquire));
-                    }
-                    let mut agg = workshare_common::agg::Aggregator::new(&bound);
-                    while let Some(batch) = output.reader.next(ctx) {
-                        ctx.charge(
-                            CostKind::Aggregation,
-                            cost.agg_update_tuple_ns * batch.len() as f64,
-                        );
-                        for row in &batch.rows {
-                            agg.update(row);
-                        }
-                    }
-                    let groups = agg.group_count();
-                    ctx.charge(
-                        CostKind::Aggregation,
-                        cost.agg_group_output_ns * groups as f64,
-                    );
-                    if !order.is_empty() {
-                        ctx.charge(CostKind::Sort, cost.sort_cost(groups));
-                    }
-                    let rows = agg.finish(&order);
-                    slot2.complete(Arc::new(rows), ctx.machine().now_ns());
-                });
-                Ticket::Slot(slot)
+            EngineKind::Cjoin(stage) => self.submit_cjoin(stage, q, None),
+            EngineKind::Volcano => self.submit_volcano(q, None),
+            EngineKind::Governed(g) => self.submit_governed(g, q),
+        }
+    }
+
+    /// Live cost-model signals for routing `q`: catalog cardinalities plus
+    /// the CJOIN stage's observed selectivity / key-run / concurrency.
+    fn live_signals(&self, g: &Governed, q: &StarQuery) -> SharingSignals {
+        let storage = &self.inner.storage;
+        let fact_tuples = storage.row_count(storage.table(&q.fact)) as f64;
+        let dim_tuples: f64 = q
+            .dims
+            .iter()
+            .map(|d| storage.row_count(storage.table(&d.dim)) as f64)
+            .sum();
+        let rt = g.stage.runtime_stats();
+        let cold = SharingSignals::cold(fact_tuples, dim_tuples, q.dims.len());
+        SharingSignals {
+            dim_selectivity: rt.dim_selectivity.unwrap_or(cold.dim_selectivity),
+            avg_key_run: rt.avg_key_run,
+            // The governor sees load from both paths (its own in-flight
+            // count) and from the GQP (queries admitted by earlier
+            // submissions that are still wrapping).
+            concurrency: (g.in_flight.load(Ordering::Acquire) as f64)
+                .max(rt.active_queries as f64),
+            cores: g.cores,
+            pipeline_parallelism: g.pipeline_parallelism,
+            fact_bytes: storage.table_bytes(storage.table(&q.fact)) as f64,
+            disk_bandwidth_bytes_per_sec: g.disk_bandwidth,
+            ..cold
+        }
+    }
+
+    fn submit_governed(&self, g: &Governed, q: &StarQuery) -> Ticket {
+        let is_star =
+            !q.dims.is_empty() && self.inner.storage.table(&q.fact) == g.fact;
+        // One signals snapshot per submission: the decision, the recorded
+        // route, and the later calibration feedback all see the same state.
+        let signals =
+            (g.policy == ExecPolicy::Adaptive).then(|| self.live_signals(g, q));
+        let route = match g.policy {
+            ExecPolicy::QueryCentric => {
+                g.governor.record_forced(Route::QueryCentric);
+                Route::QueryCentric
             }
-            EngineKind::Volcano => {
-                let slot = SlotResult::new(&inner.machine, inner.machine.now_ns());
-                let slot2 = Arc::clone(&slot);
-                let storage = inner.storage.clone();
-                let cost = inner.cost;
-                let q = q.clone();
-                let gate_ws = inner.gate_ws.clone();
-                let gate_open = Arc::clone(&inner.gate_open);
-                inner.machine.spawn(&format!("volcano-q{}", q.id), move |ctx| {
-                    if !gate_open.load(Ordering::Acquire) {
-                        gate_ws.wait_until(|| gate_open.load(Ordering::Acquire));
-                    }
-                    let rows = run_volcano_query(ctx, &storage, &q, &cost);
-                    slot2.complete(Arc::new(rows), ctx.machine().now_ns());
-                });
-                Ticket::Slot(slot)
+            ExecPolicy::Shared => {
+                g.governor.record_forced(Route::Shared);
+                Route::Shared
+            }
+            // Non-star queries can't enter the GQP; they are still routed by
+            // the governor — the shared side just lands on QPipe below.
+            ExecPolicy::Adaptive => g.governor.decide(signals.as_ref().unwrap()),
+        };
+        let feedback = signals.map(|signals| {
+            g.in_flight.fetch_add(1, Ordering::AcqRel);
+            RouteFeedback {
+                governor: Arc::clone(&g.governor),
+                route,
+                signals,
+                in_flight: Arc::clone(&g.in_flight),
+            }
+        });
+        match route {
+            Route::QueryCentric => self.submit_volcano(q, feedback),
+            Route::Shared if is_star => self.submit_cjoin(&g.stage, q, feedback),
+            Route::Shared => {
+                let handle = g.qpipe.submit(q);
+                if let Some(fb) = feedback {
+                    let h = handle.clone();
+                    self.inner.machine.spawn(&format!("gov-obs-q{}", q.id), move |_| {
+                        h.wait();
+                        fb.complete(h.latency_secs());
+                    });
+                }
+                Ticket::Qpipe(handle)
             }
         }
+    }
+
+    /// Run `q` on the CJOIN stage: the joins are shared; a query-centric
+    /// aggregation packet sits on top (paper §3.2: "subsequent operators in
+    /// a query plan, e.g. aggregations or sorts, are query-centric") —
+    /// unless `shared_agg` folds aggregation into the distributor.
+    fn submit_cjoin(
+        &self,
+        stage: &CjoinStage,
+        q: &StarQuery,
+        feedback: Option<RouteFeedback>,
+    ) -> Ticket {
+        let inner = &self.inner;
+        let start_ns = inner.machine.now_ns();
+        if inner.shared_agg {
+            // DataPath extension: the distributor aggregates in place;
+            // adapt the stage's buffered result to a Ticket.
+            let slot = SlotResult::new(&inner.machine, start_ns);
+            let agg = stage.submit_aggregated(q);
+            let slot2 = Arc::clone(&slot);
+            inner.machine.spawn(&format!("cj-sagg-q{}", q.id), move |ctx| {
+                let rows = agg.wait();
+                let now = ctx.machine().now_ns();
+                slot2.complete(rows, now);
+                if let Some(fb) = &feedback {
+                    fb.complete((now - start_ns) / 1e9);
+                }
+            });
+            return Ticket::Slot(slot);
+        }
+        let slot = SlotResult::new(&inner.machine, start_ns);
+        let mut output = stage.submit(q);
+        let fact_schema = inner.storage.schema(inner.storage.table(&q.fact));
+        let dim_schemas: Vec<_> = q
+            .dims
+            .iter()
+            .map(|d| inner.storage.schema(inner.storage.table(&d.dim)))
+            .collect();
+        let dim_refs: Vec<&workshare_common::Schema> =
+            dim_schemas.iter().map(|s| s.as_ref()).collect();
+        let bound = bind(&fact_schema, &dim_refs, q);
+        let order = q.order_by.clone();
+        let cost = inner.cost;
+        let slot2 = Arc::clone(&slot);
+        let gate_ws = inner.gate_ws.clone();
+        let gate_open = Arc::clone(&inner.gate_open);
+        inner.machine.spawn(&format!("cj-agg-q{}", q.id), move |ctx| {
+            if !gate_open.load(Ordering::Acquire) {
+                gate_ws.wait_until(|| gate_open.load(Ordering::Acquire));
+            }
+            let mut agg = workshare_common::agg::Aggregator::new(&bound);
+            while let Some(batch) = output.reader.next(ctx) {
+                ctx.charge(
+                    CostKind::Aggregation,
+                    cost.agg_update_tuple_ns * batch.len() as f64,
+                );
+                for row in &batch.rows {
+                    agg.update(row);
+                }
+            }
+            let groups = agg.group_count();
+            ctx.charge(
+                CostKind::Aggregation,
+                cost.agg_group_output_ns * groups as f64,
+            );
+            if !order.is_empty() {
+                ctx.charge(CostKind::Sort, cost.sort_cost(groups));
+            }
+            let rows = agg.finish(&order);
+            let now = ctx.machine().now_ns();
+            slot2.complete(Arc::new(rows), now);
+            if let Some(fb) = &feedback {
+                fb.complete((now - start_ns) / 1e9);
+            }
+        });
+        Ticket::Slot(slot)
+    }
+
+    /// Run `q` on a private Volcano-style plan on its own vthread.
+    fn submit_volcano(&self, q: &StarQuery, feedback: Option<RouteFeedback>) -> Ticket {
+        let inner = &self.inner;
+        let start_ns = inner.machine.now_ns();
+        let slot = SlotResult::new(&inner.machine, start_ns);
+        let slot2 = Arc::clone(&slot);
+        let storage = inner.storage.clone();
+        let cost = inner.cost;
+        let q = q.clone();
+        let gate_ws = inner.gate_ws.clone();
+        let gate_open = Arc::clone(&inner.gate_open);
+        inner.machine.spawn(&format!("volcano-q{}", q.id), move |ctx| {
+            if !gate_open.load(Ordering::Acquire) {
+                gate_ws.wait_until(|| gate_open.load(Ordering::Acquire));
+            }
+            let rows = run_volcano_query(ctx, &storage, &q, &cost);
+            let now = ctx.machine().now_ns();
+            slot2.complete(Arc::new(rows), now);
+            if let Some(fb) = &feedback {
+                fb.complete((now - start_ns) / 1e9);
+            }
+        });
+        Ticket::Slot(slot)
     }
 
     /// Sharing statistics from the QPipe path, if applicable.
     pub fn qpipe_sharing(&self) -> Option<workshare_qpipe::SharingStats> {
         match &self.inner.kind {
             EngineKind::Qpipe(e) => Some(e.sharing_stats()),
+            EngineKind::Governed(g) => Some(g.qpipe.sharing_stats()),
             _ => None,
         }
     }
@@ -197,6 +377,15 @@ impl Engine {
     pub fn cjoin_stats(&self) -> Option<workshare_cjoin::CjoinStats> {
         match &self.inner.kind {
             EngineKind::Cjoin(s) => Some(s.stats()),
+            EngineKind::Governed(g) => Some(g.stage.stats()),
+            _ => None,
+        }
+    }
+
+    /// Routing statistics of the governed engine, if applicable.
+    pub fn governor_stats(&self) -> Option<GovernorStats> {
+        match &self.inner.kind {
+            EngineKind::Governed(g) => Some(g.governor.stats()),
             _ => None,
         }
     }
@@ -207,6 +396,10 @@ impl Engine {
             EngineKind::Qpipe(e) => e.shutdown(),
             EngineKind::Cjoin(s) => s.shutdown(),
             EngineKind::Volcano => {}
+            EngineKind::Governed(g) => {
+                g.stage.shutdown();
+                g.qpipe.shutdown();
+            }
         }
     }
 }

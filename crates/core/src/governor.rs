@@ -1,0 +1,407 @@
+//! The sharing governor: cost-driven routing between query-centric and
+//! shared execution.
+//!
+//! The paper's central finding is that shared execution (CJOIN/QPipe-style
+//! Global Query Plans) beats query-centric plans only **past a concurrency
+//! threshold** (§5.2), and that the threshold moves with workload shape —
+//! predicate selectivity, dimension sizes, and foreign-key clustering /
+//! join-product skew all shift it. A static engine choice is therefore wrong
+//! somewhere in every mixed workload. The governor makes the choice per
+//! submission:
+//!
+//! 1. Build [`SharingSignals`] for the query from the catalog (table
+//!    cardinalities) and live observations (in-flight query count, admission
+//!    selectivity, filter key-run length from
+//!    [`CjoinRuntimeStats`](workshare_cjoin::CjoinRuntimeStats)).
+//! 2. Ask the cost model for the predicted **response times** of both
+//!    paths at the current concurrency
+//!    ([`CostModel::query_centric_latency_ns`],
+//!    [`CostModel::shared_latency_ns`] — core saturation, preprocessor
+//!    admission queueing, pipeline parallelism and disk-bandwidth
+//!    amortization all modeled), each scaled by a calibration factor
+//!    learned from observed response times (EWMA of observed / predicted
+//!    per route).
+//! 3. Apply **hysteresis**: the losing path must undercut the winning one
+//!    by a margin before the route flips, so queries arriving near the
+//!    crossover do not flap between engines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use workshare_common::{CostModel, SharingSignals};
+
+/// Which execution path a submission is routed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Private Volcano-style plan: cheapest when the machine is idle.
+    QueryCentric,
+    /// Shared plan (CJOIN star / QPipe shared select): cheapest past the
+    /// concurrency crossover.
+    Shared,
+}
+
+/// Governor tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct GovernorConfig {
+    /// Relative margin by which the losing path's estimate must undercut
+    /// the current path's estimate before the route flips (0.25 = 25 %
+    /// cheaper). Larger values mean stickier routing.
+    pub hysteresis: f64,
+    /// EWMA smoothing factor for the observed/predicted calibration.
+    pub ewma_alpha: f64,
+    /// Largest concurrency probed by [`SharingGovernor::crossover`].
+    pub max_crossover: u32,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            hysteresis: 0.25,
+            ewma_alpha: 0.2,
+            max_crossover: 1024,
+        }
+    }
+}
+
+/// Routing counters reported alongside a run
+/// ([`RunReport::governor`](crate::harness::RunReport::governor)).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GovernorStats {
+    /// Submissions routed to the query-centric path.
+    pub routed_query_centric: u64,
+    /// Submissions routed to the shared path.
+    pub routed_shared: u64,
+    /// Route changes between consecutive decisions.
+    pub flips: u64,
+    /// Observed/predicted latency calibration of the query-centric path
+    /// (1.0 until observed).
+    pub query_centric_calibration: f64,
+    /// Observed/predicted latency calibration of the shared path (1.0 until
+    /// observed).
+    pub shared_calibration: f64,
+}
+
+struct GovState {
+    /// Last route decided — the hysteresis incumbent. One global cell: the
+    /// governor assumes a roughly homogeneous workload shape (as submitted
+    /// by the harness and bench batches); per-plan-signature incumbents for
+    /// heterogeneous streams are a ROADMAP open item.
+    route: Option<Route>,
+    /// EWMA of observed-latency / predicted-cost per route; `None` until
+    /// that route has completed a query.
+    qc_cal: Option<f64>,
+    sh_cal: Option<f64>,
+    flips: u64,
+}
+
+/// Per-submission router between query-centric and shared execution. Cheap
+/// to share behind an `Arc`; all methods take `&self`.
+pub struct SharingGovernor {
+    cost: CostModel,
+    config: GovernorConfig,
+    routed_qc: AtomicU64,
+    routed_sh: AtomicU64,
+    state: Mutex<GovState>,
+}
+
+impl SharingGovernor {
+    /// New governor over `cost` with `config` knobs.
+    pub fn new(cost: CostModel, config: GovernorConfig) -> SharingGovernor {
+        SharingGovernor {
+            cost,
+            config,
+            routed_qc: AtomicU64::new(0),
+            routed_sh: AtomicU64::new(0),
+            state: Mutex::new(GovState {
+                route: None,
+                qc_cal: None,
+                sh_cal: None,
+                flips: 0,
+            }),
+        }
+    }
+
+    /// The governor's cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Uncalibrated model estimate for `route` (the denominator of the
+    /// calibration ratio — calibrating against the calibrated value would
+    /// converge to the square root of the true model error).
+    fn raw_predicted_ns(&self, route: Route, signals: &SharingSignals) -> f64 {
+        match route {
+            Route::QueryCentric => self.cost.query_centric_latency_ns(signals),
+            Route::Shared => self.cost.shared_latency_ns(signals),
+        }
+    }
+
+    /// Calibrated cost estimate of running one query via `route` under the
+    /// live `signals`.
+    pub fn predicted_ns(&self, route: Route, signals: &SharingSignals) -> f64 {
+        let state = self.state.lock();
+        // Calibration is only applied when BOTH routes have been observed:
+        // a one-sided correction would bias the comparison toward whichever
+        // path happens to have run first.
+        let (qc_cal, sh_cal) = match (state.qc_cal, state.sh_cal) {
+            (Some(q), Some(s)) => (q, s),
+            _ => (1.0, 1.0),
+        };
+        drop(state);
+        let cal = match route {
+            Route::QueryCentric => qc_cal,
+            Route::Shared => sh_cal,
+        };
+        self.raw_predicted_ns(route, signals) * cal
+    }
+
+    /// Route one submission. Applies hysteresis around the cost crossover:
+    /// the route flips only when the other path's calibrated estimate
+    /// undercuts the current one by the configured margin.
+    pub fn decide(&self, signals: &SharingSignals) -> Route {
+        let qc = self.predicted_ns(Route::QueryCentric, signals);
+        let sh = self.predicted_ns(Route::Shared, signals);
+        let mut state = self.state.lock();
+        let margin = 1.0 - self.config.hysteresis.clamp(0.0, 0.9);
+        let route = match state.route {
+            // Cold start (`active_queries == 0`, nothing observed yet): a
+            // plain latency comparison — no incumbent to be sticky about.
+            None => {
+                if sh < qc {
+                    Route::Shared
+                } else {
+                    Route::QueryCentric
+                }
+            }
+            Some(Route::QueryCentric) => {
+                if sh < qc * margin {
+                    Route::Shared
+                } else {
+                    Route::QueryCentric
+                }
+            }
+            Some(Route::Shared) => {
+                if qc < sh * margin {
+                    Route::QueryCentric
+                } else {
+                    Route::Shared
+                }
+            }
+        };
+        if state.route.is_some_and(|prev| prev != route) {
+            state.flips += 1;
+        }
+        state.route = Some(route);
+        drop(state);
+        match route {
+            Route::QueryCentric => self.routed_qc.fetch_add(1, Ordering::Relaxed),
+            Route::Shared => self.routed_sh.fetch_add(1, Ordering::Relaxed),
+        };
+        route
+    }
+
+    /// Record a route that was forced by a pinned policy
+    /// ([`ExecPolicy::QueryCentric`](crate::config::ExecPolicy) /
+    /// [`ExecPolicy::Shared`](crate::config::ExecPolicy)) rather than
+    /// decided, so routing statistics stay meaningful for the static
+    /// baselines. Does not touch the hysteresis state.
+    pub fn record_forced(&self, route: Route) {
+        match route {
+            Route::QueryCentric => self.routed_qc.fetch_add(1, Ordering::Relaxed),
+            Route::Shared => self.routed_sh.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Feed back one completed query's observed response time against the
+    /// (uncalibrated) model estimate for the signals seen at routing time.
+    /// Updates the route's calibration EWMA so future estimates absorb
+    /// queueing and model error.
+    pub fn observe_latency(&self, route: Route, observed_secs: f64, signals: &SharingSignals) {
+        let predicted_ns = self.raw_predicted_ns(route, signals);
+        if predicted_ns <= 0.0 || observed_secs < 0.0 {
+            return;
+        }
+        let ratio = (observed_secs * 1e9) / predicted_ns;
+        let alpha = self.config.ewma_alpha.clamp(0.0, 1.0);
+        let mut state = self.state.lock();
+        let cell = match route {
+            Route::QueryCentric => &mut state.qc_cal,
+            Route::Shared => &mut state.sh_cal,
+        };
+        *cell = Some(match *cell {
+            None => ratio,
+            Some(prev) => (1.0 - alpha) * prev + alpha * ratio,
+        });
+    }
+
+    /// Estimated concurrency crossover for `signals`' workload shape (the
+    /// smallest query count at which sharing wins).
+    pub fn crossover(&self, signals: &SharingSignals) -> u32 {
+        self.cost
+            .sharing_crossover_queries(signals, self.config.max_crossover)
+    }
+
+    /// Routing statistics.
+    pub fn stats(&self) -> GovernorStats {
+        let state = self.state.lock();
+        GovernorStats {
+            routed_query_centric: self.routed_qc.load(Ordering::Relaxed),
+            routed_shared: self.routed_sh.load(Ordering::Relaxed),
+            flips: state.flips,
+            query_centric_calibration: state.qc_cal.unwrap_or(1.0),
+            shared_calibration: state.sh_cal.unwrap_or(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Memory-resident scan-heavy SSB-like shape: the pipelined shared plan
+    /// beats the serial private plan at idle, but crowds serialize their
+    /// admissions and hand the win back to query-centric plans.
+    fn signals(concurrency: f64) -> SharingSignals {
+        SharingSignals {
+            dim_selectivity: 0.1,
+            concurrency,
+            ..SharingSignals::cold(30_000.0, 4_000.0, 3)
+        }
+    }
+
+    /// Admission-dominated shape (tiny fact, huge dimension): sharing has
+    /// nothing to amortize and pays the admission scans up front —
+    /// query-centric at every concurrency.
+    fn flat_signals(concurrency: f64) -> SharingSignals {
+        SharingSignals {
+            dim_selectivity: 0.5,
+            concurrency,
+            ..SharingSignals::cold(2_000.0, 50_000.0, 1)
+        }
+    }
+
+    /// Disk-resident variant of the scan-heavy shape: one circular scan
+    /// feeds everyone, n private streams split the device.
+    fn disk_signals(concurrency: f64) -> SharingSignals {
+        SharingSignals {
+            fact_bytes: 11.5e6,
+            disk_bandwidth_bytes_per_sec: 220.0 * 1024.0 * 1024.0,
+            ..signals(concurrency)
+        }
+    }
+
+    fn governor() -> SharingGovernor {
+        SharingGovernor::new(CostModel::default(), GovernorConfig::default())
+    }
+
+    #[test]
+    fn cold_start_decides_from_the_model_without_history() {
+        // `active_queries == 0`, nothing observed: the decision is a plain
+        // latency comparison per workload shape, and stats stay coherent.
+        let g = governor();
+        assert_eq!(g.decide(&flat_signals(0.0)), Route::QueryCentric);
+        let st = g.stats();
+        assert_eq!(st.routed_query_centric, 1);
+        assert_eq!(st.routed_shared, 0);
+        assert_eq!(st.flips, 0);
+        // A scan-heavy shape cold-starts shared instead: the pipelined
+        // wrap beats a fully serial private plan even for a lone query.
+        let g2 = governor();
+        assert_eq!(g2.decide(&signals(0.0)), Route::Shared);
+        assert_eq!(g2.stats().flips, 0);
+    }
+
+    #[test]
+    fn crowds_route_by_residency() {
+        // Memory-resident crowd: admission serialization loses — QC.
+        let g = governor();
+        assert_eq!(g.decide(&flat_signals(63.0)), Route::QueryCentric);
+        // Disk-resident crowd: bandwidth amortization wins — Shared.
+        let g2 = governor();
+        assert_eq!(g2.decide(&disk_signals(63.0)), Route::Shared);
+    }
+
+    #[test]
+    fn hysteresis_prevents_flapping_at_the_threshold() {
+        let cost = CostModel::default();
+        // Find the concurrency where the memory-resident estimates cross
+        // (shared wins below, query-centric above), then check the
+        // estimates really are within the hysteresis band there.
+        let cross = (1..512)
+            .find(|&c| {
+                cost.shared_latency_ns(&signals(c as f64))
+                    > cost.query_centric_latency_ns(&signals(c as f64))
+            })
+            .expect("memory-resident shape must cross") as f64;
+        let qc = cost.query_centric_latency_ns(&signals(cross));
+        let sh = cost.shared_latency_ns(&signals(cross));
+        assert!((qc - sh).abs() < 0.25 * qc, "qc={qc} sh={sh}");
+        // Oscillate the concurrency either side of the threshold: without
+        // hysteresis every decision would flip; with it the route settles
+        // after at most one transition.
+        let g = governor();
+        let mut routes = Vec::new();
+        for i in 0..40 {
+            let c = if i % 2 == 0 { cross + 2.0 } else { (cross - 2.0).max(0.0) };
+            routes.push(g.decide(&signals(c)));
+        }
+        assert!(
+            g.stats().flips <= 1,
+            "route flapped {} times across the threshold: {routes:?}",
+            g.stats().flips
+        );
+    }
+
+    #[test]
+    fn large_swings_still_flip_the_route() {
+        let g = governor();
+        assert_eq!(g.decide(&flat_signals(2.0)), Route::QueryCentric);
+        // A disk-resident crowd is decisively shared…
+        assert_eq!(g.decide(&disk_signals(64.0)), Route::Shared);
+        // …and a memory-resident admission-bound crowd decisively isn't.
+        assert_eq!(g.decide(&flat_signals(200.0)), Route::QueryCentric);
+        assert_eq!(g.stats().flips, 2);
+    }
+
+    #[test]
+    fn calibration_waits_for_both_routes() {
+        let g = governor();
+        let s = signals(4.0);
+        let base = g.predicted_ns(Route::Shared, &s);
+        // Observing only the shared route must not change estimates…
+        g.observe_latency(Route::Shared, 1.0, &s);
+        assert_eq!(g.predicted_ns(Route::Shared, &s), base);
+        // …but once both routes are observed, calibration applies.
+        g.observe_latency(Route::QueryCentric, 1.0, &s);
+        assert!(g.stats().shared_calibration > 0.0);
+    }
+
+    #[test]
+    fn calibration_converges_to_the_model_error_not_its_square_root() {
+        let g = governor();
+        let s = signals(4.0);
+        let cost = CostModel::default();
+        let raw_sh = cost.shared_latency_ns(&s);
+        let raw_qc = cost.query_centric_latency_ns(&s);
+        // Reality is 4× the model on the shared path, exact on the other.
+        for _ in 0..200 {
+            g.observe_latency(Route::Shared, 4.0 * raw_sh / 1e9, &s);
+            g.observe_latency(Route::QueryCentric, raw_qc / 1e9, &s);
+        }
+        let st = g.stats();
+        assert!((st.shared_calibration - 4.0).abs() < 0.1, "{st:?}");
+        assert!((st.query_centric_calibration - 1.0).abs() < 0.1, "{st:?}");
+        // The calibrated estimate reflects the full 4×, not √4.
+        assert!((g.predicted_ns(Route::Shared, &s) / raw_sh - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn bad_observations_are_ignored() {
+        let g = governor();
+        g.observe_latency(Route::QueryCentric, -1.0, &signals(4.0));
+        let st = g.stats();
+        assert_eq!(st.shared_calibration, 1.0);
+        assert_eq!(st.query_centric_calibration, 1.0);
+    }
+}

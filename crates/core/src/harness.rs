@@ -38,6 +38,8 @@ pub struct RunReport {
     pub qpipe_sharing: Option<workshare_qpipe::SharingStats>,
     /// CJOIN statistics (if the engine was a CJOIN variant).
     pub cjoin: Option<workshare_cjoin::CjoinStats>,
+    /// Sharing-governor routing statistics (if the run was governed).
+    pub governor: Option<crate::governor::GovernorStats>,
     /// Query results (kept only when requested).
     pub results: Option<Vec<Arc<Vec<Row>>>>,
 }
@@ -120,7 +122,7 @@ pub fn run_batch_on(
         0.0
     };
     let report = RunReport {
-        config: config.engine.label(),
+        config: config.label(),
         queries: queries.len(),
         latencies_secs,
         makespan_secs,
@@ -130,6 +132,7 @@ pub fn run_batch_on(
         disk,
         qpipe_sharing: engine.qpipe_sharing(),
         cjoin: engine.cjoin_stats(),
+        governor: engine.governor_stats(),
         results: keep_results.then_some(rows),
     };
     engine.shutdown();
@@ -181,7 +184,7 @@ pub fn run_staggered(
     let makespan_secs = (end_ns - start_ns) / 1e9;
     let disk = machine.disk_stats().delta(&disk0);
     let report = RunReport {
-        config: config.engine.label(),
+        config: config.label(),
         queries: queries.len(),
         latencies_secs,
         makespan_secs,
@@ -195,6 +198,7 @@ pub fn run_staggered(
         disk,
         qpipe_sharing: engine.qpipe_sharing(),
         cjoin: engine.cjoin_stats(),
+        governor: engine.governor_stats(),
         results: keep_results.then_some(rows),
     };
     engine.shutdown();
@@ -284,7 +288,7 @@ where
     let window_ns = machine.now_ns().min(window_secs * 1e9).max(1.0);
     let disk = machine.disk_stats().delta(&disk0);
     let report = ThroughputReport {
-        config: config.engine.label(),
+        config: config.label(),
         clients,
         completed,
         queries_per_hour: completed as f64 / (window_secs / 3600.0),

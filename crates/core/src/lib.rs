@@ -12,10 +12,22 @@
 //! | `CJOIN-SP`  | circular fact    | GQP shared hash-joins     | CJOIN packets |
 //! | `Volcano`   | independent      | query-centric, 1 thread   | —  |
 //!
+//! On top of the static configurations sits the **sharing governor**
+//! ([`governor`]): with [`RunConfig::policy`] set to
+//! [`ExecPolicy::Adaptive`], the engine builds *both* paths and routes each
+//! submission between a private query-centric plan and the shared plan from
+//! cost-model estimates parameterized by live signals (in-flight queries,
+//! observed admission selectivity, filter key-run length), with hysteresis
+//! so routes don't flap at the crossover. [`ExecPolicy::QueryCentric`] and
+//! [`ExecPolicy::Shared`] pin the governed engine to one path (the bench
+//! baselines).
+//!
 //! Entry points:
 //!
 //! * [`Dataset`] — generate SSB / TPC-H data once, instantiate per run.
 //! * [`RunConfig`] / [`NamedConfig`] — select engine, cores, I/O mode.
+//! * [`ExecPolicy`] / [`SharingGovernor`] — adaptive routing between
+//!   query-centric and shared execution.
 //! * [`Engine`] — submit [`StarQuery`]s, receive [`Ticket`]s.
 //! * [`harness`] — batch & closed-loop client runs with paper-style reports.
 //! * [`workload`] — SSB Q1.1 / Q2.1 / Q3.2 and TPC-H Q1 templates with
@@ -24,14 +36,16 @@
 pub mod config;
 pub mod dataset;
 pub mod engine;
+pub mod governor;
 pub mod harness;
 pub mod ticket;
 pub mod volcano;
 pub mod workload;
 
-pub use config::{NamedConfig, RunConfig};
+pub use config::{ExecPolicy, NamedConfig, RunConfig};
 pub use dataset::Dataset;
 pub use engine::Engine;
+pub use governor::{GovernorConfig, GovernorStats, Route, SharingGovernor};
 pub use harness::{run_batch, run_clients, run_staggered, RunReport, ThroughputReport};
 pub use ticket::Ticket;
 

@@ -2,7 +2,7 @@
 //!
 //! Implements the subset of proptest this workspace's property tests use:
 //! the [`proptest!`] macro (with `#![proptest_config(...)]`), range / tuple /
-//! [`Just`] / [`any`] / `prop_oneof!` strategies, `prop_map`, the
+//! `Just` / `any` / `prop_oneof!` strategies, `prop_map`, the
 //! `collection::{vec, btree_set}` combinators, and `prop_assert*` macros.
 //!
 //! Differences from real proptest, by design: cases are generated from a

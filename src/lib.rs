@@ -6,15 +6,16 @@
 //! This root crate re-exports the public facade from [`workshare_core`]; the
 //! individual subsystems live in their own crates:
 //!
-//! * [`workshare_sim`] — virtual-time multicore machine and simulated disk.
-//! * [`workshare_common`] — values, schemas, predicates, plans, bitmaps.
-//! * [`workshare_storage`] — paged storage manager, buffer pool, FS cache.
-//! * [`workshare_datagen`] — SSB / TPC-H data generators.
-//! * [`workshare_qpipe`] — staged engine with Simultaneous Pipelining (SP).
-//! * [`workshare_cjoin`] — CJOIN Global Query Plan with shared operators.
+//! * `workshare-sim` — virtual-time multicore machine and simulated disk.
+//! * `workshare-common` — values, schemas, predicates, plans, bitmaps.
+//! * `workshare-storage` — paged storage manager, buffer pool, FS cache.
+//! * `workshare-datagen` — SSB / TPC-H data generators.
+//! * `workshare-qpipe` — staged engine with Simultaneous Pipelining (SP).
+//! * `workshare-cjoin` — CJOIN Global Query Plan with shared operators.
 //! * [`workshare_core`] — engine configurations, planner, harness, workloads.
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+//! See `README.md` for a quickstart and `docs/FIGURES.md` for the map of
+//! paper-figure binaries.
 
 pub use workshare_core::*;
 

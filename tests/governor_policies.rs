@@ -1,0 +1,151 @@
+//! Engine-level tests of the sharing governor: the three [`ExecPolicy`]
+//! variants must agree on results, and the adaptive router must pick the
+//! sane path at both ends of the concurrency spectrum.
+
+use workshare::harness::run_batch;
+use workshare::{workload, Dataset, ExecPolicy, NamedConfig, RunConfig, StarQuery};
+use workshare_common::value::Row;
+use workshare_common::{AggSpec, ColRef, Predicate};
+
+fn dataset() -> Dataset {
+    Dataset::ssb(0.05, 11)
+}
+
+fn q32_batch(n: usize, seed: u64) -> Vec<StarQuery> {
+    let mut r = workload::rng(seed);
+    (0..n).map(|i| workload::ssb_q3_2(i as u64, &mut r)).collect()
+}
+
+#[test]
+fn all_policies_agree_on_results() {
+    let d = dataset();
+    let queries = q32_batch(4, 5);
+    let baseline = run_batch(&d, &RunConfig::named(NamedConfig::Volcano), &queries, true);
+    let expect: Vec<Vec<Row>> = baseline
+        .results
+        .unwrap()
+        .iter()
+        .map(|r| (**r).clone())
+        .collect();
+    for policy in [
+        ExecPolicy::QueryCentric,
+        ExecPolicy::Shared,
+        ExecPolicy::Adaptive,
+    ] {
+        let rep = run_batch(&d, &RunConfig::governed(policy), &queries, true);
+        let got: Vec<Vec<Row>> = rep
+            .results
+            .unwrap()
+            .iter()
+            .map(|r| (**r).clone())
+            .collect();
+        assert_eq!(got, expect, "{policy:?} diverged from Volcano");
+    }
+}
+
+#[test]
+fn adaptive_cold_start_completes_and_records_one_route() {
+    // `active_queries == 0`, no calibration history: the governor must
+    // still produce a correct result and coherent stats.
+    let d = dataset();
+    let mut r = workload::rng(3);
+    let queries = vec![workload::ssb_q1_1(1, &mut r)];
+    let baseline = run_batch(&d, &RunConfig::named(NamedConfig::Volcano), &queries, true);
+    let rep = run_batch(
+        &d,
+        &RunConfig::governed(ExecPolicy::Adaptive),
+        &queries,
+        true,
+    );
+    assert_eq!(rep.results.unwrap()[0], baseline.results.unwrap()[0]);
+    let gov = rep.governor.expect("governed run must report stats");
+    assert_eq!(gov.routed_query_centric + gov.routed_shared, 1, "{gov:?}");
+    assert_eq!(gov.flips, 0, "{gov:?}");
+    // A date-only star on a memory-resident database is admission-bound:
+    // the lone query runs its private plan.
+    assert_eq!(gov.routed_query_centric, 1, "{gov:?}");
+}
+
+#[test]
+fn adaptive_routes_memory_crowd_query_centric() {
+    // Memory-resident tiny fact: the circular scan amortizes almost
+    // nothing while every admission serializes in the preprocessor — the
+    // governor should hand crowds to private plans after the ramp-up.
+    let d = dataset();
+    let rep = run_batch(
+        &d,
+        &RunConfig::governed(ExecPolicy::Adaptive),
+        &q32_batch(32, 7),
+        false,
+    );
+    let gov = rep.governor.expect("governed run must report stats");
+    assert!(
+        gov.routed_query_centric > gov.routed_shared,
+        "memory-resident 32-query batch should lean query-centric: {gov:?}"
+    );
+    // Hysteresis: ramping concurrency 0→31 crosses the threshold once.
+    assert!(gov.flips <= 2, "routing flapped: {gov:?}");
+}
+
+#[test]
+fn adaptive_routes_disk_crowd_shared() {
+    // Disk-resident: one circular scan feeds everyone while private scans
+    // split the device — the crowd must go shared.
+    let d = Dataset::ssb(0.3, 11);
+    let mut cfg = RunConfig::governed(ExecPolicy::Adaptive);
+    cfg.io_mode = workshare::IoMode::BufferedDisk;
+    let rep = run_batch(&d, &cfg, &q32_batch(12, 7), false);
+    let gov = rep.governor.expect("governed run must report stats");
+    assert!(
+        gov.routed_shared > gov.routed_query_centric,
+        "disk-resident 12-query batch should lean shared: {gov:?}"
+    );
+    assert!(gov.flips <= 1, "routing flapped: {gov:?}");
+    // The shared queries really entered the GQP.
+    assert!(rep.cjoin.unwrap().admitted > 0);
+}
+
+#[test]
+fn governed_shared_falls_back_to_qpipe_for_non_star_queries() {
+    let d = dataset();
+    // A dimension-less scan-aggregate cannot enter the CJOIN GQP; the
+    // governed engine's shared route must run it on QPipe instead.
+    let q = StarQuery {
+        id: 1,
+        fact: "lineorder".into(),
+        fact_pred: Predicate::True,
+        dims: vec![],
+        group_by: vec![],
+        aggs: vec![AggSpec::sum(ColRef::fact("lo_revenue"))],
+        order_by: vec![],
+    };
+    let queries = vec![q];
+    let baseline = run_batch(&d, &RunConfig::named(NamedConfig::Volcano), &queries, true);
+    let rep = run_batch(
+        &d,
+        &RunConfig::governed(ExecPolicy::Shared),
+        &queries,
+        true,
+    );
+    assert_eq!(
+        rep.results.unwrap()[0],
+        baseline.results.unwrap()[0],
+        "qpipe fallback result diverged"
+    );
+    assert_eq!(rep.cjoin.unwrap().admitted, 0, "must not enter the GQP");
+}
+
+#[test]
+fn policy_labels_flow_into_reports() {
+    let d = dataset();
+    let rep = run_batch(
+        &d,
+        &RunConfig::governed(ExecPolicy::Adaptive),
+        &q32_batch(2, 9),
+        false,
+    );
+    assert_eq!(rep.config, "Adaptive");
+    let rep = run_batch(&d, &RunConfig::named(NamedConfig::QpipeSp), &q32_batch(2, 9), false);
+    assert_eq!(rep.config, "QPipe-SP");
+    assert!(rep.governor.is_none());
+}
