@@ -297,6 +297,60 @@ impl BitmapBank {
         BitmapBank::default()
     }
 
+    /// Resize to `len` tuples of all-zero bitmaps able to hold `nbits` bits
+    /// each, reusing the allocation. This is the layout of a **per-query
+    /// selection bank**: multi-predicate evaluation
+    /// ([`crate::Predicate::eval_batch_multi`]) sets bit `q` of tuple `i`
+    /// when predicate `q` selects row `i`, so one pass over a decoded page
+    /// yields every pending query's selection at once.
+    pub fn reset_zeros(&mut self, len: usize, nbits: usize) {
+        self.stride = nbits.div_ceil(64).max(1);
+        self.len = len;
+        self.words.clear();
+        self.words.resize(len * self.stride, 0);
+    }
+
+    /// Set bit `bit` of tuple `i` (must be within the bank's stride).
+    #[inline]
+    pub fn set(&mut self, i: usize, bit: usize) {
+        debug_assert!(bit / 64 < self.stride);
+        self.words[i * self.stride + bit / 64] |= 1u64 << (bit % 64);
+    }
+
+    /// Whether tuple `i` has any bit set.
+    #[inline]
+    pub fn row_any(&self, i: usize) -> bool {
+        self.row(i).iter().any(|w| *w != 0)
+    }
+
+    /// Iterate the set bit indices of tuple `i` in ascending order.
+    pub fn row_ones(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.row(i).iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// Number of tuples with bit `bit` set (a column population count —
+    /// per-query admission-scan hit counts for the selectivity EWMA).
+    pub fn count_column(&self, bit: usize) -> usize {
+        let (wi, mask) = (bit / 64, 1u64 << (bit % 64));
+        if wi >= self.stride {
+            return 0;
+        }
+        (0..self.len)
+            .filter(|&i| self.words[i * self.stride + wi] & mask != 0)
+            .count()
+    }
+
     /// Resize to `len` tuples and stamp every tuple's bitmap with a copy of
     /// `seed` (the page's active-query membership), reusing the allocation.
     pub fn reset(&mut self, len: usize, seed: &QueryBitmap) {
@@ -734,6 +788,28 @@ mod tests {
         assert_eq!(dst.len(), 2);
         assert_eq!(dst.to_query_bitmap(0), bank.to_query_bitmap(0));
         assert_eq!(dst.to_query_bitmap(1), bank.to_query_bitmap(2));
+    }
+
+    #[test]
+    fn bank_reset_zeros_set_and_column_ops() {
+        let mut bank = BitmapBank::new();
+        bank.reset_zeros(5, 70); // 2-word stride
+        assert_eq!(bank.stride(), 2);
+        assert_eq!(bank.len(), 5);
+        assert!(!bank.any_alive());
+        bank.set(0, 3);
+        bank.set(0, 69);
+        bank.set(4, 3);
+        assert!(bank.row_any(0) && !bank.row_any(1) && bank.row_any(4));
+        assert_eq!(bank.row_ones(0).collect::<Vec<_>>(), vec![3, 69]);
+        assert_eq!(bank.count_column(3), 2);
+        assert_eq!(bank.count_column(69), 1);
+        assert_eq!(bank.count_column(40), 0);
+        assert_eq!(bank.count_column(1000), 0, "out-of-stride column is zero");
+        // Reuse shrinks and clears stale bits.
+        bank.reset_zeros(2, 1);
+        assert_eq!(bank.stride(), 1);
+        assert!(!bank.row_any(0) && !bank.row_any(1));
     }
 
     #[test]

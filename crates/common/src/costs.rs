@@ -145,6 +145,22 @@ impl CostModel {
             + self.select_term_vec_ns * terms.max(1) as f64 * n as f64
     }
 
+    /// Cost of one **shared** admission-scan page: the page is decoded and
+    /// its rows hashed/bit-extended once for the whole pending batch
+    /// (`admission_tuple_ns` per physical row), while each of the `pending`
+    /// queries pays only its own predicate evaluation at the batch rate
+    /// (`total_terms` = Σ per-query `max(term_count, 1)`).
+    ///
+    /// This replaces the serial path's per-query full-scan charges
+    /// (`admission_tuple_ns × rows` *per query*) — the de-serialization that
+    /// makes admission cost grow with *distinct dimension pages + pending
+    /// queries* instead of *pages × queries*.
+    pub fn admission_batch_cost(&self, rows: usize, pending: usize, total_terms: usize) -> f64 {
+        self.admission_tuple_ns * rows as f64
+            + pending.max(1) as f64 * self.select_batch_fixed_ns
+            + self.select_term_vec_ns * total_terms.max(pending.max(1)) as f64 * rows as f64
+    }
+
     /// Virtual CPU work of evaluating **one** star query with a private
     /// query-centric plan (the Volcano path): scan the fact and dimension
     /// tables, build private hash tables, probe per fact tuple, aggregate
@@ -169,9 +185,12 @@ impl CostModel {
     /// distributor routing charges grow with the query's own membership.
     pub fn shared_marginal_query_ns(&self, s: &SharingSignals) -> f64 {
         let n = s.concurrency + 1.0;
+        // Shared-scan admission: the physical dimension scan is performed
+        // once per admission batch and amortizes over the crowd; only the
+        // per-query predicate evaluation stays private.
         let admission = self.admission_query_fixed_ns
-            + (self.scan_tuple_ns + self.admission_tuple_ns + self.select_term_vec_ns)
-                * s.dim_tuples;
+            + (self.scan_tuple_ns + self.admission_tuple_ns) * s.dim_tuples / n
+            + self.select_term_vec_ns * s.dim_tuples;
         let shared_scan = (self.scan_tuple_ns * s.fact_tuples
             + self.scan_page_fixed_ns * (s.fact_tuples / TUPLES_PER_PAGE).max(1.0))
             / n;
@@ -205,19 +224,28 @@ impl CostModel {
     }
 
     /// Estimated **response time** of joining the shared plan at
-    /// `s.concurrency`: the admission scans (serialized in the
-    /// preprocessor, so a batch of arrivals queues — the `concurrency/2`
-    /// expected-wait term), one full circular-scan wrap (latency is never
-    /// amortized: every query must see every fact page), the shared filter
-    /// work spread over the pipeline workers, this query's own
-    /// routing/aggregation, and **one** scan's worth of disk time
+    /// `s.concurrency`: the shared-scan admission (one physical dimension
+    /// scan per admission batch, run by off-thread admission workers
+    /// overlapping the circular scan), one full circular-scan wrap (latency
+    /// is never amortized: every query must see every fact page), the
+    /// shared filter work spread over the pipeline workers, this query's
+    /// own routing/aggregation, and **one** scan's worth of disk time
     /// regardless of concurrency — the bandwidth amortization that makes
     /// shared execution win disk-resident.
+    ///
+    /// The queueing term behind admission holds only the **marginal**
+    /// per-query work of the other arrivals (slot bookkeeping + predicate
+    /// evaluation), not their full dimension scans: batched arrivals share
+    /// one scan pass. Before the admission de-serialization this term
+    /// carried each queued arrival's *entire* admission (full scans ×
+    /// `concurrency/2`), which is what used to flip memory-resident crowds
+    /// back to query-centric plans.
     pub fn shared_latency_ns(&self, s: &SharingSignals) -> f64 {
-        let admission = self.admission_query_fixed_ns
-            + (self.scan_tuple_ns + self.admission_tuple_ns + self.select_term_vec_ns)
-                * s.dim_tuples;
-        let admission_queue = admission * s.concurrency / 2.0;
+        let admission_scan = (self.scan_tuple_ns + self.admission_tuple_ns) * s.dim_tuples;
+        let admission_own = self.select_term_vec_ns * s.dim_tuples;
+        let admission = self.admission_query_fixed_ns + admission_scan + admission_own;
+        let admission_queue =
+            (self.admission_query_fixed_ns / 10.0 + admission_own) * s.concurrency / 2.0;
         let wrap_scan = self.scan_tuple_ns * s.fact_tuples
             + self.scan_page_fixed_ns * (s.fact_tuples / TUPLES_PER_PAGE).max(1.0);
         let filter = self.filter_probe_run_ns * (s.fact_tuples / s.avg_key_run.max(1.0))
@@ -239,10 +267,13 @@ impl CostModel {
     /// respond faster than query-centric execution for this workload shape
     /// (the paper's §5.2 crossover, made explicit). Returns the smallest
     /// `n ≥ 1` whose latency estimates favor sharing, or `max_n` if
-    /// sharing never wins within the probed range. Note the crossover can
-    /// be 1 (scan-dominated disk-resident workloads, where the pipelined
-    /// shared plan beats a serial private plan even alone) or `max_n`
-    /// (admission-dominated shapes on a memory-resident database).
+    /// sharing never wins within the probed range. The crossover can be 1
+    /// (scan-dominated workloads, where the pipelined shared plan beats a
+    /// serial private plan even alone). Admission-dominated shapes on a
+    /// memory-resident database cross late but no longer never: with
+    /// shared-scan admission the dimension scans amortize over the batch,
+    /// so once private plans saturate the cores the shared path's cheaper
+    /// per-query increment always wins the crowd.
     pub fn sharing_crossover_queries(&self, s: &SharingSignals, max_n: u32) -> u32 {
         for n in 1..=max_n {
             let probe = SharingSignals {
@@ -408,14 +439,24 @@ mod tests {
         // serially)…
         let mem = ssb_like_signals();
         assert!(c.shared_latency_ns(&mem) < c.query_centric_latency_ns(&mem));
-        // …but a crowd serializes its admissions in the preprocessor, and
-        // the private plans (which amortize nothing but saturate 24 cores
-        // gracefully) win back.
+        // …and with shared-scan admission the crowd keeps sharing: queued
+        // arrivals add only their predicate-evaluation increment, not a
+        // full private dimension scan each, so the old memory-resident
+        // inversion (crowds flipping back to query-centric) is gone for
+        // scan-heavy shapes.
         let crowd = SharingSignals {
             concurrency: 63.0,
             ..mem
         };
-        assert!(c.shared_latency_ns(&crowd) > c.query_centric_latency_ns(&crowd));
+        assert!(c.shared_latency_ns(&crowd) < c.query_centric_latency_ns(&crowd));
+        // Admission-dominated shape (tiny fact, huge dimensions) at idle:
+        // the one place query-centric still wins memory-resident — a lone
+        // query pays the whole admission scan with nothing to amortize it.
+        let flat = SharingSignals {
+            dim_selectivity: 0.1,
+            ..SharingSignals::cold(2_000.0, 50_000.0, 1)
+        };
+        assert!(c.shared_latency_ns(&flat) > c.query_centric_latency_ns(&flat));
         // Disk-resident, the paper's headline regime: one circular scan
         // feeds everyone while 64 private streams split the device —
         // sharing wins the crowd by an order of magnitude.
@@ -435,32 +476,61 @@ mod tests {
         let s = ssb_like_signals();
         let x = c.sharing_crossover_queries(&s, 1024);
         assert_eq!(x, 1, "scan-heavy shape should share immediately");
-        // Admission-dominated shape: sharing never wins memory-resident.
+        // Admission-dominated shape: before the admission de-serialization
+        // this shape never shared memory-resident (crossover = max_n). With
+        // batched shared scans the crossover is late but finite — the
+        // private plans saturate the cores while the shared path's
+        // per-query increment stays flat.
         let flat = SharingSignals {
-            dim_selectivity: 0.5,
+            dim_selectivity: 0.1,
             ..SharingSignals::cold(2_000.0, 50_000.0, 1)
         };
-        assert_eq!(c.sharing_crossover_queries(&flat, 256), 256);
+        let late = c.sharing_crossover_queries(&flat, 256);
+        assert!(
+            late > 16 && late < 256,
+            "admission-dominated shape should cross late but finitely, got {late}"
+        );
     }
 
     #[test]
     fn skew_tips_a_boundary_shape_to_shared() {
         // A shape balanced so the per-run probe term decides the contest:
         // with unclustered keys (runs of 1) the admission scans keep
-        // sharing underwater at every concurrency, while 16-tuple key runs
-        // (clustered loads, join-product skew) collapse the probe cost and
-        // tip the crossover from "never" to "immediately".
+        // sharing underwater until the cores saturate, while 16-tuple key
+        // runs (clustered loads, join-product skew) collapse the probe cost
+        // and tip the crossover from "late" to "immediately".
         let c = CostModel::default();
         let boundary = SharingSignals {
             dim_selectivity: 0.1,
             ..SharingSignals::cold(40_000.0, 200_000.0, 3)
         };
-        assert_eq!(c.sharing_crossover_queries(&boundary, 256), 256);
+        assert!(c.sharing_crossover_queries(&boundary, 256) > 8);
         let skewed = SharingSignals {
             avg_key_run: 16.0,
             ..boundary
         };
         assert_eq!(c.sharing_crossover_queries(&skewed, 256), 1);
+    }
+
+    #[test]
+    fn admission_batch_cost_shares_the_scan_not_the_predicates() {
+        let c = CostModel::default();
+        // One query: batch cost within a fixed term of the serial charge.
+        let serial_one = c.admission_tuple_ns * 1000.0 + c.select_batch_cost(2, 1000);
+        assert_eq!(c.admission_batch_cost(1000, 1, 2), serial_one);
+        // 32 queries sharing the scan: the physical per-row work is paid
+        // once, so the batch is far cheaper than 32 serial scans…
+        let serial_32 = 32.0 * serial_one;
+        let shared_32 = c.admission_batch_cost(1000, 32, 64);
+        assert!(
+            shared_32 * 2.0 < serial_32,
+            "shared {shared_32} vs serial {serial_32}"
+        );
+        // …while still growing with pending queries and predicate width.
+        assert!(shared_32 > c.admission_batch_cost(1000, 1, 2));
+        assert!(c.admission_batch_cost(1000, 32, 128) > shared_32);
+        // Degenerate inputs stay sane (zero-term predicates charge one).
+        assert!(c.admission_batch_cost(0, 0, 0) > 0.0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use std::hash::{Hash, Hasher};
 
-use crate::bitmap::SelVec;
+use crate::bitmap::{BitmapBank, SelVec};
 use crate::value::{Row, Value};
 
 /// Comparison operator.
@@ -154,6 +154,39 @@ impl Predicate {
     pub fn eval_batch_into(&self, rows: &[Row], sel: &mut SelVec) {
         sel.reset(rows.len(), true);
         self.restrict(&|i| &rows[i], sel);
+    }
+
+    /// Evaluate **many predicates** over one batch in a single pass,
+    /// producing a per-query selection bank: bit `q` of tuple `i` is set iff
+    /// `preds[q]` selects `rows[i]`. The bank is word-strided
+    /// ([`BitmapBank`]), so a row selected by several queries carries all
+    /// their bits side by side — the CJOIN shared admission scan reads one
+    /// row's bits, maps them to query slots, and performs a **single**
+    /// dimension-entry insert for the whole pending batch instead of one
+    /// scan per query.
+    ///
+    /// Each predicate still takes its vectorized fast path
+    /// ([`Predicate::eval_batch_into`] via `scratch`); the sharing is in the
+    /// page decode and the row-major insert that follow, not in the
+    /// predicate arithmetic itself. `hit_counts` is filled with each
+    /// predicate's selected-row count (the admission selectivity signal,
+    /// free here vs re-scanning the bank column per query).
+    pub fn eval_batch_multi(
+        preds: &[&Predicate],
+        rows: &[Row],
+        bank: &mut BitmapBank,
+        scratch: &mut SelVec,
+        hit_counts: &mut Vec<usize>,
+    ) {
+        bank.reset_zeros(rows.len(), preds.len().max(1));
+        hit_counts.clear();
+        for (q, p) in preds.iter().enumerate() {
+            p.eval_batch_into(rows, scratch);
+            hit_counts.push(scratch.count());
+            for i in scratch.iter_ones() {
+                bank.set(i, q);
+            }
+        }
     }
 
     /// Narrow an existing selection over a gathered subset: position `j` of
@@ -413,6 +446,47 @@ mod tests {
             narrowed.iter_ones().collect::<Vec<_>>(),
             expect[1..].to_vec()
         );
+    }
+
+    #[test]
+    fn eval_batch_multi_matches_per_predicate_eval() {
+        let rows = batch_rows();
+        let preds = [
+            Predicate::eq(1, Value::str("FRANCE")),
+            Predicate::between(0, 20i64, 90i64),
+            Predicate::True,
+            Predicate::Not(Box::new(Predicate::between(0, 50i64, 150i64))),
+        ];
+        let refs: Vec<&Predicate> = preds.iter().collect();
+        let mut bank = crate::bitmap::BitmapBank::new();
+        let mut scratch = crate::bitmap::SelVec::new();
+        let mut hits = Vec::new();
+        Predicate::eval_batch_multi(&refs, &rows, &mut bank, &mut scratch, &mut hits);
+        assert_eq!(bank.len(), rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            for (q, p) in preds.iter().enumerate() {
+                assert_eq!(bank.get(i, q), p.eval(row), "row {i} pred {q}");
+            }
+        }
+        for (q, p) in preds.iter().enumerate() {
+            let expect = rows.iter().filter(|r| p.eval(r)).count();
+            assert_eq!(bank.count_column(q), expect, "pred {q}");
+            assert_eq!(hits[q], expect, "hit count of pred {q}");
+        }
+        // Reuse across batches of different sizes must not leak stale bits.
+        Predicate::eval_batch_multi(&refs[..1], &rows[..7], &mut bank, &mut scratch, &mut hits);
+        assert_eq!(bank.len(), 7);
+        assert_eq!(bank.stride(), 1);
+        assert_eq!(hits.len(), 1, "hit counts cover only this call's predicates");
+        for (i, row) in rows[..7].iter().enumerate() {
+            assert_eq!(bank.get(i, 0), preds[0].eval(row));
+            assert!(!bank.get(i, 1), "only predicate 0 was evaluated");
+        }
+        // Zero predicates: a well-formed all-zero bank.
+        Predicate::eval_batch_multi(&[], &rows[..3], &mut bank, &mut scratch, &mut hits);
+        assert_eq!(bank.len(), 3);
+        assert!(hits.is_empty());
+        assert!(!bank.any_alive());
     }
 
     #[test]

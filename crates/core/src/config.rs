@@ -103,6 +103,13 @@ pub struct RunConfig {
     /// the vectorized batch kernel (the property tests' reference path; see
     /// `workshare_cjoin::CjoinConfig::scalar_filter`).
     pub cjoin_scalar_filter: bool,
+    /// Run CJOIN with the retained per-query **serial** admission path (the
+    /// paper's §3.2 behavior: the preprocessor pauses the pipeline and
+    /// scans every dimension once per pending query) instead of the
+    /// shared-scan, pipeline-overlapped path. Behavioral oracle and
+    /// `admission` bench baseline; see
+    /// `workshare_cjoin::CjoinConfig::serial_admission`.
+    pub cjoin_serial_admission: bool,
     /// Johnson et al. \[14\] run-time prediction model for scan sharing
     /// (only share once the machine saturates). Fig. 6 ablation.
     pub cs_prediction: bool,
@@ -130,6 +137,7 @@ impl Default for RunConfig {
             sp_aggs: false,
             cjoin_shared_agg: false,
             cjoin_scalar_filter: false,
+            cjoin_serial_admission: false,
             cs_prediction: false,
             cost: CostModel::default(),
             disk: DiskConfig::default(),
@@ -227,6 +235,7 @@ impl RunConfig {
             sp: self.engine == NamedConfig::CjoinSp,
             shared_aggregation: self.cjoin_shared_agg,
             scalar_filter: self.cjoin_scalar_filter,
+            serial_admission: self.cjoin_serial_admission,
             ..Default::default()
         }
     }

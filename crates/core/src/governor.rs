@@ -260,8 +260,9 @@ mod tests {
     use super::*;
 
     /// Memory-resident scan-heavy SSB-like shape: the pipelined shared plan
-    /// beats the serial private plan at idle, but crowds serialize their
-    /// admissions and hand the win back to query-centric plans.
+    /// beats the serial private plan at idle, and with shared-scan
+    /// admission the crowd keeps sharing too (queued arrivals add only
+    /// their predicate-evaluation increment, not a full dimension scan).
     fn signals(concurrency: f64) -> SharingSignals {
         SharingSignals {
             dim_selectivity: 0.1,
@@ -270,14 +271,26 @@ mod tests {
         }
     }
 
-    /// Admission-dominated shape (tiny fact, huge dimension): sharing has
-    /// nothing to amortize and pays the admission scans up front —
-    /// query-centric at every concurrency.
+    /// Admission-dominated shape (tiny fact, huge dimension): a lone query
+    /// pays the whole admission scan with nothing to amortize it, so
+    /// query-centric wins the low end; the crowd crosses over once the scan
+    /// is shared across the batch and the private plans saturate the cores.
     fn flat_signals(concurrency: f64) -> SharingSignals {
         SharingSignals {
-            dim_selectivity: 0.5,
+            dim_selectivity: 0.1,
             concurrency,
             ..SharingSignals::cold(2_000.0, 50_000.0, 1)
+        }
+    }
+
+    /// Degenerate tiny-table shape: everything fits in a few pages, so the
+    /// fixed admission cost dominates and private plans win decisively at
+    /// any concurrency the hysteresis band can see.
+    fn tiny_signals(concurrency: f64) -> SharingSignals {
+        SharingSignals {
+            dim_selectivity: 0.1,
+            concurrency,
+            ..SharingSignals::cold(100.0, 100.0, 1)
         }
     }
 
@@ -313,29 +326,36 @@ mod tests {
     }
 
     #[test]
-    fn crowds_route_by_residency() {
-        // Memory-resident crowd: admission serialization loses — QC.
+    fn crowds_route_by_load_and_residency() {
+        // Admission-dominated shape at idle: query-centric. The same shape
+        // crowded: with de-serialized admission the batch shares one
+        // dimension scan while 64 private plans fight over the cores —
+        // Shared. (Before the admission de-serialization this crowd flipped
+        // back to query-centric; that inversion is gone.)
         let g = governor();
-        assert_eq!(g.decide(&flat_signals(63.0)), Route::QueryCentric);
-        // Disk-resident crowd: bandwidth amortization wins — Shared.
+        assert_eq!(g.decide(&flat_signals(0.0)), Route::QueryCentric);
         let g2 = governor();
-        assert_eq!(g2.decide(&disk_signals(63.0)), Route::Shared);
+        assert_eq!(g2.decide(&flat_signals(63.0)), Route::Shared);
+        // Disk-resident crowd: bandwidth amortization wins — Shared.
+        let g3 = governor();
+        assert_eq!(g3.decide(&disk_signals(63.0)), Route::Shared);
     }
 
     #[test]
     fn hysteresis_prevents_flapping_at_the_threshold() {
         let cost = CostModel::default();
-        // Find the concurrency where the memory-resident estimates cross
-        // (shared wins below, query-centric above), then check the
-        // estimates really are within the hysteresis band there.
+        // Find the concurrency where the admission-dominated estimates
+        // cross (query-centric wins below, shared above once the batch
+        // amortizes the scan), then check the estimates really are within
+        // the hysteresis band there.
         let cross = (1..512)
             .find(|&c| {
-                cost.shared_latency_ns(&signals(c as f64))
-                    > cost.query_centric_latency_ns(&signals(c as f64))
+                cost.shared_latency_ns(&flat_signals(c as f64))
+                    < cost.query_centric_latency_ns(&flat_signals(c as f64))
             })
-            .expect("memory-resident shape must cross") as f64;
-        let qc = cost.query_centric_latency_ns(&signals(cross));
-        let sh = cost.shared_latency_ns(&signals(cross));
+            .expect("admission-dominated shape must cross") as f64;
+        let qc = cost.query_centric_latency_ns(&flat_signals(cross));
+        let sh = cost.shared_latency_ns(&flat_signals(cross));
         assert!((qc - sh).abs() < 0.25 * qc, "qc={qc} sh={sh}");
         // Oscillate the concurrency either side of the threshold: without
         // hysteresis every decision would flip; with it the route settles
@@ -344,7 +364,7 @@ mod tests {
         let mut routes = Vec::new();
         for i in 0..40 {
             let c = if i % 2 == 0 { cross + 2.0 } else { (cross - 2.0).max(0.0) };
-            routes.push(g.decide(&signals(c)));
+            routes.push(g.decide(&flat_signals(c)));
         }
         assert!(
             g.stats().flips <= 1,
@@ -359,8 +379,9 @@ mod tests {
         assert_eq!(g.decide(&flat_signals(2.0)), Route::QueryCentric);
         // A disk-resident crowd is decisively shared…
         assert_eq!(g.decide(&disk_signals(64.0)), Route::Shared);
-        // …and a memory-resident admission-bound crowd decisively isn't.
-        assert_eq!(g.decide(&flat_signals(200.0)), Route::QueryCentric);
+        // …and a tiny admission-fixed-cost-dominated query decisively
+        // isn't, even against the shared incumbent's hysteresis.
+        assert_eq!(g.decide(&tiny_signals(0.0)), Route::QueryCentric);
         assert_eq!(g.stats().flips, 2);
     }
 

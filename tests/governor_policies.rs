@@ -67,10 +67,13 @@ fn adaptive_cold_start_completes_and_records_one_route() {
 }
 
 #[test]
-fn adaptive_routes_memory_crowd_query_centric() {
-    // Memory-resident tiny fact: the circular scan amortizes almost
-    // nothing while every admission serializes in the preprocessor — the
-    // governor should hand crowds to private plans after the ramp-up.
+fn adaptive_routes_memory_crowd_shared_since_admission_deserialized() {
+    // Memory-resident crowd: before the admission de-serialization this
+    // batch leaned query-centric, because every admission serialized in
+    // the preprocessor and the queue term dominated the shared estimate.
+    // With shared-scan admission (one dimension scan per batch, run off
+    // the scan thread) the crowd amortizes admission too, so the governor
+    // keeps it on the shared path.
     let d = dataset();
     let rep = run_batch(
         &d,
@@ -80,11 +83,15 @@ fn adaptive_routes_memory_crowd_query_centric() {
     );
     let gov = rep.governor.expect("governed run must report stats");
     assert!(
-        gov.routed_query_centric > gov.routed_shared,
-        "memory-resident 32-query batch should lean query-centric: {gov:?}"
+        gov.routed_shared > gov.routed_query_centric,
+        "32-query batch should lean shared with de-serialized admission: {gov:?}"
     );
-    // Hysteresis: ramping concurrency 0→31 crosses the threshold once.
     assert!(gov.flips <= 2, "routing flapped: {gov:?}");
+    // The shared queries really entered the GQP via batched admission
+    // (exact page sharing is asserted deterministically in the stage
+    // tests; batch composition here depends on arrival interleaving).
+    let cj = rep.cjoin.expect("governed run reports CJOIN stats");
+    assert!(cj.admitted > 0 && cj.admission_dim_pages > 0, "{cj:?}");
 }
 
 #[test]

@@ -171,13 +171,60 @@ proptest! {
             scalar_run.results.as_ref().unwrap(),
             "kernels diverged (shared_agg={})", shared_agg
         );
-        // admission_batches shifts with pipeline timing (a faster filter
-        // path changes when the preprocessor observes pending admissions);
-        // every workload-derived counter must match exactly.
+        // admission_batches (and with it the physical page count of the
+        // shared admission scans) shifts with pipeline timing (a faster
+        // filter path changes when the preprocessor observes pending
+        // admissions); every workload-derived counter must match exactly.
         let mut vs = vec_run.cjoin.unwrap();
         let mut ss = scalar_run.cjoin.unwrap();
         vs.admission_batches = 0;
         ss.admission_batches = 0;
+        vs.admission_dim_pages = 0;
+        ss.admission_dim_pages = 0;
         prop_assert_eq!(vs, ss, "stats diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The shared-scan admission path (dimension tables scanned once per
+    /// admission batch by off-thread workers) must be indistinguishable
+    /// from the retained per-query serial path: row-identical output and
+    /// identical logical `CjoinStats`, across random star queries, SP
+    /// duplicates, and both sink kinds. Only the physical read counters
+    /// (`admission_batches`, `admission_dim_pages`) may differ — that is
+    /// the optimization being tested.
+    #[test]
+    fn shared_scan_admission_matches_serial_reference(
+        mut queries in proptest::collection::vec(arb_query(), 1..5),
+        dup in proptest::bool::ANY,
+        shared_agg in proptest::bool::ANY,
+    ) {
+        if dup {
+            let q = queries[0].clone();
+            queries.push(q);
+        }
+        for (i, q) in queries.iter_mut().enumerate() {
+            q.id = i as u64;
+        }
+        let mut shared_cfg = RunConfig::named(NamedConfig::CjoinSp);
+        shared_cfg.cjoin_shared_agg = shared_agg;
+        let mut serial_cfg = shared_cfg;
+        serial_cfg.cjoin_serial_admission = true;
+        let shared_run = run_batch(ssb(), &shared_cfg, &queries, true);
+        let serial_run = run_batch(ssb(), &serial_cfg, &queries, true);
+        prop_assert_eq!(
+            shared_run.results.as_ref().unwrap(),
+            serial_run.results.as_ref().unwrap(),
+            "admission paths diverged (shared_agg={})", shared_agg
+        );
+        let mut sh = shared_run.cjoin.unwrap();
+        let mut se = serial_run.cjoin.unwrap();
+        sh.admission_batches = 0;
+        se.admission_batches = 0;
+        sh.admission_dim_pages = 0;
+        se.admission_dim_pages = 0;
+        prop_assert_eq!(sh, se, "logical admission stats diverged");
     }
 }

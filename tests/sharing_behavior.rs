@@ -166,10 +166,15 @@ fn fs_cache_masks_preprocessor_vs_direct_io() {
     let queries: Vec<_> = (0..4)
         .map(|i| workload::ssb_q3_2(i as u64, &mut r))
         .collect();
+    // Serial admission keeps the physical dimension reads deterministic
+    // (shared-scan admission's read count varies with how submissions
+    // batch, which is irrelevant to the I/O-pattern contrast probed here).
     let mut buffered = RunConfig::named(NamedConfig::Cjoin);
     buffered.io_mode = IoMode::BufferedDisk;
+    buffered.cjoin_serial_admission = true;
     let mut direct = RunConfig::named(NamedConfig::Cjoin);
     direct.io_mode = IoMode::DirectDisk;
+    direct.cjoin_serial_admission = true;
     let b = run_batch(ssb(), &buffered, &queries, false);
     let d = run_batch(ssb(), &direct, &queries, false);
     assert!(
