@@ -1,0 +1,100 @@
+//! Macro-benchmark: sharded per-fact CJOIN stages vs the legacy
+//! single-stage-with-QPipe-fallback topology on a **two-fact mixed crowd**.
+//!
+//! The workload is the multi-fact dashboard shape: **plan-diverse** SSB
+//! Q3.2 instances (the wide-disjunction template of Figs. 14/15 — random
+//! nation sets make every join prefix distinct, so QPipe's SP finds nothing
+//! to reuse, the regime where the paper's GQP wins), alternating between
+//! two fact tables that share the dimension tables (`lineorder` /
+//! `lineorder2`). Both runs pin the governed engine to the shared path, so
+//! the *only* difference is the topology:
+//!
+//! * **sharded** (`RunConfig::multifact = true`, the default): every star
+//!   query enters the CJOIN stage of its own fact — two Global Query
+//!   Plans, each sharing one circular scan, shared filters, and batched
+//!   admission across its half of the crowd.
+//! * **fallback** (`multifact = false`, the pre-sharding behavior): only
+//!   `lineorder` stars enter a GQP; every `lineorder2` star falls back to
+//!   QPipe-with-sharing, which rebuilds per-query hash joins (random
+//!   predicates defeat SP) while fighting the stage's crowd for cores.
+//!
+//! Mean virtual response times are printed as JSON lines (the
+//! `filter_vectorized` convention):
+//!
+//! ```text
+//! {"bench":"speedup_multifact/64","sharded_secs":…,"fallback_secs":…,
+//!  "ratio":…,"stages":2}
+//! ```
+//!
+//! Acceptance (checked by this binary, non-zero exit on failure): sharded
+//! stages are ≥ 1.5× faster in mean response time at 64 mixed queries.
+
+use workshare_common::{Predicate, Value};
+use workshare_core::harness::run_batch;
+use workshare_core::{workload, Dataset, ExecPolicy, RunConfig, StarQuery};
+
+/// Mixed two-fact batch: plan-diverse wide Q3.2 instances alternating
+/// between the facts. Disjunction widths cycle deterministically; the
+/// random nation sets make join-prefix signatures effectively unique, so
+/// the fallback's QPipe side really pays per-query hash joins — and a wide
+/// fact disjunction that query-centric plans must evaluate against every
+/// fact tuple while the GQP applies it only to joined output (§3.2).
+fn mixed_batch(n: usize, seed: u64) -> Vec<StarQuery> {
+    let mut r = workload::rng(seed);
+    let ls = workshare_datagen::lineorder_schema();
+    (0..n)
+        .map(|i| {
+            let (nc, ns) = (1 + i % 3, 1 + (i / 3) % 3);
+            let mut q = workload::ssb_q3_2_wide(i as u64, &mut r, nc, ns);
+            q.fact_pred = Predicate::in_set(
+                ls.col("lo_discount"),
+                (0..=10).map(Value::Int).collect::<Vec<_>>(),
+            );
+            if i % 2 == 1 {
+                q.fact = "lineorder2".into();
+            }
+            q
+        })
+        .collect()
+}
+
+fn main() {
+    let dataset = Dataset::ssb_two_facts(1.0, 42);
+    let gate_n = 64usize;
+    let gate_ratio = 1.5;
+    let mut failures = Vec::new();
+    for n in [4usize, 16, 64] {
+        let queries = mixed_batch(n, 7 + n as u64);
+        let sharded_cfg = RunConfig::governed(ExecPolicy::Shared);
+        let sharded = run_batch(&dataset, &sharded_cfg, &queries, false);
+        let mut fallback_cfg = RunConfig::governed(ExecPolicy::Shared);
+        fallback_cfg.multifact = false;
+        let fallback = run_batch(&dataset, &fallback_cfg, &queries, false);
+        let ratio = fallback.mean_latency_secs() / sharded.mean_latency_secs();
+        println!(
+            "{{\"bench\":\"speedup_multifact/{}\",\"sharded_secs\":{:.6},\"fallback_secs\":{:.6},\"ratio\":{:.3},\"stages\":{}}}",
+            n,
+            sharded.mean_latency_secs(),
+            fallback.mean_latency_secs(),
+            ratio,
+            sharded.stages.len(),
+        );
+        if sharded.stages.len() != 2 {
+            failures.push(format!(
+                "expected 2 sharded stages at {n} queries, got {:?}",
+                sharded.stages
+            ));
+        }
+        if n == gate_n && ratio < gate_ratio {
+            failures.push(format!(
+                "sharded stages only {ratio:.3}x over the qpipe fallback at {n} mixed queries (need >={gate_ratio}x)"
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -137,6 +137,20 @@ pub struct CjoinStats {
     pub admission_dim_pages: u64,
 }
 
+impl CjoinStats {
+    /// Fold another stage's counters into this one. Used by the sharded
+    /// multi-fact engine: when an idle per-fact stage is torn down, its
+    /// lifetime counters are absorbed into the engine-level totals so run
+    /// reports survive stage churn.
+    pub fn absorb(&mut self, other: &CjoinStats) {
+        self.admitted += other.admitted;
+        self.admission_batches += other.admission_batches;
+        self.sp_shares += other.sp_shares;
+        self.admission_dim_rows += other.admission_dim_rows;
+        self.admission_dim_pages += other.admission_dim_pages;
+    }
+}
+
 /// Output of submitting a star query to the stage: a reader over joined rows
 /// in the query's bound layout (`[fks… | fact payload… | dim payloads…]`).
 pub struct CjoinOutput {
@@ -249,19 +263,24 @@ struct Admission {
     sig: u64,
 }
 
-/// One fact page stamped with the active query set. The membership bitmap
-/// is shared by `Arc`: the preprocessor snapshots `active_bits` once per
-/// page and every downstream stage reads the same copy.
+/// One fact page stamped with the active query set, flowing from the
+/// preprocessor to a filter worker **undecoded**: the circular-scan thread
+/// only reads and stamps pages; tuple decode happens in the (parallel)
+/// worker tier, so the scan thread is never the decode bottleneck. The
+/// membership bitmap is shared by `Arc`: the preprocessor snapshots
+/// `active_bits` once per page and every downstream stage reads the same
+/// copy.
 struct WorkBatch {
-    rows: Vec<Row>,
+    page: workshare_common::codec::Page,
     members: Arc<QueryBitmap>,
 }
 
-/// A filtered page flowing to the distributor: the source page (shared, not
-/// re-copied) plus the survivor indices / bitmap bank / dimension matches
-/// produced by the filter kernel.
+/// A filtered page flowing to the distributor: the decoded rows (decoded
+/// once, by the filter worker) plus the survivor indices / bitmap bank /
+/// dimension matches produced by the filter kernel.
 struct DistBatch {
-    src: Arc<WorkBatch>,
+    rows: Vec<Row>,
+    members: Arc<QueryBitmap>,
     page: FilteredPage,
 }
 
@@ -472,6 +491,12 @@ impl CjoinStage {
         result
     }
 
+    /// Whether two handles refer to the same stage instance (used by the
+    /// engine's stage registry to detect a lost double-checked insert).
+    pub fn same_stage(a: &CjoinStage, b: &CjoinStage) -> bool {
+        Arc::ptr_eq(&a.inner, &b.inner)
+    }
+
     /// Stage statistics.
     pub fn stats(&self) -> CjoinStats {
         CjoinStats {
@@ -513,7 +538,6 @@ impl CjoinStage {
     fn spawn_preprocessor(&self) {
         let inner = Arc::clone(&self.inner);
         self.inner.machine.clone().spawn("cjoin-preproc", move |ctx| {
-            let schema = inner.storage.schema(inner.fact);
             let stream = inner.storage.new_stream();
             let npages = inner.fact_pages.max(1) as usize;
             let mut pos = 0usize;
@@ -547,14 +571,12 @@ impl CjoinStage {
                     });
                     continue;
                 }
-                // Produce one fact page.
+                // Produce one fact page. Only the fetch/pin cost lands on
+                // the circular-scan thread — tuple decode is deferred to
+                // the parallel filter workers, so the scan thread never
+                // becomes the decode bottleneck of a crowded stage.
                 let page = inner.storage.read_page(ctx, inner.fact, pos, stream);
-                let rows = page.decode_all(&schema);
-                ctx.charge(
-                    CostKind::Scan,
-                    inner.cost.scan_page_fixed_ns
-                        + inner.cost.scan_tuple_ns * rows.len() as f64,
-                );
+                ctx.charge(CostKind::Scan, inner.cost.scan_page_fixed_ns);
                 // One snapshot of the active-query set per page, shared by
                 // `Arc` with every downstream stage (workers and the
                 // distributor read the same copy; nothing re-clones it).
@@ -571,7 +593,7 @@ impl CjoinStage {
                     2_000.0 + 60.0 * members.count_ones() as f64,
                 );
                 let batch = Arc::new(WorkBatch {
-                    rows,
+                    page,
                     members: Arc::clone(&members),
                 });
                 if inner.worker_q.push(batch).is_err() {
@@ -642,12 +664,22 @@ impl CjoinStage {
             .machine
             .clone()
             .spawn(&format!("cjoin-filter-{idx}"), move |ctx| {
+                let schema = inner.storage.schema(inner.fact);
                 // Reusable per-worker scratch: in steady state the
                 // vectorized kernel performs zero heap allocations per
                 // tuple (allocations grow to the high-water batch size and
                 // stay).
                 let mut scratch = FilterScratch::default();
                 while let Some(batch) = inner.worker_q.pop() {
+                    // Decode the page here, in the parallel tier (once per
+                    // page — each page is popped by exactly one worker),
+                    // keeping the circular-scan thread free of per-tuple
+                    // work.
+                    let rows = batch.page.decode_all(&schema);
+                    ctx.charge(
+                        CostKind::Scan,
+                        inner.cost.scan_tuple_ns * rows.len() as f64,
+                    );
                     // NOTE: no virtual-time operations (charge/emit) may
                     // happen while the state lock is held — a parked holder
                     // would block admission in real time and freeze the
@@ -655,11 +687,11 @@ impl CjoinStage {
                     let (page, counters) = {
                         let s = inner.state.read();
                         if scalar {
-                            filter_page_scalar(&s.filters, &batch.rows, &batch.members)
+                            filter_page_scalar(&s.filters, &rows, &batch.members)
                         } else {
                             filter_page_vectorized(
                                 &s.filters,
-                                &batch.rows,
+                                &rows,
                                 &batch.members,
                                 &mut scratch,
                             )
@@ -700,7 +732,11 @@ impl CjoinStage {
                             inner.cost.filter_batch_cost(0, counters.bitmap_words),
                         );
                     }
-                    let dist = DistBatch { src: batch, page };
+                    let dist = DistBatch {
+                        rows,
+                        members: Arc::clone(&batch.members),
+                        page,
+                    };
                     if inner.dist_q.push(Arc::new(dist)).is_err() {
                         return;
                     }
@@ -729,14 +765,13 @@ impl CjoinStage {
                     let runtimes: Vec<Arc<QueryRuntime>> = {
                         let s = inner.state.read();
                         batch
-                            .src
                             .members
                             .iter_ones()
                             .filter_map(|slot| s.queries.get(&(slot as u32)).cloned())
                             .collect()
                     };
                     let page = &batch.page;
-                    let rows = &batch.src.rows;
+                    let rows = &batch.rows;
                     let mut routed = 0u64;
                     let mut out_rows = 0u64;
                     let mut agg_rows = 0u64;

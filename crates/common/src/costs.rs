@@ -233,34 +233,59 @@ impl CostModel {
     /// regardless of concurrency — the bandwidth amortization that makes
     /// shared execution win disk-resident.
     ///
-    /// The queueing term behind admission holds only the **marginal**
-    /// per-query work of the other arrivals (slot bookkeeping + predicate
-    /// evaluation), not their full dimension scans: batched arrivals share
-    /// one scan pass. Before the admission de-serialization this term
-    /// carried each queued arrival's *entire* admission (full scans ×
-    /// `concurrency/2`), which is what used to flip memory-resident crowds
-    /// back to query-centric plans.
+    /// Two terms are **per stage** rather than engine-wide, keyed by
+    /// [`stage_in_flight`](SharingSignals::stage_in_flight) (with sharded
+    /// multi-fact stages, only the crowd on the *candidate's* fact stage
+    /// queues behind its admissions and contends for its pipeline threads):
+    ///
+    /// * The admission **queueing** term holds only the marginal per-query
+    ///   work of the other arrivals *to this stage* (slot bookkeeping +
+    ///   predicate evaluation), not their full dimension scans: batched
+    ///   arrivals share one scan pass. Before the admission
+    ///   de-serialization this term carried each queued arrival's *entire*
+    ///   admission, which is what used to flip memory-resident crowds back
+    ///   to query-centric plans.
+    /// * The **saturation** term scales the query's own routing/aggregation
+    ///   work once the stage's member count exceeds its distributor/filter
+    ///   thread capacity — a crowded fact stage answers slower per member
+    ///   than a quiet one, which is what lets the governor keep a quiet
+    ///   fact query-centric while a crowded one shares.
     pub fn shared_latency_ns(&self, s: &SharingSignals) -> f64 {
         let admission_scan = (self.scan_tuple_ns + self.admission_tuple_ns) * s.dim_tuples;
         let admission_own = self.select_term_vec_ns * s.dim_tuples;
         let admission = self.admission_query_fixed_ns + admission_scan + admission_own;
         let admission_queue =
-            (self.admission_query_fixed_ns / 10.0 + admission_own) * s.concurrency / 2.0;
-        let wrap_scan = self.scan_tuple_ns * s.fact_tuples
+            (self.admission_query_fixed_ns / 10.0 + admission_own) * s.stage_in_flight / 2.0;
+        // The circular-scan thread only fetches/stamps pages; tuple decode
+        // happens in the parallel filter tier, so the per-tuple part of the
+        // wrap spreads over the pipeline workers.
+        let wrap_scan = self.scan_tuple_ns * s.fact_tuples / s.pipeline_parallelism.max(1.0)
             + self.scan_page_fixed_ns * (s.fact_tuples / TUPLES_PER_PAGE).max(1.0);
         let filter = self.filter_probe_run_ns * (s.fact_tuples / s.avg_key_run.max(1.0))
             * s.n_dims as f64
             / s.pipeline_parallelism.max(1.0);
-        let own = self.bank_word_and_ns * (s.fact_tuples / 64.0) * s.n_dims as f64
+        let sat = self.stage_saturation(s);
+        let own = (self.bank_word_and_ns * (s.fact_tuples / 64.0) * s.n_dims as f64
             + (self.route_tuple_ns + self.agg_update_tuple_ns)
                 * s.fact_tuples
-                * s.fact_selectivity();
+                * s.fact_selectivity())
+            * sat;
         let io = if s.disk_bandwidth_bytes_per_sec > 0.0 {
             s.fact_bytes / s.disk_bandwidth_bytes_per_sec * 1e9
         } else {
             0.0
         };
         admission + admission_queue + wrap_scan + filter + own + io
+    }
+
+    /// Per-stage saturation multiplier of the shared estimate: 1.0 while the
+    /// candidate's stage has spare pipeline capacity, growing linearly once
+    /// its member count exceeds `4 ×` the filter-worker parallelism (the
+    /// distributor parts roughly quadruple the routing capacity of the
+    /// filter tier, so members queue behind each other only past that
+    /// point).
+    pub fn stage_saturation(&self, s: &SharingSignals) -> f64 {
+        ((s.stage_in_flight + 1.0) / (4.0 * s.pipeline_parallelism.max(1.0))).max(1.0)
     }
 
     /// The concurrency level past which shared execution is estimated to
@@ -276,8 +301,11 @@ impl CostModel {
     /// per-query increment always wins the crowd.
     pub fn sharing_crossover_queries(&self, s: &SharingSignals, max_n: u32) -> u32 {
         for n in 1..=max_n {
+            // The crossover probe assumes the whole crowd lands on the
+            // candidate's stage (single-fact worst case for sharing).
             let probe = SharingSignals {
                 concurrency: (n - 1) as f64,
+                stage_in_flight: (n - 1) as f64,
                 ..*s
             };
             if self.shared_latency_ns(&probe) < self.query_centric_latency_ns(&probe) {
@@ -318,6 +346,12 @@ pub struct SharingSignals {
     pub avg_key_run: f64,
     /// Queries currently sharing the plan (excluding the candidate).
     pub concurrency: f64,
+    /// Queries in flight on the **candidate's fact-table stage** (excluding
+    /// the candidate). With sharded multi-fact stages this is the crowd
+    /// that queues behind this stage's admissions and contends for its
+    /// pipeline threads; for a single-fact engine it equals
+    /// [`concurrency`](SharingSignals::concurrency).
+    pub stage_in_flight: f64,
     /// Virtual cores of the machine (saturation divisor of the
     /// query-centric path).
     pub cores: f64,
@@ -349,10 +383,22 @@ impl SharingSignals {
             dim_selectivity: 0.1,
             avg_key_run: 1.0,
             concurrency: 0.0,
+            stage_in_flight: 0.0,
             cores: 24.0,
             pipeline_parallelism: 6.0,
             fact_bytes: 0.0,
             disk_bandwidth_bytes_per_sec: 0.0,
+        }
+    }
+
+    /// Single-stage crowd of `n`: every in-flight query is on the
+    /// candidate's stage (the shape of an unsharded engine, and of the
+    /// cost-model unit tests).
+    pub fn with_crowd(self, n: f64) -> SharingSignals {
+        SharingSignals {
+            concurrency: n,
+            stage_in_flight: n,
+            ..self
         }
     }
 }
@@ -444,10 +490,7 @@ mod tests {
         // full private dimension scan each, so the old memory-resident
         // inversion (crowds flipping back to query-centric) is gone for
         // scan-heavy shapes.
-        let crowd = SharingSignals {
-            concurrency: 63.0,
-            ..mem
-        };
+        let crowd = mem.with_crowd(63.0);
         assert!(c.shared_latency_ns(&crowd) < c.query_centric_latency_ns(&crowd));
         // Admission-dominated shape (tiny fact, huge dimensions) at idle:
         // the one place query-centric still wins memory-resident — a lone
@@ -494,15 +537,19 @@ mod tests {
 
     #[test]
     fn skew_tips_a_boundary_shape_to_shared() {
-        // A shape balanced so the per-run probe term decides the contest:
-        // with unclustered keys (runs of 1) the admission scans keep
-        // sharing underwater until the cores saturate, while 16-tuple key
-        // runs (clustered loads, join-product skew) collapse the probe cost
-        // and tip the crossover from "late" to "immediately".
+        // A shape balanced so the per-run probe term decides the contest.
+        // With decode and filtering both in the parallel worker tier, a
+        // wide stage amortizes the probe cost regardless of clustering, so
+        // the boundary lives in the *narrow* (single-worker) deployment:
+        // there, unclustered keys (runs of 1) keep sharing underwater until
+        // the cores saturate, while 16-tuple key runs (clustered loads,
+        // join-product skew) collapse the probe cost and tip the crossover
+        // from "late" to "immediately".
         let c = CostModel::default();
         let boundary = SharingSignals {
             dim_selectivity: 0.1,
-            ..SharingSignals::cold(40_000.0, 200_000.0, 3)
+            pipeline_parallelism: 1.0,
+            ..SharingSignals::cold(40_000.0, 20_000.0, 1)
         };
         assert!(c.sharing_crossover_queries(&boundary, 256) > 8);
         let skewed = SharingSignals {
@@ -531,6 +578,31 @@ mod tests {
         assert!(c.admission_batch_cost(1000, 32, 128) > shared_32);
         // Degenerate inputs stay sane (zero-term predicates charge one).
         assert!(c.admission_batch_cost(0, 0, 0) > 0.0);
+    }
+
+    #[test]
+    fn stage_saturation_only_penalizes_crowded_stages() {
+        let c = CostModel::default();
+        let quiet = ssb_like_signals(); // stage_in_flight 0
+        assert_eq!(c.stage_saturation(&quiet), 1.0);
+        // Engine-wide load without stage load: the shared estimate must not
+        // pay the saturation or queueing terms for a quiet fact stage.
+        let busy_engine = SharingSignals {
+            concurrency: 63.0,
+            ..quiet
+        };
+        assert_eq!(
+            c.shared_latency_ns(&busy_engine),
+            c.shared_latency_ns(&quiet),
+            "a quiet stage's shared estimate is independent of other stages"
+        );
+        // A crowded stage pays both: strictly slower than the quiet one.
+        let crowded = quiet.with_crowd(63.0);
+        assert!(c.stage_saturation(&crowded) > 2.0);
+        assert!(c.shared_latency_ns(&crowded) > c.shared_latency_ns(&busy_engine));
+        // Under capacity the multiplier stays exactly 1.
+        let small = quiet.with_crowd(8.0);
+        assert_eq!(c.stage_saturation(&small), 1.0);
     }
 
     #[test]

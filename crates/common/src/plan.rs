@@ -194,9 +194,69 @@ impl StarQuery {
         fxhash::hash_one(&(&self.fact, &self.fact_pred, &self.dims))
     }
 
+    /// Workload-**shape** signature: the structural plan minus predicate
+    /// constants — fact table, join structure (dimension tables, key
+    /// columns, payloads), the **skeleton** of every predicate (column,
+    /// operator kind, term arity — but not the literals), grouping,
+    /// aggregates and ordering. Two instances of the same query template
+    /// with different parameter values (e.g. two SSB Q3.2 draws with
+    /// different nations) share a shape; structurally different templates —
+    /// including ones differing only in predicate *form*, like an equality
+    /// vs. a wide `IN` disjunction with its very different selectivity and
+    /// evaluation cost — do not. This is the key the sharing governor's
+    /// per-shape hysteresis and calibration state is kept under: a stream
+    /// alternating two shapes routes each by its own incumbent instead of
+    /// flip-counting a global one.
+    pub fn shape_signature(&self) -> u64 {
+        let dim_shape: Vec<(&str, &str, &str, &[String], u64)> = self
+            .dims
+            .iter()
+            .map(|d| {
+                (
+                    d.dim.as_str(),
+                    d.fact_fk.as_str(),
+                    d.dim_pk.as_str(),
+                    d.payload.as_slice(),
+                    predicate_skeleton(&d.pred),
+                )
+            })
+            .collect();
+        fxhash::hash_one(&(
+            &self.fact,
+            predicate_skeleton(&self.fact_pred),
+            dim_shape,
+            &self.group_by,
+            &self.aggs,
+            &self.order_by,
+        ))
+    }
+
     /// Output arity of the aggregate (group-by columns + aggregates).
     pub fn output_arity(&self) -> usize {
         self.group_by.len() + self.aggs.len()
+    }
+}
+
+/// Structural hash of a predicate with its literals erased: variant,
+/// column, comparison operator, and term arity (an 8-way `IN` differs from
+/// a 2-way one — their evaluation cost and selectivity profile differ),
+/// recursing through the boolean connectives.
+fn predicate_skeleton(p: &Predicate) -> u64 {
+    use crate::predicate::Predicate as P;
+    match p {
+        P::True => fxhash::hash_one(&0u8),
+        P::Cmp { col, op, .. } => fxhash::hash_one(&(1u8, *col, *op as u8)),
+        P::InSet { col, vals } => fxhash::hash_one(&(2u8, *col, vals.len())),
+        P::Between { col, .. } => fxhash::hash_one(&(3u8, *col)),
+        P::And(ps) => fxhash::hash_one(&(
+            4u8,
+            ps.iter().map(predicate_skeleton).collect::<Vec<u64>>(),
+        )),
+        P::Or(ps) => fxhash::hash_one(&(
+            5u8,
+            ps.iter().map(predicate_skeleton).collect::<Vec<u64>>(),
+        )),
+        P::Not(inner) => fxhash::hash_one(&(6u8, predicate_skeleton(inner))),
     }
 }
 
@@ -277,5 +337,52 @@ mod tests {
     #[test]
     fn output_arity_counts_groups_and_aggs() {
         assert_eq!(q(1, "X").output_arity(), 2);
+    }
+
+    #[test]
+    fn shape_signature_ignores_predicate_constants_only() {
+        // Same template, different parameter: same shape, different plans.
+        let a = q(1, "FRANCE");
+        let b = q(2, "GERMANY");
+        assert_eq!(a.shape_signature(), b.shape_signature());
+        assert_ne!(a.full_signature(), b.full_signature());
+        // Predicate *structure* is part of the shape: an equality and a
+        // wide IN disjunction on the same column are different workload
+        // shapes (different selectivity and evaluation-cost profiles)…
+        let mut wide = q(1, "FRANCE");
+        wide.dims[0].pred = Predicate::in_set(
+            2,
+            (0..8).map(|i| Value::str(&format!("N{i}"))).collect(),
+        );
+        assert_ne!(a.shape_signature(), wide.shape_signature());
+        // …and so is IN-arity and the fact predicate's skeleton.
+        let mut wider = wide.clone();
+        wider.dims[0].pred = Predicate::in_set(
+            2,
+            (0..12).map(|i| Value::str(&format!("N{i}"))).collect(),
+        );
+        assert_ne!(wide.shape_signature(), wider.shape_signature());
+        let mut fp = q(1, "FRANCE");
+        fp.fact_pred = Predicate::between(0, 1i64, 3i64);
+        assert_ne!(a.shape_signature(), fp.shape_signature());
+        // IN literals themselves still don't matter, only the arity.
+        let mut same_arity = wide.clone();
+        same_arity.dims[0].pred = Predicate::in_set(
+            2,
+            (10..18).map(|i| Value::str(&format!("N{i}"))).collect(),
+        );
+        assert_eq!(wide.shape_signature(), same_arity.shape_signature());
+        // Structural changes break the shape: fact table…
+        let mut c = q(1, "FRANCE");
+        c.fact = "lineorder2".into();
+        assert_ne!(a.shape_signature(), c.shape_signature());
+        // …join structure…
+        let mut d = q(1, "FRANCE");
+        d.dims.pop();
+        assert_ne!(a.shape_signature(), d.shape_signature());
+        // …and aggregation tail.
+        let mut e = q(1, "FRANCE");
+        e.aggs = vec![AggSpec::count()];
+        assert_ne!(a.shape_signature(), e.shape_signature());
     }
 }

@@ -121,6 +121,12 @@ pub struct RunConfig {
     /// `Some(_)` builds the governed engine (both paths) and routes per
     /// submission.
     pub policy: Option<ExecPolicy>,
+    /// Shard the governed engine's shared path by fact table (default): a
+    /// star query over *any* fact table enters a lazily-built CJOIN stage
+    /// bound to that fact. Off = the legacy topology — one stage bound to
+    /// the run's primary fact table, star queries over other facts fall
+    /// back to QPipe-with-sharing (kept as the `multifact` bench baseline).
+    pub multifact: bool,
     /// Sharing-governor knobs (hysteresis, calibration EWMA), used when
     /// `policy` is [`ExecPolicy::Adaptive`].
     pub governor: GovernorConfig,
@@ -142,6 +148,7 @@ impl Default for RunConfig {
             cost: CostModel::default(),
             disk: DiskConfig::default(),
             policy: None,
+            multifact: true,
             governor: GovernorConfig::default(),
         }
     }
@@ -273,6 +280,8 @@ mod tests {
     fn governed_configs_label_by_policy() {
         let rc = RunConfig::governed(ExecPolicy::Adaptive);
         assert_eq!(rc.policy, Some(ExecPolicy::Adaptive));
+        // Sharded multi-fact stages are the default shared topology.
+        assert!(rc.multifact);
         assert_eq!(rc.label(), "Adaptive");
         assert_eq!(RunConfig::governed(ExecPolicy::QueryCentric).label(), "Gov-QC");
         assert_eq!(RunConfig::governed(ExecPolicy::Shared).label(), "Gov-Shared");

@@ -41,6 +41,17 @@ impl Dataset {
         }
     }
 
+    /// SSB plus a **second fact table** `lineorder2` (same schema,
+    /// independently drawn rows) sharing the four dimension tables — the
+    /// multi-fact star schema of mixed dashboards, used by the sharded
+    /// CJOIN stage tests and the `multifact` bench.
+    pub fn ssb_two_facts(scale: f64, seed: u64) -> Dataset {
+        let mut d = Dataset::ssb(scale, seed);
+        let (ls2, lp2, _) = gen_lineorder(SsbScale::new(scale), seed ^ 0x5eed_2fac);
+        d.tables.push(("lineorder2".into(), ls2, lp2));
+        d
+    }
+
     /// Generate the TPC-H `lineitem` table at `scale`.
     pub fn tpch(scale: f64, seed: u64) -> Dataset {
         let s = SsbScale::new(scale);
@@ -119,5 +130,18 @@ mod tests {
     fn tpch_dataset_contains_lineitem() {
         let d = Dataset::tpch(0.05, 1);
         assert_eq!(d.table_names(), vec!["lineitem"]);
+    }
+
+    #[test]
+    fn two_fact_dataset_adds_an_independent_lineorder2() {
+        let d = Dataset::ssb_two_facts(0.05, 1);
+        assert!(d.table_names().contains(&"lineorder2"));
+        let sm = d.instantiate(StorageConfig::default(), CostModel::default());
+        let lo = sm.table("lineorder");
+        let lo2 = sm.table("lineorder2");
+        assert_ne!(lo, lo2);
+        // Same scale, same schema, independent draw.
+        assert_eq!(sm.row_count(lo), sm.row_count(lo2));
+        assert_eq!(sm.schema(lo).col("lo_custkey"), sm.schema(lo2).col("lo_custkey"));
     }
 }

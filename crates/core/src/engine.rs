@@ -1,12 +1,23 @@
 //! Unified engine facade over the execution paths, including the governed
 //! engine that routes each submission between query-centric and shared
 //! execution ([`ExecPolicy`], [`crate::governor::SharingGovernor`]).
+//!
+//! Since the multi-fact sharding refactor the governed engine's shared side
+//! is a stage registry: one [`CjoinStage`] **per fact table** referenced
+//! by a star query, built lazily on first routing and torn down when its
+//! last in-flight query completes. Star queries over *any* fact table enter
+//! their fact's Global Query Plan; the QPipe fallback remains only for
+//! genuinely non-star plans (zero dimension joins). Per-fact accounting is
+//! surfaced as [`StageRow`]s.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use workshare_cjoin::CjoinStage;
+use parking_lot::Mutex;
+
+use workshare_cjoin::{CjoinConfig, CjoinRuntimeStats, CjoinStage, CjoinStats};
 use workshare_common::bind::bind;
+use workshare_common::fxhash::FxHashMap;
 use workshare_common::{CostModel, SharingSignals, StarQuery};
 use workshare_qpipe::QpipeEngine;
 use workshare_sim::{CostKind, Machine, WaitSet};
@@ -17,20 +28,265 @@ use crate::governor::{GovernorStats, Route, SharingGovernor};
 use crate::ticket::{SlotResult, Ticket};
 use crate::volcano::run_volcano_query;
 
+/// Per-fact-table row of a governed run's shared side, surfaced in
+/// [`RunReport::stages`](crate::harness::RunReport::stages): which stage
+/// served how many shared star queries, with the stage's CJOIN counters.
+/// Rows persist across stage teardown (idle stages are torn down and their
+/// counters absorbed), so a report always covers every fact table that was
+/// ever sharded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageRow {
+    /// Fact table this stage is bound to.
+    pub fact: String,
+    /// Route label carrying the fact table, e.g. `Shared(lineorder)` — the
+    /// label a shared query served by this stage is attributed to.
+    pub label: String,
+    /// Shared star queries served by this stage over the engine's lifetime.
+    pub shared_queries: u64,
+    /// Whether the stage was still running at report time (idle stages are
+    /// torn down once their last in-flight query completes).
+    pub live: bool,
+    /// The stage's CJOIN counters (lifetime, including torn-down
+    /// incarnations).
+    pub stats: CjoinStats,
+}
+
+/// A live per-fact stage plus its lifecycle counters.
+struct StageEntry {
+    fact_name: String,
+    stage: CjoinStage,
+    /// Shared queries currently in flight on this stage — the per-stage
+    /// concurrency signal and the teardown refcount.
+    in_flight: u64,
+    /// Shared queries served by this incarnation (folded into
+    /// [`RetiredStage`] on teardown).
+    served: u64,
+}
+
+/// Counters and last-observed signals of torn-down incarnations of a
+/// fact's stage.
+#[derive(Default)]
+struct RetiredStage {
+    fact_name: String,
+    served: u64,
+    stats: CjoinStats,
+    /// Last runtime signals before teardown: the governor's selectivity /
+    /// key-run EWMAs survive stage churn.
+    last_runtime: Option<CjoinRuntimeStats>,
+}
+
+/// Lazily sharded CJOIN stages, one per fact table ([`StageRow`] docs).
+/// All methods take `&self`; shared behind the engine's `Arc`.
+struct StageRegistry {
+    machine: Machine,
+    storage: StorageManager,
+    config: CjoinConfig,
+    cost: CostModel,
+    live: Mutex<FxHashMap<TableId, StageEntry>>,
+    retired: Mutex<FxHashMap<TableId, RetiredStage>>,
+}
+
+/// One shared star query's claim on its fact's stage: released on
+/// completion; the stage is torn down when the last claim is released.
+struct StageLease {
+    registry: Arc<StageRegistry>,
+    fact: TableId,
+}
+
+impl StageLease {
+    fn release(&self) {
+        self.registry.release(self.fact);
+    }
+}
+
+impl StageRegistry {
+    fn new(
+        machine: &Machine,
+        storage: &StorageManager,
+        config: CjoinConfig,
+        cost: CostModel,
+    ) -> StageRegistry {
+        StageRegistry {
+            machine: machine.clone(),
+            storage: storage.clone(),
+            config,
+            cost,
+            live: Mutex::new(FxHashMap::default()),
+            retired: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// The stage for `fact`, built lazily on first use; registers one
+    /// in-flight query on it. The returned stage stays valid until the
+    /// matching [`StageLease::release`] (stages are only torn down at
+    /// refcount zero). The stage pipeline is constructed *outside* the
+    /// registry lock (double-checked insert) so that routing and signal
+    /// reads for other facts never stall behind a stage build; a racing
+    /// duplicate build loses the insert and is shut down.
+    fn checkout(self: &Arc<Self>, fact: TableId, fact_name: &str) -> (CjoinStage, StageLease) {
+        let lease = StageLease {
+            registry: Arc::clone(self),
+            fact,
+        };
+        {
+            let mut live = self.live.lock();
+            if let Some(entry) = live.get_mut(&fact) {
+                entry.in_flight += 1;
+                entry.served += 1;
+                return (entry.stage.clone(), lease);
+            }
+        }
+        let built =
+            CjoinStage::new(&self.machine, &self.storage, fact_name, self.config, self.cost);
+        let mut live = self.live.lock();
+        let entry = live.entry(fact).or_insert_with(|| StageEntry {
+            fact_name: fact_name.to_string(),
+            stage: built.clone(),
+            in_flight: 0,
+            served: 0,
+        });
+        entry.in_flight += 1;
+        entry.served += 1;
+        let stage = entry.stage.clone();
+        drop(live);
+        if !CjoinStage::same_stage(&stage, &built) {
+            built.shutdown(); // lost the insert race
+        }
+        (stage, lease)
+    }
+
+    /// Drop one in-flight claim on `fact`'s stage; tears the stage down
+    /// when it was the last (its counters and last runtime signals are
+    /// absorbed into the retired ledger, so reports and governor signals
+    /// survive the churn). `in_flight == 0` means every ticket on this
+    /// stage has completed; a finalizer still in its last bookkeeping step
+    /// is fine — stage shutdown is cooperative (flags + closed queues), so
+    /// tearing down under it is benign.
+    fn release(&self, fact: TableId) {
+        let mut live = self.live.lock();
+        let Some(entry) = live.get_mut(&fact) else {
+            return;
+        };
+        entry.in_flight = entry.in_flight.saturating_sub(1);
+        if entry.in_flight > 0 {
+            return;
+        }
+        let entry = live.remove(&fact).expect("entry present");
+        drop(live);
+        let mut retired = self.retired.lock();
+        let cell = retired.entry(fact).or_default();
+        cell.fact_name = entry.fact_name;
+        cell.served += entry.served;
+        cell.stats.absorb(&entry.stage.stats());
+        cell.last_runtime = Some(entry.stage.runtime_stats());
+        drop(retired);
+        entry.stage.shutdown();
+    }
+
+    /// Per-stage governor signals for `fact`: in-flight count plus the
+    /// stage's runtime stats. Falls back to the last retired incarnation's
+    /// signals (selectivity / key-run EWMAs) when the stage is currently
+    /// torn down.
+    fn stage_signals(&self, fact: TableId) -> (u64, CjoinRuntimeStats) {
+        let live = self.live.lock();
+        if let Some(entry) = live.get(&fact) {
+            return (entry.in_flight, entry.stage.runtime_stats());
+        }
+        drop(live);
+        let retired = self.retired.lock();
+        let rt = retired
+            .get(&fact)
+            .and_then(|r| r.last_runtime)
+            .map(|rt| CjoinRuntimeStats {
+                active_queries: 0,
+                ..rt
+            })
+            .unwrap_or(CjoinRuntimeStats {
+                active_queries: 0,
+                avg_key_run: 1.0,
+                dim_selectivity: None,
+            });
+        (0, rt)
+    }
+
+    /// Aggregate CJOIN counters over every stage ever built (live +
+    /// retired).
+    fn total_stats(&self) -> CjoinStats {
+        let mut total = CjoinStats::default();
+        for entry in self.live.lock().values() {
+            total.absorb(&entry.stage.stats());
+        }
+        for cell in self.retired.lock().values() {
+            total.absorb(&cell.stats);
+        }
+        total
+    }
+
+    /// Per-fact report rows, sorted by fact name (deterministic output).
+    fn rows(&self) -> Vec<StageRow> {
+        let mut by_fact: FxHashMap<TableId, StageRow> = FxHashMap::default();
+        for (fact, cell) in self.retired.lock().iter() {
+            by_fact.insert(
+                *fact,
+                StageRow {
+                    fact: cell.fact_name.clone(),
+                    label: format!("Shared({})", cell.fact_name),
+                    shared_queries: cell.served,
+                    live: false,
+                    stats: cell.stats.clone(),
+                },
+            );
+        }
+        for (fact, entry) in self.live.lock().iter() {
+            let row = by_fact.entry(*fact).or_insert_with(|| StageRow {
+                fact: entry.fact_name.clone(),
+                label: format!("Shared({})", entry.fact_name),
+                shared_queries: 0,
+                live: true,
+                stats: CjoinStats::default(),
+            });
+            row.live = true;
+            row.shared_queries += entry.served;
+            row.stats.absorb(&entry.stage.stats());
+        }
+        let mut rows: Vec<StageRow> = by_fact.into_values().collect();
+        rows.sort_by(|a, b| a.fact.cmp(&b.fact));
+        rows
+    }
+
+    /// Shut every live stage down (engine shutdown).
+    fn shutdown_all(&self) {
+        let entries: Vec<StageEntry> = {
+            let mut live = self.live.lock();
+            live.drain().map(|(_, e)| e).collect()
+        };
+        for e in entries {
+            e.stage.shutdown();
+        }
+    }
+}
+
 /// The governed engine: both execution paths plus the router between them.
 struct Governed {
     policy: ExecPolicy,
-    /// Shared star path (bound to the engine's fact table).
-    stage: CjoinStage,
-    /// Shared path for non-star queries and foreign fact tables (circular
-    /// scans + SP on).
+    /// Shared star path: one lazily-built CJOIN stage per fact table.
+    registry: Arc<StageRegistry>,
+    /// Shared path for genuinely non-star queries (circular scans + SP on),
+    /// and — with [`RunConfig::multifact`] off — for star queries over
+    /// foreign fact tables (the pre-sharding behavior, kept as the bench
+    /// baseline).
     qpipe: QpipeEngine,
     governor: Arc<SharingGovernor>,
     /// Queries submitted through this engine and not yet completed — the
-    /// governor's concurrency signal (tracked in Adaptive mode).
+    /// governor's engine-wide concurrency signal (tracked in Adaptive
+    /// mode).
     in_flight: Arc<AtomicU64>,
-    /// The CJOIN stage's fact table.
-    fact: TableId,
+    /// The engine's default fact table (the only CJOIN-eligible fact when
+    /// `multifact` is off).
+    primary_fact: TableId,
+    /// Shard the shared path by fact table (default); off = the legacy
+    /// single-stage-with-QPipe-fallback topology.
+    multifact: bool,
     /// Virtual cores (saturation divisor of the query-centric estimate).
     cores: f64,
     /// CJOIN filter workers (parallelism divisor of the shared estimate).
@@ -59,10 +315,12 @@ struct EngineInner {
 
 /// Observed-latency feedback plumbing of one adaptive submission: completes
 /// back into the governor (and the in-flight counter) when the query does,
-/// carrying the exact signals the routing decision was based on.
+/// carrying the exact signals — and the workload-shape key — the routing
+/// decision was based on.
 struct RouteFeedback {
     governor: Arc<SharingGovernor>,
     route: Route,
+    shape: u64,
     signals: SharingSignals,
     in_flight: Arc<AtomicU64>,
 }
@@ -71,7 +329,7 @@ impl RouteFeedback {
     fn complete(&self, latency_secs: f64) {
         self.in_flight.fetch_sub(1, Ordering::AcqRel);
         self.governor
-            .observe_latency(self.route, latency_secs, &self.signals);
+            .observe_latency_keyed(self.shape, self.route, latency_secs, &self.signals);
     }
 }
 
@@ -84,9 +342,12 @@ pub struct Engine {
 
 impl Engine {
     /// Build the engine selected by `config` over an already mounted
-    /// storage manager. `fact_table` names the CJOIN stage's fact table
-    /// (ignored by the other engines). With [`RunConfig::policy`] set, both
-    /// paths are built and submissions are routed per the policy.
+    /// storage manager. `fact_table` names the default fact table: the
+    /// single CJOIN stage's for the named CJOIN engines, the primary fact
+    /// of the governed engine (with [`RunConfig::multifact`] set, further
+    /// stages are sharded lazily per fact table referenced by star
+    /// queries). With [`RunConfig::policy`] set, both paths are built and
+    /// submissions are routed per the policy.
     pub fn new(
         machine: &Machine,
         storage: &StorageManager,
@@ -96,13 +357,12 @@ impl Engine {
         let kind = match config.policy {
             Some(policy) => EngineKind::Governed(Governed {
                 policy,
-                stage: CjoinStage::new(
+                registry: Arc::new(StageRegistry::new(
                     machine,
                     storage,
-                    fact_table,
                     config.cjoin_config(),
                     config.cost,
-                ),
+                )),
                 qpipe: QpipeEngine::new(
                     machine,
                     storage,
@@ -111,7 +371,8 @@ impl Engine {
                 ),
                 governor: Arc::new(SharingGovernor::new(config.cost, config.governor)),
                 in_flight: Arc::new(AtomicU64::new(0)),
-                fact: storage.table(fact_table),
+                primary_fact: storage.table(fact_table),
+                multifact: config.multifact,
                 cores: config.cores as f64,
                 pipeline_parallelism: config.cjoin_config().n_workers.max(1) as f64,
                 disk_bandwidth: if config.io_mode == workshare_storage::IoMode::Memory {
@@ -183,43 +444,54 @@ impl Engine {
     pub fn submit(&self, q: &StarQuery) -> Ticket {
         match &self.inner.kind {
             EngineKind::Qpipe(e) => Ticket::Qpipe(e.submit(q)),
-            EngineKind::Cjoin(stage) => self.submit_cjoin(stage, q, None),
+            EngineKind::Cjoin(stage) => self.submit_cjoin(stage, q, None, None),
             EngineKind::Volcano => self.submit_volcano(q, None),
             EngineKind::Governed(g) => self.submit_governed(g, q),
         }
     }
 
-    /// Live cost-model signals for routing `q`: catalog cardinalities plus
-    /// the CJOIN stage's observed selectivity / key-run / concurrency.
+    /// Live cost-model signals for routing `q`: catalog cardinalities, the
+    /// engine-wide in-flight count, and the per-stage signals of the
+    /// query's **own fact stage** (its crowd, observed selectivity,
+    /// key-run) — a crowded fact amortizes sharing while a quiet one does
+    /// not, even on the same engine.
     fn live_signals(&self, g: &Governed, q: &StarQuery) -> SharingSignals {
         let storage = &self.inner.storage;
-        let fact_tuples = storage.row_count(storage.table(&q.fact)) as f64;
+        let fact_t = storage.table(&q.fact);
+        let fact_tuples = storage.row_count(fact_t) as f64;
         let dim_tuples: f64 = q
             .dims
             .iter()
             .map(|d| storage.row_count(storage.table(&d.dim)) as f64)
             .sum();
-        let rt = g.stage.runtime_stats();
+        let (stage_in_flight, rt) = g.registry.stage_signals(fact_t);
         let cold = SharingSignals::cold(fact_tuples, dim_tuples, q.dims.len());
         SharingSignals {
             dim_selectivity: rt.dim_selectivity.unwrap_or(cold.dim_selectivity),
             avg_key_run: rt.avg_key_run,
-            // The governor sees load from both paths (its own in-flight
-            // count) and from the GQP (queries admitted by earlier
-            // submissions that are still wrapping).
+            // The governor sees engine-wide load from both paths (its own
+            // in-flight count) and from the GQPs (queries admitted by
+            // earlier submissions that are still wrapping).
             concurrency: (g.in_flight.load(Ordering::Acquire) as f64)
                 .max(rt.active_queries as f64),
+            // …and the load on this query's own fact stage (queueing +
+            // saturation terms of the shared estimate).
+            stage_in_flight: (stage_in_flight as f64).max(rt.active_queries as f64),
             cores: g.cores,
             pipeline_parallelism: g.pipeline_parallelism,
-            fact_bytes: storage.table_bytes(storage.table(&q.fact)) as f64,
+            fact_bytes: storage.table_bytes(fact_t) as f64,
             disk_bandwidth_bytes_per_sec: g.disk_bandwidth,
             ..cold
         }
     }
 
     fn submit_governed(&self, g: &Governed, q: &StarQuery) -> Ticket {
-        let is_star =
-            !q.dims.is_empty() && self.inner.storage.table(&q.fact) == g.fact;
+        let fact_t = self.inner.storage.table(&q.fact);
+        // Any star query can enter its fact's sharded stage; with
+        // `multifact` off only the primary fact is CJOIN-eligible (legacy
+        // single-stage topology — foreign facts fall back to QPipe).
+        let is_star = !q.dims.is_empty() && (g.multifact || fact_t == g.primary_fact);
+        let shape = q.shape_signature();
         // One signals snapshot per submission: the decision, the recorded
         // route, and the later calibration feedback all see the same state.
         let signals =
@@ -233,22 +505,26 @@ impl Engine {
                 g.governor.record_forced(Route::Shared);
                 Route::Shared
             }
-            // Non-star queries can't enter the GQP; they are still routed by
+            // Non-star queries can't enter a GQP; they are still routed by
             // the governor — the shared side just lands on QPipe below.
-            ExecPolicy::Adaptive => g.governor.decide(signals.as_ref().unwrap()),
+            ExecPolicy::Adaptive => g.governor.decide_keyed(shape, signals.as_ref().unwrap()),
         };
         let feedback = signals.map(|signals| {
             g.in_flight.fetch_add(1, Ordering::AcqRel);
             RouteFeedback {
                 governor: Arc::clone(&g.governor),
                 route,
+                shape,
                 signals,
                 in_flight: Arc::clone(&g.in_flight),
             }
         });
         match route {
             Route::QueryCentric => self.submit_volcano(q, feedback),
-            Route::Shared if is_star => self.submit_cjoin(&g.stage, q, feedback),
+            Route::Shared if is_star => {
+                let (stage, lease) = g.registry.checkout(fact_t, &q.fact);
+                self.submit_cjoin(&stage, q, feedback, Some(lease))
+            }
             Route::Shared => {
                 let handle = g.qpipe.submit(q);
                 if let Some(fb) = feedback {
@@ -266,12 +542,15 @@ impl Engine {
     /// Run `q` on the CJOIN stage: the joins are shared; a query-centric
     /// aggregation packet sits on top (paper §3.2: "subsequent operators in
     /// a query plan, e.g. aggregations or sorts, are query-centric") —
-    /// unless `shared_agg` folds aggregation into the distributor.
+    /// unless `shared_agg` folds aggregation into the distributor. A
+    /// `lease` (governed path) pins the sharded stage until the query
+    /// completes.
     fn submit_cjoin(
         &self,
         stage: &CjoinStage,
         q: &StarQuery,
         feedback: Option<RouteFeedback>,
+        lease: Option<StageLease>,
     ) -> Ticket {
         let inner = &self.inner;
         let start_ns = inner.machine.now_ns();
@@ -287,6 +566,9 @@ impl Engine {
                 slot2.complete(rows, now);
                 if let Some(fb) = &feedback {
                     fb.complete((now - start_ns) / 1e9);
+                }
+                if let Some(l) = &lease {
+                    l.release();
                 }
             });
             return Ticket::Slot(slot);
@@ -335,6 +617,9 @@ impl Engine {
             if let Some(fb) = &feedback {
                 fb.complete((now - start_ns) / 1e9);
             }
+            if let Some(l) = &lease {
+                l.release();
+            }
         });
         Ticket::Slot(slot)
     }
@@ -373,12 +658,24 @@ impl Engine {
         }
     }
 
-    /// CJOIN stage statistics, if applicable.
+    /// CJOIN stage statistics, if applicable. For a governed engine this is
+    /// the aggregate over every sharded stage ever built (see
+    /// [`Engine::stage_rows`] for the per-fact breakdown).
     pub fn cjoin_stats(&self) -> Option<workshare_cjoin::CjoinStats> {
         match &self.inner.kind {
             EngineKind::Cjoin(s) => Some(s.stats()),
-            EngineKind::Governed(g) => Some(g.stage.stats()),
+            EngineKind::Governed(g) => Some(g.registry.total_stats()),
             _ => None,
+        }
+    }
+
+    /// Per-fact-table stage rows of the governed engine's shared side
+    /// (empty for ungoverned engines, and for governed runs that never
+    /// routed a star query to a stage).
+    pub fn stage_rows(&self) -> Vec<StageRow> {
+        match &self.inner.kind {
+            EngineKind::Governed(g) => g.registry.rows(),
+            _ => Vec::new(),
         }
     }
 
@@ -397,7 +694,7 @@ impl Engine {
             EngineKind::Cjoin(s) => s.shutdown(),
             EngineKind::Volcano => {}
             EngineKind::Governed(g) => {
-                g.stage.shutdown();
+                g.registry.shutdown_all();
                 g.qpipe.shutdown();
             }
         }

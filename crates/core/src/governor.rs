@@ -10,25 +10,34 @@
 //! submission:
 //!
 //! 1. Build [`SharingSignals`] for the query from the catalog (table
-//!    cardinalities) and live observations (in-flight query count, admission
-//!    selectivity, filter key-run length from
-//!    [`CjoinRuntimeStats`](workshare_cjoin::CjoinRuntimeStats)).
+//!    cardinalities) and live observations (in-flight query count, the
+//!    fact stage's own crowd, admission selectivity, filter key-run length
+//!    from [`CjoinRuntimeStats`](workshare_cjoin::CjoinRuntimeStats)).
 //! 2. Ask the cost model for the predicted **response times** of both
 //!    paths at the current concurrency
 //!    ([`CostModel::query_centric_latency_ns`],
-//!    [`CostModel::shared_latency_ns`] — core saturation, preprocessor
-//!    admission queueing, pipeline parallelism and disk-bandwidth
-//!    amortization all modeled), each scaled by a calibration factor
-//!    learned from observed response times (EWMA of observed / predicted
-//!    per route).
+//!    [`CostModel::shared_latency_ns`] — core saturation, per-stage
+//!    admission queueing and pipeline saturation, pipeline parallelism and
+//!    disk-bandwidth amortization all modeled), each scaled by a
+//!    calibration factor learned from observed response times (EWMA of
+//!    observed / predicted per route).
 //! 3. Apply **hysteresis**: the losing path must undercut the winning one
 //!    by a margin before the route flips, so queries arriving near the
 //!    crossover do not flap between engines.
+//!
+//! All mutable state — the hysteresis incumbent **and** the calibration
+//! EWMAs — is keyed by a workload-**shape** signature
+//! ([`StarQuery::shape_signature`](workshare_common::StarQuery::shape_signature)):
+//! a stream alternating two shapes routes each by its own incumbent and
+//! calibrates each against its own observations, instead of flip-counting
+//! (or mis-calibrating) a single global cell. Callers that have no shape to
+//! key by use the keyless wrappers, which share one global cell.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
+use workshare_common::fxhash::FxHashMap;
 use workshare_common::{CostModel, SharingSignals};
 
 /// Which execution path a submission is routed to.
@@ -40,6 +49,20 @@ pub enum Route {
     /// concurrency crossover.
     Shared,
 }
+
+impl Route {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Route::QueryCentric => "QueryCentric",
+            Route::Shared => "Shared",
+        }
+    }
+}
+
+/// The shape key the keyless [`SharingGovernor::decide`] /
+/// [`SharingGovernor::observe_latency`] wrappers file their state under.
+const GLOBAL_SHAPE: u64 = 0;
 
 /// Governor tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -72,27 +95,86 @@ pub struct GovernorStats {
     pub routed_query_centric: u64,
     /// Submissions routed to the shared path.
     pub routed_shared: u64,
-    /// Route changes between consecutive decisions.
+    /// Route changes between consecutive decisions **of the same shape**,
+    /// summed over shapes (alternating between two shapes with stable
+    /// per-shape incumbents contributes nothing).
     pub flips: u64,
-    /// Observed/predicted latency calibration of the query-centric path
-    /// (1.0 until observed).
+    /// Observed/predicted latency calibration **learned** for the
+    /// query-centric path (observation-weighted mean over shapes; 1.0
+    /// until observed). NB this is the learning signal, not necessarily
+    /// what decisions used: a shape's calibration is *applied* to routing
+    /// only once both routes have been observed for that shape (a
+    /// one-sided correction would bias the comparison).
     pub query_centric_calibration: f64,
-    /// Observed/predicted latency calibration of the shared path (1.0 until
-    /// observed).
+    /// Observed/predicted latency calibration **learned** for the shared
+    /// path (observation-weighted mean over shapes; 1.0 until observed —
+    /// see [`query_centric_calibration`](GovernorStats::query_centric_calibration)
+    /// for the learned-vs-applied distinction).
     pub shared_calibration: f64,
+    /// Convergence residual of the query-centric calibration loop: EWMA of
+    /// observed / (predicted × own calibration) at observation time. → 1.0
+    /// as the calibration EWMA converges on a stationary workload.
+    pub query_centric_residual: f64,
+    /// Convergence residual of the shared calibration loop (see
+    /// [`query_centric_residual`](GovernorStats::query_centric_residual)).
+    pub shared_residual: f64,
+    /// Distinct workload shapes the governor holds state for.
+    pub shapes: u64,
+}
+
+/// Per-route learned state of one workload shape.
+#[derive(Default)]
+struct RouteState {
+    /// EWMA of observed-latency / predicted-cost; `None` until this route
+    /// has completed a query of this shape.
+    cal: Option<f64>,
+    /// EWMA of observed / (predicted × `cal`-at-observation-time): the
+    /// calibration loop's convergence residual.
+    residual: Option<f64>,
+    /// Observations folded into the EWMAs (the weight used when shapes are
+    /// aggregated for [`GovernorStats`]).
+    observations: u64,
+}
+
+impl RouteState {
+    fn observe(&mut self, ratio: f64, alpha: f64) {
+        let residual_sample = ratio / self.cal.unwrap_or(1.0);
+        self.residual = Some(match self.residual {
+            None => residual_sample,
+            Some(prev) => (1.0 - alpha) * prev + alpha * residual_sample,
+        });
+        self.cal = Some(match self.cal {
+            None => ratio,
+            Some(prev) => (1.0 - alpha) * prev + alpha * ratio,
+        });
+        self.observations += 1;
+    }
+}
+
+/// Hysteresis + calibration state of one workload shape.
+#[derive(Default)]
+struct ShapeState {
+    /// Last route decided for this shape — its hysteresis incumbent.
+    route: Option<Route>,
+    qc: RouteState,
+    sh: RouteState,
+    flips: u64,
+}
+
+impl ShapeState {
+    /// Calibration pair applied to estimates. Only applied when BOTH routes
+    /// have been observed for this shape: a one-sided correction would bias
+    /// the comparison toward whichever path happens to have run first.
+    fn applied_cals(&self) -> (f64, f64) {
+        match (self.qc.cal, self.sh.cal) {
+            (Some(q), Some(s)) => (q, s),
+            _ => (1.0, 1.0),
+        }
+    }
 }
 
 struct GovState {
-    /// Last route decided — the hysteresis incumbent. One global cell: the
-    /// governor assumes a roughly homogeneous workload shape (as submitted
-    /// by the harness and bench batches); per-plan-signature incumbents for
-    /// heterogeneous streams are a ROADMAP open item.
-    route: Option<Route>,
-    /// EWMA of observed-latency / predicted-cost per route; `None` until
-    /// that route has completed a query.
-    qc_cal: Option<f64>,
-    sh_cal: Option<f64>,
-    flips: u64,
+    shapes: FxHashMap<u64, ShapeState>,
 }
 
 /// Per-submission router between query-centric and shared execution. Cheap
@@ -114,10 +196,7 @@ impl SharingGovernor {
             routed_qc: AtomicU64::new(0),
             routed_sh: AtomicU64::new(0),
             state: Mutex::new(GovState {
-                route: None,
-                qc_cal: None,
-                sh_cal: None,
-                flips: 0,
+                shapes: FxHashMap::default(),
             }),
         }
     }
@@ -137,17 +216,20 @@ impl SharingGovernor {
         }
     }
 
-    /// Calibrated cost estimate of running one query via `route` under the
-    /// live `signals`.
-    pub fn predicted_ns(&self, route: Route, signals: &SharingSignals) -> f64 {
+    /// Calibrated cost estimate of running one query of `shape` via `route`
+    /// under the live `signals`.
+    pub fn predicted_ns_keyed(
+        &self,
+        shape: u64,
+        route: Route,
+        signals: &SharingSignals,
+    ) -> f64 {
         let state = self.state.lock();
-        // Calibration is only applied when BOTH routes have been observed:
-        // a one-sided correction would bias the comparison toward whichever
-        // path happens to have run first.
-        let (qc_cal, sh_cal) = match (state.qc_cal, state.sh_cal) {
-            (Some(q), Some(s)) => (q, s),
-            _ => (1.0, 1.0),
-        };
+        let (qc_cal, sh_cal) = state
+            .shapes
+            .get(&shape)
+            .map(ShapeState::applied_cals)
+            .unwrap_or((1.0, 1.0));
         drop(state);
         let cal = match route {
             Route::QueryCentric => qc_cal,
@@ -156,17 +238,25 @@ impl SharingGovernor {
         self.raw_predicted_ns(route, signals) * cal
     }
 
-    /// Route one submission. Applies hysteresis around the cost crossover:
-    /// the route flips only when the other path's calibrated estimate
-    /// undercuts the current one by the configured margin.
-    pub fn decide(&self, signals: &SharingSignals) -> Route {
-        let qc = self.predicted_ns(Route::QueryCentric, signals);
-        let sh = self.predicted_ns(Route::Shared, signals);
+    /// Keyless [`predicted_ns_keyed`](SharingGovernor::predicted_ns_keyed)
+    /// over the global shape cell.
+    pub fn predicted_ns(&self, route: Route, signals: &SharingSignals) -> f64 {
+        self.predicted_ns_keyed(GLOBAL_SHAPE, route, signals)
+    }
+
+    /// Route one submission of workload shape `shape`. Applies hysteresis
+    /// around the cost crossover **per shape**: the route flips only when
+    /// the other path's calibrated estimate undercuts the shape's incumbent
+    /// by the configured margin.
+    pub fn decide_keyed(&self, shape: u64, signals: &SharingSignals) -> Route {
+        let qc = self.predicted_ns_keyed(shape, Route::QueryCentric, signals);
+        let sh = self.predicted_ns_keyed(shape, Route::Shared, signals);
         let mut state = self.state.lock();
+        let shape_state = state.shapes.entry(shape).or_default();
         let margin = 1.0 - self.config.hysteresis.clamp(0.0, 0.9);
-        let route = match state.route {
-            // Cold start (`active_queries == 0`, nothing observed yet): a
-            // plain latency comparison — no incumbent to be sticky about.
+        let route = match shape_state.route {
+            // Cold start for this shape (nothing observed yet): a plain
+            // latency comparison — no incumbent to be sticky about.
             None => {
                 if sh < qc {
                     Route::Shared
@@ -189,16 +279,22 @@ impl SharingGovernor {
                 }
             }
         };
-        if state.route.is_some_and(|prev| prev != route) {
-            state.flips += 1;
+        if shape_state.route.is_some_and(|prev| prev != route) {
+            shape_state.flips += 1;
         }
-        state.route = Some(route);
+        shape_state.route = Some(route);
         drop(state);
         match route {
             Route::QueryCentric => self.routed_qc.fetch_add(1, Ordering::Relaxed),
             Route::Shared => self.routed_sh.fetch_add(1, Ordering::Relaxed),
         };
         route
+    }
+
+    /// Keyless [`decide_keyed`](SharingGovernor::decide_keyed) over the
+    /// global shape cell.
+    pub fn decide(&self, signals: &SharingSignals) -> Route {
+        self.decide_keyed(GLOBAL_SHAPE, signals)
     }
 
     /// Record a route that was forced by a pinned policy
@@ -214,10 +310,18 @@ impl SharingGovernor {
     }
 
     /// Feed back one completed query's observed response time against the
-    /// (uncalibrated) model estimate for the signals seen at routing time.
-    /// Updates the route's calibration EWMA so future estimates absorb
-    /// queueing and model error.
-    pub fn observe_latency(&self, route: Route, observed_secs: f64, signals: &SharingSignals) {
+    /// (uncalibrated) model estimate for the signals seen at routing time,
+    /// into the calibration state of workload shape `shape`. Updates the
+    /// shape's route calibration EWMA so future estimates absorb queueing
+    /// and model error, and the convergence residual reported via
+    /// [`GovernorStats`].
+    pub fn observe_latency_keyed(
+        &self,
+        shape: u64,
+        route: Route,
+        observed_secs: f64,
+        signals: &SharingSignals,
+    ) {
         let predicted_ns = self.raw_predicted_ns(route, signals);
         if predicted_ns <= 0.0 || observed_secs < 0.0 {
             return;
@@ -225,14 +329,19 @@ impl SharingGovernor {
         let ratio = (observed_secs * 1e9) / predicted_ns;
         let alpha = self.config.ewma_alpha.clamp(0.0, 1.0);
         let mut state = self.state.lock();
+        let shape_state = state.shapes.entry(shape).or_default();
         let cell = match route {
-            Route::QueryCentric => &mut state.qc_cal,
-            Route::Shared => &mut state.sh_cal,
+            Route::QueryCentric => &mut shape_state.qc,
+            Route::Shared => &mut shape_state.sh,
         };
-        *cell = Some(match *cell {
-            None => ratio,
-            Some(prev) => (1.0 - alpha) * prev + alpha * ratio,
-        });
+        cell.observe(ratio, alpha);
+    }
+
+    /// Keyless
+    /// [`observe_latency_keyed`](SharingGovernor::observe_latency_keyed)
+    /// over the global shape cell.
+    pub fn observe_latency(&self, route: Route, observed_secs: f64, signals: &SharingSignals) {
+        self.observe_latency_keyed(GLOBAL_SHAPE, route, observed_secs, signals);
     }
 
     /// Estimated concurrency crossover for `signals`' workload shape (the
@@ -242,15 +351,42 @@ impl SharingGovernor {
             .sharing_crossover_queries(signals, self.config.max_crossover)
     }
 
-    /// Routing statistics.
+    /// Routing statistics, aggregated over shapes (per-route calibrations
+    /// and residuals are observation-weighted means — exact for the common
+    /// single-shape stream).
     pub fn stats(&self) -> GovernorStats {
         let state = self.state.lock();
+        let mut flips = 0;
+        let agg = |pick: fn(&ShapeState) -> &RouteState| {
+            let (mut num, mut res_num, mut weight) = (0.0, 0.0, 0u64);
+            for shape in state.shapes.values() {
+                let rs = pick(shape);
+                if let (Some(cal), Some(residual)) = (rs.cal, rs.residual) {
+                    num += cal * rs.observations as f64;
+                    res_num += residual * rs.observations as f64;
+                    weight += rs.observations;
+                }
+            }
+            if weight == 0 {
+                (1.0, 1.0)
+            } else {
+                (num / weight as f64, res_num / weight as f64)
+            }
+        };
+        let (qc_cal, qc_res) = agg(|s| &s.qc);
+        let (sh_cal, sh_res) = agg(|s| &s.sh);
+        for shape in state.shapes.values() {
+            flips += shape.flips;
+        }
         GovernorStats {
             routed_query_centric: self.routed_qc.load(Ordering::Relaxed),
             routed_shared: self.routed_sh.load(Ordering::Relaxed),
-            flips: state.flips,
-            query_centric_calibration: state.qc_cal.unwrap_or(1.0),
-            shared_calibration: state.sh_cal.unwrap_or(1.0),
+            flips,
+            query_centric_calibration: qc_cal,
+            shared_calibration: sh_cal,
+            query_centric_residual: qc_res,
+            shared_residual: sh_res,
+            shapes: state.shapes.len() as u64,
         }
     }
 }
@@ -263,12 +399,13 @@ mod tests {
     /// beats the serial private plan at idle, and with shared-scan
     /// admission the crowd keeps sharing too (queued arrivals add only
     /// their predicate-evaluation increment, not a full dimension scan).
+    /// Single-stage world: the whole crowd is on the candidate's stage.
     fn signals(concurrency: f64) -> SharingSignals {
         SharingSignals {
             dim_selectivity: 0.1,
-            concurrency,
             ..SharingSignals::cold(30_000.0, 4_000.0, 3)
         }
+        .with_crowd(concurrency)
     }
 
     /// Admission-dominated shape (tiny fact, huge dimension): a lone query
@@ -278,9 +415,9 @@ mod tests {
     fn flat_signals(concurrency: f64) -> SharingSignals {
         SharingSignals {
             dim_selectivity: 0.1,
-            concurrency,
             ..SharingSignals::cold(2_000.0, 50_000.0, 1)
         }
+        .with_crowd(concurrency)
     }
 
     /// Degenerate tiny-table shape: everything fits in a few pages, so the
@@ -289,9 +426,9 @@ mod tests {
     fn tiny_signals(concurrency: f64) -> SharingSignals {
         SharingSignals {
             dim_selectivity: 0.1,
-            concurrency,
             ..SharingSignals::cold(100.0, 100.0, 1)
         }
+        .with_crowd(concurrency)
     }
 
     /// Disk-resident variant of the scan-heavy shape: one circular scan
@@ -386,6 +523,41 @@ mod tests {
     }
 
     #[test]
+    fn per_shape_incumbents_are_independent() {
+        // Two shapes with opposite preferences, alternated: each keeps its
+        // own incumbent; no flips, no cross-shape contamination. With the
+        // former single global incumbent this stream flip-counted (or
+        // routed one shape by the other's incumbent) on every alternation.
+        let g = governor();
+        for _ in 0..25 {
+            assert_eq!(g.decide_keyed(1, &signals(4.0)), Route::Shared);
+            assert_eq!(g.decide_keyed(2, &tiny_signals(4.0)), Route::QueryCentric);
+        }
+        let st = g.stats();
+        assert_eq!(st.flips, 0, "{st:?}");
+        assert_eq!(st.shapes, 2);
+        assert_eq!(st.routed_shared, 25);
+        assert_eq!(st.routed_query_centric, 25);
+    }
+
+    #[test]
+    fn per_shape_calibration_is_isolated() {
+        let g = governor();
+        let s = signals(4.0);
+        let raw_sh = CostModel::default().shared_latency_ns(&s);
+        let raw_qc = CostModel::default().query_centric_latency_ns(&s);
+        // Shape 1 learns a 3× shared model error; shape 2 observes nothing.
+        for _ in 0..100 {
+            g.observe_latency_keyed(1, Route::Shared, 3.0 * raw_sh / 1e9, &s);
+            g.observe_latency_keyed(1, Route::QueryCentric, raw_qc / 1e9, &s);
+        }
+        let cal1 = g.predicted_ns_keyed(1, Route::Shared, &s) / raw_sh;
+        let cal2 = g.predicted_ns_keyed(2, Route::Shared, &s) / raw_sh;
+        assert!((cal1 - 3.0).abs() < 0.1, "shape 1 calibrated: {cal1}");
+        assert!((cal2 - 1.0).abs() < 1e-9, "shape 2 untouched: {cal2}");
+    }
+
+    #[test]
     fn calibration_waits_for_both_routes() {
         let g = governor();
         let s = signals(4.0);
@@ -415,6 +587,10 @@ mod tests {
         assert!((st.query_centric_calibration - 1.0).abs() < 0.1, "{st:?}");
         // The calibrated estimate reflects the full 4×, not √4.
         assert!((g.predicted_ns(Route::Shared, &s) / raw_sh - 4.0).abs() < 0.1);
+        // And the convergence residuals have settled at 1.0: the
+        // calibration loop fully absorbed the (stationary) model error.
+        assert!((st.shared_residual - 1.0).abs() < 0.05, "{st:?}");
+        assert!((st.query_centric_residual - 1.0).abs() < 0.05, "{st:?}");
     }
 
     #[test]
@@ -424,5 +600,6 @@ mod tests {
         let st = g.stats();
         assert_eq!(st.shared_calibration, 1.0);
         assert_eq!(st.query_centric_calibration, 1.0);
+        assert_eq!(st.shared_residual, 1.0);
     }
 }

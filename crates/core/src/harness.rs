@@ -36,8 +36,14 @@ pub struct RunReport {
     pub disk: DiskStats,
     /// QPipe sharing statistics (if the engine was a QPipe variant).
     pub qpipe_sharing: Option<workshare_qpipe::SharingStats>,
-    /// CJOIN statistics (if the engine was a CJOIN variant).
+    /// CJOIN statistics (if the engine was a CJOIN variant; aggregate over
+    /// all sharded stages when governed).
     pub cjoin: Option<workshare_cjoin::CjoinStats>,
+    /// Per-fact-table stage rows of a governed run's shared side: which
+    /// sharded CJOIN stage served how many shared star queries, labeled
+    /// with the fact table (`Shared(lineorder)`). Empty for ungoverned
+    /// engines.
+    pub stages: Vec<crate::engine::StageRow>,
     /// Sharing-governor routing statistics (if the run was governed).
     pub governor: Option<crate::governor::GovernorStats>,
     /// Query results (kept only when requested).
@@ -132,6 +138,7 @@ pub fn run_batch_on(
         disk,
         qpipe_sharing: engine.qpipe_sharing(),
         cjoin: engine.cjoin_stats(),
+        stages: engine.stage_rows(),
         governor: engine.governor_stats(),
         results: keep_results.then_some(rows),
     };
@@ -198,6 +205,7 @@ pub fn run_staggered(
         disk,
         qpipe_sharing: engine.qpipe_sharing(),
         cjoin: engine.cjoin_stats(),
+        stages: engine.stage_rows(),
         governor: engine.governor_stats(),
         results: keep_results.then_some(rows),
     };
@@ -222,6 +230,13 @@ pub struct ThroughputReport {
     pub avg_cores_used: f64,
     /// "Avg. Read Rate (MB/s)" over the window.
     pub read_rate_mbps: f64,
+    /// Sharing-governor routing statistics (if the run was governed) —
+    /// under closed-loop arrivals the calibration residuals here are the
+    /// check that the latency-feedback EWMA converges outside the batch
+    /// arrival pattern the estimator's queue term assumes.
+    pub governor: Option<crate::governor::GovernorStats>,
+    /// Per-fact-table stage rows of a governed run's shared side.
+    pub stages: Vec<crate::engine::StageRow>,
 }
 
 /// Closed-loop run: each of `clients` submits a query, waits for it, then
@@ -300,6 +315,8 @@ where
         avg_cores_used: (machine.busy_core_secs() / (window_ns / 1e9))
             .min(config.cores as f64),
         read_rate_mbps: disk.read_rate_mbps(window_ns),
+        governor: engine.governor_stats(),
+        stages: engine.stage_rows(),
     };
     engine.shutdown();
     report

@@ -44,7 +44,7 @@ pub mod workload;
 
 pub use config::{ExecPolicy, NamedConfig, RunConfig};
 pub use dataset::Dataset;
-pub use engine::Engine;
+pub use engine::{Engine, StageRow};
 pub use governor::{GovernorConfig, GovernorStats, Route, SharingGovernor};
 pub use harness::{run_batch, run_clients, run_staggered, RunReport, ThroughputReport};
 pub use ticket::Ticket;

@@ -101,6 +101,36 @@ fn throughput_report_is_consistent() {
 }
 
 #[test]
+fn stage_rows_label_shared_queries_by_fact_table() {
+    // Two star queries over two fact tables through the governed shared
+    // path: the report's stage rows must say *which* stage served each
+    // shared query — the label carries the fact-table name.
+    let d = Dataset::ssb_two_facts(0.05, 7);
+    let mut r = workload::rng(5);
+    let q1 = workload::ssb_q3_2(1, &mut r);
+    let mut q2 = workload::ssb_q3_2(2, &mut r);
+    q2.fact = "lineorder2".into();
+    let cfg = RunConfig::governed(workshare::ExecPolicy::Shared);
+    let rep = run_batch(&d, &cfg, &[q1, q2], false);
+    let labels: Vec<&str> = rep.stages.iter().map(|s| s.label.as_str()).collect();
+    assert_eq!(
+        labels,
+        vec!["Shared(lineorder)", "Shared(lineorder2)"],
+        "route labels must distinguish the serving stage: {:?}",
+        rep.stages
+    );
+    for row in &rep.stages {
+        assert_eq!(row.shared_queries, 1, "{row:?}");
+        assert_eq!(row.stats.admitted, 1, "{row:?}");
+    }
+    // The aggregate CJOIN counters cover both stages.
+    assert_eq!(rep.cjoin.unwrap().admitted, 2);
+    // Ungoverned engines report no stage rows.
+    let rep = run_batch(ssb(), &RunConfig::named(NamedConfig::CjoinSp), &[], false);
+    assert!(rep.stages.is_empty());
+}
+
+#[test]
 fn sharing_stats_bounded_by_query_count() {
     let queries = workload::limited_plans(10, 2, 4, workload::ssb_q3_2_narrow);
     let rep = run_batch(ssb(), &RunConfig::named(NamedConfig::QpipeSp), &queries, false);
