@@ -24,8 +24,7 @@ fn main() {
     );
     let sf = if full_scale() { 1.0 } else { 0.5 };
     let dataset = Dataset::tpch(sf, 42);
-    let max_q = if full_scale() { 64 } else { 64 };
-    let sweep = pow2_sweep(max_q);
+    let sweep = pow2_sweep(64);
 
     let variants: [(&str, NamedConfig, ExchangeKind); 4] = [
         ("No SP (FIFO)", NamedConfig::Qpipe, ExchangeKind::Fifo),

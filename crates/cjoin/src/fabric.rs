@@ -1,0 +1,289 @@
+//! The engine-level **admission fabric**: one worker pool serving the CJOIN
+//! admission requests of *every* live fact stage.
+//!
+//! With the shared path sharded by fact table, per-stage admission workers
+//! reintroduce a sharing gap: two stages whose star queries filter the
+//! *same* dimension table each scan it independently. The fabric closes it:
+//! stages hand their pending snapshots here instead of to a private pool; a
+//! worker opens a short batching window, merges every request visible at
+//! that instant — across stages — and runs the shared three-phase admission
+//! (prepare → scan → activate) with scan units grouped by dimension table
+//! **across stages**. A dimension filtered by queries over several fact
+//! tables is physically scanned once per window; every stage receives its
+//! own staged [`crate::DimEntry`] inserts and activates its own batch.
+//!
+//! Accounting: physical page reads are attributed to the fabric
+//! ([`FabricStats::admission_dim_pages`]) — a page decoded once for several
+//! stages belongs to none of them — while each stage's logical counters
+//! (`admitted`, `admission_dim_rows`, per-dimension selectivity EWMAs) are
+//! maintained exactly as under a per-stage pool, so stage-level reports
+//! stay batching-invariant.
+//!
+//! Stages keep working without a fabric: [`crate::CjoinStage::new`] falls
+//! back to the per-stage pool (`CjoinConfig::n_admission_workers`), which
+//! remains the oracle-tested baseline and the path of the standalone /
+//! paper-figure deployments.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use workshare_common::fxhash::FxHashMap;
+use workshare_sim::{Machine, SimCtx, SimQueue};
+
+use crate::admission::{
+    activate_batch, build_units, prepare_batch, run_scan_unit, PreparedBatch, ScanUnit,
+};
+use crate::stage::{Admission, CjoinStage, StageInner, ADMISSION_BATCH_WINDOW_NS};
+
+/// Page-range partitions a batching window splits each scan unit into (when
+/// the dimension spans that many pages): the admission latency of a merged
+/// window is bounded by the slowest partition, keeping the fabric's
+/// activation barrier no taller than the per-stage pools it replaces.
+const UNIT_SCAN_PARALLELISM: usize = 4;
+
+/// One stage's pending-admission snapshot, queued on the fabric.
+pub(crate) struct FabricRequest {
+    pub stage: CjoinStage,
+    pub pending: Vec<Admission>,
+}
+
+/// Lifetime counters of an [`AdmissionFabric`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Batching windows processed.
+    pub batches: u64,
+    /// Windows that merged pending admissions from more than one stage —
+    /// the cross-stage sharing the fabric exists for.
+    pub cross_stage_batches: u64,
+    /// Stage requests merged into windows (≥ `batches`; the surplus is
+    /// requests that queued behind an in-flight window and shared it).
+    pub merged_requests: u64,
+    /// Physical dimension pages read by fabric scans. Each page is counted
+    /// **once per window** no matter how many stages and pending queries
+    /// shared it; per-stage `admission_dim_pages` stays 0 under the fabric
+    /// (see [`crate::CjoinStats::admission_dim_pages`]).
+    pub admission_dim_pages: u64,
+}
+
+struct FabricInner {
+    queue: SimQueue<FabricRequest>,
+    /// Queries queued across all stages and not yet activated — the
+    /// governor's cross-stage pending signal
+    /// (`SharingSignals::cross_stage_pending`).
+    pending_queries: AtomicU64,
+    batches: AtomicU64,
+    cross_stage_batches: AtomicU64,
+    merged_requests: AtomicU64,
+    admission_dim_pages: AtomicU64,
+}
+
+/// Engine-level cross-stage admission worker pool. Cheap to clone; one per
+/// governed engine, shared by every stage the registry builds.
+#[derive(Clone)]
+pub struct AdmissionFabric {
+    inner: Arc<FabricInner>,
+}
+
+impl AdmissionFabric {
+    /// Create the fabric on `machine` and spawn `n_workers` admission
+    /// workers (at least one). A single worker maximizes window merging —
+    /// every burst lands in one window — and is the default
+    /// (`RunConfig::admission_fabric_workers`); more workers overlap the
+    /// scans of *independent* windows at the cost of best-effort merging.
+    pub fn new(machine: &Machine, n_workers: usize) -> AdmissionFabric {
+        let fabric = AdmissionFabric {
+            inner: Arc::new(FabricInner {
+                queue: SimQueue::unbounded(machine),
+                pending_queries: AtomicU64::new(0),
+                batches: AtomicU64::new(0),
+                cross_stage_batches: AtomicU64::new(0),
+                merged_requests: AtomicU64::new(0),
+                admission_dim_pages: AtomicU64::new(0),
+            }),
+        };
+        for w in 0..n_workers.max(1) {
+            fabric.spawn_worker(machine, w);
+        }
+        fabric
+    }
+
+    /// Queries queued across all stages and not yet activated: the
+    /// governor's cross-stage pending-admission signal.
+    pub fn pending_queries(&self) -> u64 {
+        self.inner.pending_queries.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime fabric counters.
+    pub fn stats(&self) -> FabricStats {
+        FabricStats {
+            batches: self.inner.batches.load(Ordering::Relaxed),
+            cross_stage_batches: self.inner.cross_stage_batches.load(Ordering::Relaxed),
+            merged_requests: self.inner.merged_requests.load(Ordering::Relaxed),
+            admission_dim_pages: self.inner.admission_dim_pages.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop the fabric workers (engine shutdown). Stages outlive their
+    /// requests; tearing a stage down with a request in flight is benign
+    /// (stage shutdown is cooperative).
+    pub fn shutdown(&self) {
+        self.inner.queue.close();
+    }
+
+    /// Queue one stage's pending snapshot. Returns `false` when the fabric
+    /// has shut down (the caller's stage is shutting down too).
+    pub(crate) fn submit(&self, stage: CjoinStage, pending: Vec<Admission>) -> bool {
+        let n = pending.len() as u64;
+        self.inner.pending_queries.fetch_add(n, Ordering::Relaxed);
+        if self.inner.queue.push(FabricRequest { stage, pending }).is_err() {
+            self.inner.pending_queries.fetch_sub(n, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    fn spawn_worker(&self, machine: &Machine, idx: usize) {
+        let inner = Arc::clone(&self.inner);
+        machine
+            .clone()
+            .spawn(&format!("admission-fabric-{idx}"), move |ctx| {
+                while let Some(req) = inner.queue.pop() {
+                    // Short virtual batching window, then merge every
+                    // request visible at that instant — from any stage —
+                    // plus submissions still sitting in the involved
+                    // stages' pending sets. A burst submitted without
+                    // intervening virtual time lands in one window
+                    // deterministically, maximizing cross-stage scan
+                    // sharing; the window is negligible against the fixed
+                    // admission charge.
+                    ctx.sleep(ADMISSION_BATCH_WINDOW_NS);
+                    let mut reqs = vec![req];
+                    while let Some(more) = inner.queue.try_pop() {
+                        reqs.push(more);
+                    }
+                    let counted: u64 =
+                        reqs.iter().map(|r| r.pending.len() as u64).sum();
+                    process_window(&inner, ctx, reqs, idx);
+                    inner.pending_queries.fetch_sub(counted, Ordering::Relaxed);
+                }
+            });
+    }
+}
+
+/// Run one merged batching window: per-stage prepare, cross-stage scan
+/// units (each distinct dimension table scanned once for every stage, the
+/// units themselves scanned **in parallel** — merging stages must not
+/// serialize scans the per-stage pools would have overlapped), per-stage
+/// activation.
+fn process_window(
+    fabric: &Arc<FabricInner>,
+    ctx: &SimCtx,
+    reqs: Vec<FabricRequest>,
+    worker_idx: usize,
+) {
+    fabric
+        .merged_requests
+        .fetch_add(reqs.len() as u64, Ordering::Relaxed);
+    // Merge requests per stage, preserving first-seen order (deterministic
+    // unit construction), then drain submissions still sitting in each
+    // stage's pending set — the same last-moment merge the per-stage
+    // workers perform.
+    let mut stages: Vec<CjoinStage> = Vec::new();
+    let mut pendings: Vec<Vec<Admission>> = Vec::new();
+    let mut idx_of: FxHashMap<usize, usize> = FxHashMap::default();
+    for req in reqs {
+        let key = Arc::as_ptr(&req.stage.inner) as usize;
+        let si = *idx_of.entry(key).or_insert_with(|| {
+            stages.push(req.stage.clone());
+            pendings.push(Vec::new());
+            stages.len() - 1
+        });
+        pendings[si].extend(req.pending);
+    }
+    for (si, stage) in stages.iter().enumerate() {
+        pendings[si].extend(std::mem::take(&mut *stage.inner.pending.lock()));
+    }
+    let (stages, pendings): (Vec<CjoinStage>, Vec<Vec<Admission>>) = stages
+        .into_iter()
+        .zip(pendings)
+        .filter(|(_, p)| !p.is_empty())
+        .unzip();
+    if stages.is_empty() {
+        return;
+    }
+    let prepared: Vec<PreparedBatch> = stages
+        .iter()
+        .zip(pendings)
+        .map(|(stage, pending)| prepare_batch(&stage.inner, ctx, pending))
+        .collect();
+    let units = build_units(&prepared);
+    // Scan units are independent — a filter core belongs to exactly one
+    // `(dim, pk)` unit — and a unit's page subranges stage disjoint filter
+    // entries (dimension primary keys are unique), so the window fans the
+    // scans out as (unit × page-range) subscans on parallel vthreads: the
+    // window's wall time is the slowest partition, not the sum — merging
+    // stages must not serialize scans the per-stage pools would have
+    // overlapped. Activation waits for every subscan: a query's filters
+    // span dimensions.
+    let storage = &stages[0].inner.storage;
+    let tasks: Vec<(Arc<ScanUnit>, (usize, usize))> = units
+        .into_iter()
+        .flat_map(|unit| {
+            let npages = storage.page_count(unit.dim);
+            let chunks = npages.clamp(1, UNIT_SCAN_PARALLELISM);
+            let per = npages.max(1).div_ceil(chunks);
+            let unit = Arc::new(unit);
+            (0..chunks)
+                .map(|c| (Arc::clone(&unit), (c * per, ((c + 1) * per).min(npages))))
+                .filter(|(_, (lo, hi))| lo < hi)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    if tasks.len() == 1 {
+        let inners: Vec<&StageInner> = stages.iter().map(|s| &*s.inner).collect();
+        run_scan_unit(
+            ctx,
+            &inners,
+            &tasks[0].0,
+            Some(&fabric.admission_dim_pages),
+            Some(tasks[0].1),
+        );
+    } else {
+        let machine = stages[0].inner.machine.clone();
+        let handles: Vec<_> = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(ti, (unit, range))| {
+                let stages = stages.clone();
+                let fabric = Arc::clone(fabric);
+                machine.spawn(
+                    &format!("admission-fabric-{worker_idx}-scan-{ti}"),
+                    move |ctx| {
+                        let inners: Vec<&StageInner> =
+                            stages.iter().map(|s| &*s.inner).collect();
+                        run_scan_unit(
+                            ctx,
+                            &inners,
+                            &unit,
+                            Some(&fabric.admission_dim_pages),
+                            Some(range),
+                        );
+                    },
+                )
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("fabric scan subunit panicked");
+        }
+    }
+    for (stage, prep) in stages.iter().zip(prepared) {
+        activate_batch(&stage.inner, prep);
+        // The stage's preprocessor may be parked waiting for an active
+        // query; the batch just activated.
+        stage.inner.wake.notify_all();
+    }
+    fabric.batches.fetch_add(1, Ordering::Relaxed);
+    if stages.len() > 1 {
+        fabric.cross_stage_batches.fetch_add(1, Ordering::Relaxed);
+    }
+}

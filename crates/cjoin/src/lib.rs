@@ -35,9 +35,12 @@
 //!   admitted — skipping admission, bitmap extension, and all per-query
 //!   bitwise work.
 
+mod admission;
+pub mod fabric;
 pub mod filter;
 mod stage;
 
+pub use fabric::{AdmissionFabric, FabricStats};
 pub use filter::{
     filter_page_scalar, filter_page_vectorized, DimEntry, FilterCore, FilterCounters,
     FilterScratch, FilteredPage,

@@ -9,13 +9,12 @@ use workshare_common::agg::Aggregator;
 use workshare_common::bind::{bind, BoundQuery};
 use workshare_common::fxhash::FxHashMap;
 use workshare_common::value::Row;
-use workshare_common::{
-    BitmapBank, CostModel, OrderKey, Predicate, QueryBitmap, SelVec, StarQuery,
-};
+use workshare_common::{CostModel, OrderKey, Predicate, QueryBitmap, SelVec, StarQuery};
 
+use crate::admission::{admit_batch_serial, admit_batch_shared};
+use crate::fabric::AdmissionFabric;
 use crate::filter::{
-    filter_page_scalar, filter_page_vectorized, DimEntry, FilterCore, FilterScratch,
-    FilteredPage,
+    filter_page_scalar, filter_page_vectorized, FilterCore, FilterScratch, FilteredPage,
 };
 use workshare_qpipe::batch::BatchBuilder;
 use workshare_qpipe::exchange::{Exchange, ExchangeKind, ExchangeReader};
@@ -53,6 +52,16 @@ pub struct CjoinConfig {
     /// Dedicated admission workers running the shared dimension scans off
     /// the circular-scan thread, so admission overlaps fact-page production
     /// instead of pausing the pipeline.
+    ///
+    /// This is the **per-stage fallback pool**: it serves stages built
+    /// standalone via [`CjoinStage::new`] (direct stage users, the
+    /// paper-figure binaries, ungoverned engines). Stages built by the
+    /// governed engine's registry with an engine-level
+    /// [`AdmissionFabric`] (`RunConfig::admission_fabric`, the default
+    /// there) hand their pending batches to the fabric instead and spawn
+    /// no workers of their own — the fabric batches admissions **across
+    /// stages**, so shared dimension tables are scanned once for all of
+    /// them.
     pub n_admission_workers: usize,
     /// Use the retained **per-query serial** admission path (the paper's
     /// §3.2 behavior: the preprocessor pauses the pipeline and scans every
@@ -84,7 +93,7 @@ impl Default for CjoinConfig {
 /// Live signals the sharing governor reads from a running stage
 /// ([`CjoinStage::runtime_stats`]): the observed workload shape that
 /// parameterizes the cost-model crossover estimator.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CjoinRuntimeStats {
     /// Queries currently active in the GQP.
     pub active_queries: usize,
@@ -94,15 +103,25 @@ pub struct CjoinRuntimeStats {
     /// filtered its first page; rises with clustered or skewed foreign keys.
     pub avg_key_run: f64,
     /// Observed admission-scan predicate selectivity (dimension rows
-    /// selected / scanned, from `Predicate::eval_batch*` hit counts), as an
-    /// EWMA over admission scans. `None` until the first admission scan.
+    /// selected / scanned, from `Predicate::eval_batch*` hit counts),
+    /// aggregated over dimensions (mean of the per-dimension EWMAs in
+    /// [`dim_selectivity_by_dim`](CjoinRuntimeStats::dim_selectivity_by_dim)).
+    /// `None` until the first admission scan.
     pub dim_selectivity: Option<f64>,
+    /// Per-dimension admission-selectivity EWMAs, sorted by table id
+    /// (deterministic). This is what lets the governor see *which*
+    /// dimension is cheap to share: the engine averages the entries
+    /// matching a candidate query's own dimension joins instead of using
+    /// one engine-wide blend — the first step toward the skew-aware
+    /// per-query thresholds named in the ROADMAP.
+    pub dim_selectivity_by_dim: Vec<(TableId, f64)>,
 }
 
-/// Virtual nanoseconds an admission worker waits after picking up a batch
-/// before merging in every other pending admission: a burst of submissions
-/// arriving at one virtual instant always shares one scan pass.
-const ADMISSION_BATCH_WINDOW_NS: f64 = 2_000.0;
+/// Virtual nanoseconds an admission worker (per-stage pool or engine-level
+/// fabric) waits after picking up a batch before merging in every other
+/// pending admission: a burst of submissions arriving at one virtual
+/// instant always shares one scan pass.
+pub(crate) const ADMISSION_BATCH_WINDOW_NS: f64 = 2_000.0;
 
 /// Fold `sample` into an optional EWMA cell with smoothing factor `alpha`.
 fn ewma_fold(cell: &Mutex<Option<f64>>, sample: f64, alpha: f64) {
@@ -129,11 +148,14 @@ pub struct CjoinStats {
     /// far fewer physical reads (see
     /// [`admission_dim_pages`](CjoinStats::admission_dim_pages)).
     pub admission_dim_rows: u64,
-    /// Physical dimension pages read during admission scans. Under
-    /// shared-scan admission each distinct `(dim, fk, pk)` filter core is
+    /// Physical dimension pages read by **this stage's own** admission
+    /// scans. Under shared-scan admission each distinct dimension table is
     /// scanned **once per admission batch** regardless of how many pending
-    /// queries reference it; the serial oracle path re-reads them once per
-    /// query.
+    /// queries reference it; the serial oracle path re-reads it once per
+    /// query. Under an engine-level [`AdmissionFabric`] this stays 0: a
+    /// page read once *for several stages* is attributed to the fabric
+    /// ([`crate::FabricStats::admission_dim_pages`]), never double-counted
+    /// per stage.
     pub admission_dim_pages: u64,
 }
 
@@ -223,7 +245,7 @@ enum Sink {
     },
 }
 
-struct QueryRuntime {
+pub(crate) struct QueryRuntime {
     slot: u32,
     qid: u64,
     sig: u64,
@@ -237,30 +259,30 @@ struct QueryRuntime {
     process_left: AtomicU64,
 }
 
-struct GqpState {
-    filters: Vec<FilterCore>,
+pub(crate) struct GqpState {
+    pub(crate) filters: Vec<FilterCore>,
     /// `(dim, fact_fk_idx, dim_pk_idx)` → index into `filters`: O(1)
     /// shared-filter lookup during admission (filters are never removed, so
     /// indices are stable).
-    filter_index: FxHashMap<(TableId, usize, usize), usize>,
-    queries: FxHashMap<u32, Arc<QueryRuntime>>,
-    active_bits: QueryBitmap,
+    pub(crate) filter_index: FxHashMap<(TableId, usize, usize), usize>,
+    pub(crate) queries: FxHashMap<u32, Arc<QueryRuntime>>,
+    pub(crate) active_bits: QueryBitmap,
     /// Pages the preprocessor still stamps for each active slot.
-    emit_left: FxHashMap<u32, u64>,
-    free_slots: Vec<u32>,
-    next_slot: u32,
+    pub(crate) emit_left: FxHashMap<u32, u64>,
+    pub(crate) free_slots: Vec<u32>,
+    pub(crate) next_slot: u32,
 }
 
-enum AdmissionSink {
+pub(crate) enum AdmissionSink {
     Stream(Exchange),
     Agg(Arc<AggResult>),
 }
 
-struct Admission {
-    query: StarQuery,
-    bound: Arc<BoundQuery>,
-    sink: AdmissionSink,
-    sig: u64,
+pub(crate) struct Admission {
+    pub(crate) query: StarQuery,
+    pub(crate) bound: Arc<BoundQuery>,
+    pub(crate) sink: AdmissionSink,
+    pub(crate) sig: u64,
 }
 
 /// One fact page stamped with the active query set, flowing from the
@@ -284,32 +306,40 @@ struct DistBatch {
     page: FilteredPage,
 }
 
-struct StageInner {
-    machine: Machine,
-    storage: StorageManager,
-    cost: CostModel,
-    config: CjoinConfig,
-    fact: TableId,
-    fact_pages: u64,
-    state: RwLock<GqpState>,
-    pending: Mutex<Vec<Admission>>,
-    wake: WaitSet,
+pub(crate) struct StageInner {
+    pub(crate) machine: Machine,
+    pub(crate) storage: StorageManager,
+    pub(crate) cost: CostModel,
+    pub(crate) config: CjoinConfig,
+    pub(crate) fact: TableId,
+    pub(crate) fact_pages: u64,
+    pub(crate) state: RwLock<GqpState>,
+    pub(crate) pending: Mutex<Vec<Admission>>,
+    pub(crate) wake: WaitSet,
     worker_q: SimQueue<Arc<WorkBatch>>,
     dist_q: SimQueue<Arc<DistBatch>>,
-    /// Admission batches handed off by the preprocessor to the admission
-    /// workers (shared-scan path): the preprocessor only snapshots the
-    /// pending set; the scans run here, overlapping fact-page production.
+    /// Admission batches handed off by the preprocessor to the stage's own
+    /// admission workers (per-stage shared-scan path): the preprocessor
+    /// only snapshots the pending set; the scans run here, overlapping
+    /// fact-page production. Unused when an engine-level `fabric` serves
+    /// the stage.
     admission_q: SimQueue<Vec<Admission>>,
+    /// Engine-level cross-stage admission pool, when the stage was built by
+    /// a governed engine's registry ([`CjoinStage::with_fabric`]); `None`
+    /// for standalone stages, which fall back to their own workers.
+    fabric: Option<AdmissionFabric>,
     shutdown: AtomicBool,
     sp_registry: Mutex<FxHashMap<u64, (u64, HostRef)>>,
-    admitted: AtomicU64,
-    admission_batches: AtomicU64,
+    pub(crate) admitted: AtomicU64,
+    pub(crate) admission_batches: AtomicU64,
     sp_shares: AtomicU64,
-    admission_dim_rows: AtomicU64,
-    admission_dim_pages: AtomicU64,
+    pub(crate) admission_dim_rows: AtomicU64,
+    pub(crate) admission_dim_pages: AtomicU64,
     /// Governor signals, EWMA-smoothed per observation (admission scan /
-    /// filtered batch) so they track workload shifts.
-    dim_sel_ewma: Mutex<Option<f64>>,
+    /// filtered batch) so they track workload shifts. The admission
+    /// selectivity is kept **per dimension table** so the governor can see
+    /// which dimension is cheap to share.
+    pub(crate) dim_sel_ewma: Mutex<FxHashMap<TableId, f64>>,
     key_run_ewma: Mutex<Option<f64>>,
 }
 
@@ -322,17 +352,35 @@ enum HostRef {
 /// The CJOIN stage. Cheap to clone.
 #[derive(Clone)]
 pub struct CjoinStage {
-    inner: Arc<StageInner>,
+    pub(crate) inner: Arc<StageInner>,
 }
 
 impl CjoinStage {
-    /// Create the stage over `fact_table` and spawn its pipeline threads.
+    /// Create a **standalone** stage over `fact_table` and spawn its
+    /// pipeline threads. Admission runs on the stage's own fallback worker
+    /// pool ([`CjoinConfig::n_admission_workers`]); engines that batch
+    /// admission across stages use [`CjoinStage::with_fabric`] instead.
     pub fn new(
         machine: &Machine,
         storage: &StorageManager,
         fact_table: &str,
         config: CjoinConfig,
         cost: CostModel,
+    ) -> CjoinStage {
+        Self::with_fabric(machine, storage, fact_table, config, cost, None)
+    }
+
+    /// Create the stage over `fact_table`, handing its pending admissions
+    /// to `fabric` when one is given (the governed engine's cross-stage
+    /// admission pool) instead of spawning per-stage admission workers.
+    /// With `None` this is exactly [`CjoinStage::new`].
+    pub fn with_fabric(
+        machine: &Machine,
+        storage: &StorageManager,
+        fact_table: &str,
+        config: CjoinConfig,
+        cost: CostModel,
+        fabric: Option<AdmissionFabric>,
     ) -> CjoinStage {
         let fact = storage.table(fact_table);
         let inner = Arc::new(StageInner {
@@ -356,6 +404,7 @@ impl CjoinStage {
             worker_q: SimQueue::bounded(machine, config.pipeline_depth.max(1)),
             dist_q: SimQueue::bounded(machine, config.pipeline_depth.max(1)),
             admission_q: SimQueue::unbounded(machine),
+            fabric,
             shutdown: AtomicBool::new(false),
             sp_registry: Mutex::new(FxHashMap::default()),
             admitted: AtomicU64::new(0),
@@ -363,7 +412,7 @@ impl CjoinStage {
             sp_shares: AtomicU64::new(0),
             admission_dim_rows: AtomicU64::new(0),
             admission_dim_pages: AtomicU64::new(0),
-            dim_sel_ewma: Mutex::new(None),
+            dim_sel_ewma: Mutex::new(FxHashMap::default()),
             key_run_ewma: Mutex::new(None),
         });
         let stage = CjoinStage { inner };
@@ -374,7 +423,10 @@ impl CjoinStage {
         for d in 0..config.n_distributors.max(1) {
             stage.spawn_distributor(d);
         }
-        if !config.serial_admission {
+        // The serial path admits inline on the preprocessor; a
+        // fabric-served stage hands batches to the engine-level pool. Only
+        // a standalone shared-scan stage needs its own workers.
+        if !stage.inner.config.serial_admission && stage.inner.fabric.is_none() {
             for a in 0..config.n_admission_workers.max(1) {
                 stage.spawn_admission_worker(a);
             }
@@ -515,10 +567,25 @@ impl CjoinStage {
 
     /// Live workload-shape signals for the sharing governor.
     pub fn runtime_stats(&self) -> CjoinRuntimeStats {
+        let dim_selectivity_by_dim: Vec<(TableId, f64)> = {
+            let map = self.inner.dim_sel_ewma.lock();
+            let mut v: Vec<(TableId, f64)> = map.iter().map(|(t, s)| (*t, *s)).collect();
+            v.sort_by_key(|(t, _)| t.0);
+            v
+        };
+        let dim_selectivity = if dim_selectivity_by_dim.is_empty() {
+            None
+        } else {
+            Some(
+                dim_selectivity_by_dim.iter().map(|(_, s)| s).sum::<f64>()
+                    / dim_selectivity_by_dim.len() as f64,
+            )
+        };
         CjoinRuntimeStats {
             active_queries: self.active_queries(),
             avg_key_run: self.inner.key_run_ewma.lock().unwrap_or(1.0),
-            dim_selectivity: *self.inner.dim_sel_ewma.lock(),
+            dim_selectivity,
+            dim_selectivity_by_dim,
         }
     }
 
@@ -548,14 +615,23 @@ impl CjoinStage {
                 }
                 // Batched admission at page boundaries. The retained serial
                 // oracle path admits inline, pausing the pipeline (the
-                // seed's §3.2 behavior); the default shared-scan path only
-                // snapshots the pending set here and hands it to the
-                // admission workers, so the dimension scans overlap
-                // fact-page production instead of stalling the GQP.
+                // seed's §3.2 behavior); the shared-scan paths only
+                // snapshot the pending set here and hand it to the
+                // engine-level admission fabric (when the stage was built
+                // with one) or the stage's own admission workers, so the
+                // dimension scans overlap fact-page production instead of
+                // stalling the GQP.
                 let pending = std::mem::take(&mut *inner.pending.lock());
                 if !pending.is_empty() {
                     if inner.config.serial_admission {
                         admit_batch_serial(&inner, ctx, pending);
+                    } else if let Some(fabric) = &inner.fabric {
+                        let stage = CjoinStage {
+                            inner: Arc::clone(&inner),
+                        };
+                        if !fabric.submit(stage, pending) {
+                            return; // fabric (engine) shut down
+                        }
                     } else if inner.admission_q.push(pending).is_err() {
                         return; // shut down
                     }
@@ -861,7 +937,7 @@ impl CjoinStage {
 }
 
 /// Allocate a query slot (recycling freed slots first).
-fn alloc_slot(s: &mut GqpState) -> u32 {
+pub(crate) fn alloc_slot(s: &mut GqpState) -> u32 {
     let slot = s.free_slots.pop().unwrap_or_else(|| {
         let sl = s.next_slot;
         s.next_slot += 1;
@@ -873,7 +949,12 @@ fn alloc_slot(s: &mut GqpState) -> u32 {
 
 /// Locate or create the shared filter for `(dim, fk, pk)` through the keyed
 /// filter index — O(1) instead of the former linear scan over `filters`.
-fn locate_filter(s: &mut GqpState, dim: TableId, fact_fk_idx: usize, dim_pk_idx: usize) -> usize {
+pub(crate) fn locate_filter(
+    s: &mut GqpState,
+    dim: TableId,
+    fact_fk_idx: usize,
+    dim_pk_idx: usize,
+) -> usize {
     if let Some(&fi) = s.filter_index.get(&(dim, fact_fk_idx, dim_pk_idx)) {
         return fi;
     }
@@ -892,7 +973,7 @@ fn locate_filter(s: &mut GqpState, dim: TableId, fact_fk_idx: usize, dim_pk_idx:
 /// Activate one admitted query: build its sink/runtime and, under a single
 /// state write, make it visible to the preprocessor (`active_bits`), the
 /// distributor (`queries`) and the wrap bookkeeping (`emit_left`) at once.
-fn activate_query(
+pub(crate) fn activate_query(
     inner: &StageInner,
     adm: &Admission,
     slot: u32,
@@ -923,274 +1004,6 @@ fn activate_query(
     s.queries.insert(slot, Arc::clone(&qrt));
     s.emit_left.insert(slot, inner.fact_pages.max(1));
     s.active_bits.set(slot as usize);
-}
-
-/// The retained **serial** admission path (the seed's semantics, kept as
-/// the behavioral oracle behind [`CjoinConfig::serial_admission`]): runs on
-/// the preprocessor thread in one pipeline pause, scanning every dimension
-/// table once **per pending query**.
-fn admit_batch_serial(inner: &StageInner, ctx: &SimCtx, pending: Vec<Admission>) {
-    inner.admission_batches.fetch_add(1, Ordering::Relaxed);
-    // One pipeline pause per batch ("in one pause of the pipeline, the
-    // admission phase adapts the filters for all queries in the batch",
-    // §3.2); per-query work is the slot/bitmap bookkeeping plus the
-    // dimension scans charged below.
-    ctx.charge(CostKind::Admission, inner.cost.admission_query_fixed_ns);
-    for adm in pending {
-        ctx.charge(
-            CostKind::Admission,
-            inner.cost.admission_query_fixed_ns / 10.0,
-        );
-        let q = &adm.query;
-        let slot = {
-            let mut s = inner.state.write();
-            alloc_slot(&mut s)
-        };
-        let mut dim_filters = Vec::with_capacity(q.dims.len());
-        for (k, dj) in q.dims.iter().enumerate() {
-            let dim_t = inner.storage.table(&dj.dim);
-            let dim_schema = inner.storage.schema(dim_t);
-            let fact_schema = inner.storage.schema(inner.fact);
-            let fk_idx = fact_schema.col(&dj.fact_fk);
-            let pk_idx = dim_schema.col(&dj.dim_pk);
-            let fi = {
-                let mut s = inner.state.write();
-                let fi = locate_filter(&mut s, dim_t, fk_idx, pk_idx);
-                // `referencing` is idempotent per scan: set once up front
-                // instead of once per page. The slot is not active yet, so
-                // no in-flight page carries its bit.
-                s.filters[fi].referencing.set(slot as usize);
-                fi
-            };
-            // Scan the dimension table, evaluate this query's predicate,
-            // extend entry bitmaps (the admission cost SP avoids, §3.1).
-            let stream = inner.storage.new_stream();
-            let npages = inner.storage.page_count(dim_t);
-            let terms = dj.pred.term_count();
-            let mut scanned = 0u64;
-            let mut sel = SelVec::new();
-            let mut staged: Vec<(i64, Row)> = Vec::new();
-            for p in 0..npages {
-                let page = inner.storage.read_page(ctx, dim_t, p, stream);
-                let rows = page.decode_all(&dim_schema);
-                scanned += rows.len() as u64;
-                // Batch-evaluated like every other selection in the system
-                // (and charged the same amortized rate, so engine
-                // comparisons are not skewed by admission accounting).
-                ctx.charge(
-                    CostKind::Admission,
-                    inner.cost.admission_tuple_ns * rows.len() as f64
-                        + inner.cost.select_batch_cost(terms, rows.len()),
-                );
-                dj.pred.eval_batch_into(&rows, &mut sel);
-                if !rows.is_empty() {
-                    ewma_fold(
-                        &inner.dim_sel_ewma,
-                        sel.count() as f64 / rows.len() as f64,
-                        0.2,
-                    );
-                }
-                for (i, row) in rows.into_iter().enumerate() {
-                    if sel.get(i) {
-                        staged.push((row[pk_idx].as_int(), row));
-                    }
-                }
-            }
-            inner
-                .admission_dim_rows
-                .fetch_add(scanned, Ordering::Relaxed);
-            inner
-                .admission_dim_pages
-                .fetch_add(npages as u64, Ordering::Relaxed);
-            // One state write per scan: merge the staged entries instead of
-            // re-taking the lock once per page.
-            {
-                let mut s = inner.state.write();
-                let filter = &mut s.filters[fi];
-                for (key, row) in staged {
-                    let entry = filter.hash.entry(key).or_insert_with(|| DimEntry {
-                        row: Arc::new(row),
-                        bits: QueryBitmap::zeros(64),
-                    });
-                    entry.bits.set(slot as usize);
-                }
-            }
-            dim_filters.push((fi, adm.bound.dim_payload_idx[k].clone()));
-        }
-        activate_query(inner, &adm, slot, dim_filters);
-        inner.admitted.fetch_add(1, Ordering::Relaxed);
-    }
-}
-
-/// One pending query's participation in a shared admission scan.
-struct ScanPart {
-    slot: u32,
-    pred: Predicate,
-    terms: usize,
-}
-
-/// All pending predicates of one admission batch over one distinct
-/// `(dim, fk, pk)` filter core — the unit of scan sharing.
-struct ScanGroup {
-    fi: usize,
-    dim: TableId,
-    pk_idx: usize,
-    parts: Vec<ScanPart>,
-}
-
-/// The **shared-scan** admission path (the default), run by the admission
-/// workers off the circular-scan thread:
-///
-/// 1. Slot allocation and shared-filter registration for the whole batch
-///    under one state write.
-/// 2. One physical scan per distinct `(dim, fk, pk)` filter core,
-///    evaluating *all* pending predicates against each decoded page
-///    ([`Predicate::eval_batch_multi`]) — a selected row merges every
-///    selecting query's slot bit in a single staged [`DimEntry`] insert.
-/// 3. Batch-wide activation.
-///
-/// The preprocessor keeps producing fact pages for already-active queries
-/// throughout; admission no longer pauses the pipeline.
-fn admit_batch_shared(inner: &StageInner, ctx: &SimCtx, pending: Vec<Admission>) {
-    inner.admission_batches.fetch_add(1, Ordering::Relaxed);
-    // Batch-fixed + per-query slot/bitmap bookkeeping, charged as in the
-    // serial path; the scans below are where the sharing happens.
-    ctx.charge(CostKind::Admission, inner.cost.admission_query_fixed_ns);
-    ctx.charge(
-        CostKind::Admission,
-        inner.cost.admission_query_fixed_ns / 10.0 * pending.len() as f64,
-    );
-    let fact_schema = inner.storage.schema(inner.fact);
-    // Catalog metadata resolved outside the state lock.
-    let metas: Vec<Vec<(TableId, usize, usize)>> = pending
-        .iter()
-        .map(|adm| {
-            adm.query
-                .dims
-                .iter()
-                .map(|dj| {
-                    let dim_t = inner.storage.table(&dj.dim);
-                    (
-                        dim_t,
-                        fact_schema.col(&dj.fact_fk),
-                        inner.storage.schema(dim_t).col(&dj.dim_pk),
-                    )
-                })
-                .collect()
-        })
-        .collect();
-    // Phase 1: slots + filter registration for the whole batch under one
-    // state write. `referencing` is set here (idempotent per scan; the
-    // slots are not active yet, so no in-flight page carries their bits).
-    let mut slots = Vec::with_capacity(pending.len());
-    let mut dim_filters: Vec<Vec<(usize, Vec<usize>)>> = Vec::with_capacity(pending.len());
-    let mut groups: Vec<ScanGroup> = Vec::new();
-    let mut group_of: FxHashMap<usize, usize> = FxHashMap::default();
-    {
-        let mut s = inner.state.write();
-        for (qi, adm) in pending.iter().enumerate() {
-            let slot = alloc_slot(&mut s);
-            let mut dfs = Vec::with_capacity(adm.query.dims.len());
-            for (k, dj) in adm.query.dims.iter().enumerate() {
-                let (dim_t, fk_idx, pk_idx) = metas[qi][k];
-                let fi = locate_filter(&mut s, dim_t, fk_idx, pk_idx);
-                s.filters[fi].referencing.set(slot as usize);
-                let gi = *group_of.entry(fi).or_insert_with(|| {
-                    groups.push(ScanGroup {
-                        fi,
-                        dim: dim_t,
-                        pk_idx,
-                        parts: Vec::new(),
-                    });
-                    groups.len() - 1
-                });
-                groups[gi].parts.push(ScanPart {
-                    slot,
-                    pred: dj.pred.clone(),
-                    terms: dj.pred.term_count(),
-                });
-                dfs.push((fi, adm.bound.dim_payload_idx[k].clone()));
-            }
-            slots.push(slot);
-            dim_filters.push(dfs);
-        }
-    }
-    // Phase 2: one physical scan per distinct filter core for the whole
-    // batch.
-    for g in &groups {
-        shared_dim_scan(inner, ctx, g);
-    }
-    // Phase 3: activate the batch.
-    for ((adm, slot), dfs) in pending.iter().zip(slots).zip(dim_filters) {
-        activate_query(inner, adm, slot, dfs);
-        inner.admitted.fetch_add(1, Ordering::Relaxed);
-    }
-}
-
-/// Scan `group.dim` **once** for every pending query in the group: each
-/// page is decoded once, all predicates are evaluated over it in one pass
-/// into a per-query selection bank, and each selected row is staged as one
-/// merged insert carrying every selecting query's slot bit. Staged inserts
-/// are merged into the live filter under a single state write at the end of
-/// the scan (no virtual-time operation happens while the lock is held).
-fn shared_dim_scan(inner: &StageInner, ctx: &SimCtx, group: &ScanGroup) {
-    let dim_schema = inner.storage.schema(group.dim);
-    let stream = inner.storage.new_stream();
-    let npages = inner.storage.page_count(group.dim);
-    let nq = group.parts.len();
-    let total_terms: usize = group.parts.iter().map(|p| p.terms.max(1)).sum();
-    let preds: Vec<&Predicate> = group.parts.iter().map(|p| &p.pred).collect();
-    let mut bank = BitmapBank::new();
-    let mut scratch = SelVec::new();
-    let mut hits = Vec::new();
-    let mut staged: Vec<(i64, Row, QueryBitmap)> = Vec::new();
-    for p in 0..npages {
-        let page = inner.storage.read_page(ctx, group.dim, p, stream);
-        let rows = page.decode_all(&dim_schema);
-        // The page is decoded/hashed once for the whole batch; each pending
-        // query pays only its predicate evaluation at the batch rate.
-        ctx.charge(
-            CostKind::Admission,
-            inner.cost.admission_batch_cost(rows.len(), nq, total_terms),
-        );
-        Predicate::eval_batch_multi(&preds, &rows, &mut bank, &mut scratch, &mut hits);
-        if !rows.is_empty() {
-            // Per-query selectivity signal, folded per (page, query) as in
-            // the serial path.
-            for &h in &hits {
-                ewma_fold(&inner.dim_sel_ewma, h as f64 / rows.len() as f64, 0.2);
-            }
-        }
-        inner
-            .admission_dim_rows
-            .fetch_add((rows.len() * nq) as u64, Ordering::Relaxed);
-        inner.admission_dim_pages.fetch_add(1, Ordering::Relaxed);
-        for (i, row) in rows.into_iter().enumerate() {
-            if !bank.row_any(i) {
-                continue;
-            }
-            let mut bits = QueryBitmap::zeros(64);
-            for q in bank.row_ones(i) {
-                bits.set(group.parts[q].slot as usize);
-            }
-            staged.push((row[group.pk_idx].as_int(), row, bits));
-        }
-    }
-    let mut s = inner.state.write();
-    let filter = &mut s.filters[group.fi];
-    for (key, row, bits) in staged {
-        match filter.hash.entry(key) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                e.get_mut().bits.or_assign(&bits);
-            }
-            std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(DimEntry {
-                    row: Arc::new(row),
-                    bits,
-                });
-            }
-        }
-    }
 }
 
 fn finalize_query(inner: &StageInner, ctx: &SimCtx, qrt: &QueryRuntime) {

@@ -178,7 +178,7 @@ impl SelVec {
         self.words
             .resize(nwords, if selected { u64::MAX } else { 0 });
         self.len = len;
-        if selected && len % 64 != 0 {
+        if selected && !len.is_multiple_of(64) {
             // Maintain the zero-tail invariant.
             *self.words.last_mut().unwrap() = (1u64 << (len % 64)) - 1;
         }

@@ -145,18 +145,26 @@ impl CostModel {
             + self.select_term_vec_ns * terms.max(1) as f64 * n as f64
     }
 
-    /// Cost of one **shared** admission-scan page: the page is decoded and
-    /// its rows hashed/bit-extended once for the whole pending batch
-    /// (`admission_tuple_ns` per physical row), while each of the `pending`
-    /// queries pays only its own predicate evaluation at the batch rate
+    /// Cost of one **shared** admission-scan page: the page is decoded
+    /// (`scan_tuple_ns`) and its rows hashed/bit-extended
+    /// (`admission_tuple_ns`) once per physical row for the whole pending
+    /// batch — under the cross-stage admission fabric, once for *every
+    /// stage* in the batching window — while each of the `pending` queries
+    /// pays only its own predicate evaluation at the batch rate
     /// (`total_terms` = Σ per-query `max(term_count, 1)`).
     ///
     /// This replaces the serial path's per-query full-scan charges
-    /// (`admission_tuple_ns × rows` *per query*) — the de-serialization that
-    /// makes admission cost grow with *distinct dimension pages + pending
-    /// queries* instead of *pages × queries*.
+    /// (`(scan_tuple_ns + admission_tuple_ns) × rows` *per query*: the
+    /// serial oracle really re-reads and re-decodes the pages per query) —
+    /// the de-serialization that makes admission cost grow with *distinct
+    /// dimension pages + pending queries* instead of *pages × queries*.
+    /// The per-row physical rate matches the
+    /// [`shared_latency_ns`](CostModel::shared_latency_ns) /
+    /// [`shared_marginal_query_ns`](CostModel::shared_marginal_query_ns)
+    /// estimators' `(scan_tuple_ns + admission_tuple_ns)` admission term,
+    /// so the governor's calibration starts near 1.
     pub fn admission_batch_cost(&self, rows: usize, pending: usize, total_terms: usize) -> f64 {
-        self.admission_tuple_ns * rows as f64
+        (self.scan_tuple_ns + self.admission_tuple_ns) * rows as f64
             + pending.max(1) as f64 * self.select_batch_fixed_ns
             + self.select_term_vec_ns * total_terms.max(pending.max(1)) as f64 * rows as f64
     }
@@ -251,7 +259,13 @@ impl CostModel {
     ///   than a quiet one, which is what lets the governor keep a quiet
     ///   fact query-centric while a crowded one shares.
     pub fn shared_latency_ns(&self, s: &SharingSignals) -> f64 {
-        let admission_scan = (self.scan_tuple_ns + self.admission_tuple_ns) * s.dim_tuples;
+        // The physical dimension scan amortizes over every query pending on
+        // the cross-stage admission fabric: the batching window reads each
+        // distinct dimension page once for all of them, so the candidate's
+        // share shrinks with the fabric's pending count (its own predicate
+        // evaluation below stays private).
+        let admission_scan = (self.scan_tuple_ns + self.admission_tuple_ns) * s.dim_tuples
+            / (1.0 + s.cross_stage_pending.max(0.0));
         let admission_own = self.select_term_vec_ns * s.dim_tuples;
         let admission = self.admission_query_fixed_ns + admission_scan + admission_own;
         let admission_queue =
@@ -352,6 +366,16 @@ pub struct SharingSignals {
     /// pipeline threads; for a single-fact engine it equals
     /// [`concurrency`](SharingSignals::concurrency).
     pub stage_in_flight: f64,
+    /// Queries pending on the engine's **cross-stage admission fabric**
+    /// (all fact stages, excluding the candidate) at decision time. With
+    /// the fabric, a batching window scans each distinct dimension table
+    /// once for *every* pending query of *every* stage, so the candidate's
+    /// own admission-scan share shrinks with this count — a dimension hot
+    /// across fact tables pushes **both** facts' queries toward sharing.
+    /// 0 without a fabric (per-stage pools share only within a stage; the
+    /// [`stage_in_flight`](SharingSignals::stage_in_flight) queue term
+    /// covers that).
+    pub cross_stage_pending: f64,
     /// Virtual cores of the machine (saturation divisor of the
     /// query-centric path).
     pub cores: f64,
@@ -384,6 +408,7 @@ impl SharingSignals {
             avg_key_run: 1.0,
             concurrency: 0.0,
             stage_in_flight: 0.0,
+            cross_stage_pending: 0.0,
             cores: 24.0,
             pipeline_parallelism: 6.0,
             fact_bytes: 0.0,
@@ -562,8 +587,11 @@ mod tests {
     #[test]
     fn admission_batch_cost_shares_the_scan_not_the_predicates() {
         let c = CostModel::default();
-        // One query: batch cost within a fixed term of the serial charge.
-        let serial_one = c.admission_tuple_ns * 1000.0 + c.select_batch_cost(2, 1000);
+        // One query: batch cost within a fixed term of the serial charge
+        // (decode + hash/bit-extend per physical row, predicates at the
+        // batch rate).
+        let serial_one = (c.scan_tuple_ns + c.admission_tuple_ns) * 1000.0
+            + c.select_batch_cost(2, 1000);
         assert_eq!(c.admission_batch_cost(1000, 1, 2), serial_one);
         // 32 queries sharing the scan: the physical per-row work is paid
         // once, so the batch is far cheaper than 32 serial scans…
@@ -603,6 +631,33 @@ mod tests {
         // Under capacity the multiplier stays exactly 1.
         let small = quiet.with_crowd(8.0);
         assert_eq!(c.stage_saturation(&small), 1.0);
+    }
+
+    #[test]
+    fn cross_stage_pending_amortizes_the_admission_scan() {
+        let c = CostModel::default();
+        // Admission-dominated shape (tiny fact, huge dimension): at idle a
+        // lone query pays the whole dimension scan and stays query-centric.
+        let flat = SharingSignals {
+            dim_selectivity: 0.1,
+            ..SharingSignals::cold(2_000.0, 50_000.0, 1)
+        };
+        assert!(c.shared_latency_ns(&flat) > c.query_centric_latency_ns(&flat));
+        // The same query with a crowd pending on the cross-stage admission
+        // fabric — e.g. another fact table's stars filtering the same
+        // dimension — shares the physical scan and the shared estimate
+        // drops strictly below the private plan's.
+        let hot = SharingSignals {
+            cross_stage_pending: 31.0,
+            ..flat
+        };
+        assert!(c.shared_latency_ns(&hot) < c.shared_latency_ns(&flat));
+        assert!(c.shared_latency_ns(&hot) < c.query_centric_latency_ns(&hot));
+        // The amortization touches only the physical scan term: its
+        // saving is bounded by the full scan cost.
+        let saved = c.shared_latency_ns(&flat) - c.shared_latency_ns(&hot);
+        let scan = (c.scan_tuple_ns + c.admission_tuple_ns) * flat.dim_tuples;
+        assert!(saved <= scan && saved > 0.9 * scan * 31.0 / 32.0);
     }
 
     #[test]

@@ -127,6 +127,24 @@ pub struct RunConfig {
     /// the run's primary fact table, star queries over other facts fall
     /// back to QPipe-with-sharing (kept as the `multifact` bench baseline).
     pub multifact: bool,
+    /// Serve CJOIN admission from one engine-level **cross-stage fabric**
+    /// (default, governed engines only): every sharded stage hands its
+    /// pending batches to a single worker pool that merges them per
+    /// batching window and scans each distinct dimension table **once for
+    /// all stages** — two fact tables' star queries filtering the same
+    /// dimension share one physical scan. Off = each stage runs its own
+    /// admission pool (`workshare_cjoin::CjoinConfig::n_admission_workers`,
+    /// the `admission_fabric` bench baseline and the only mode for
+    /// ungoverned / standalone stages). Ignored under
+    /// [`cjoin_serial_admission`](RunConfig::cjoin_serial_admission), which
+    /// admits inline on the preprocessor.
+    pub admission_fabric: bool,
+    /// Worker count of the engine-level admission fabric. Default 1: a
+    /// single worker makes window merging maximal and deterministic (every
+    /// burst shares one scan pass); raise it to overlap the dimension
+    /// scans of *independent* admission windows on engines with many
+    /// sharded fact stages, at the cost of best-effort merging.
+    pub admission_fabric_workers: usize,
     /// Sharing-governor knobs (hysteresis, calibration EWMA), used when
     /// `policy` is [`ExecPolicy::Adaptive`].
     pub governor: GovernorConfig,
@@ -149,6 +167,8 @@ impl Default for RunConfig {
             disk: DiskConfig::default(),
             policy: None,
             multifact: true,
+            admission_fabric: true,
+            admission_fabric_workers: 1,
             governor: GovernorConfig::default(),
         }
     }
@@ -290,6 +310,15 @@ mod tests {
         // The governed shared path always has its sharing hooks on.
         let qp = rc.governed_qpipe_config();
         assert!(qp.circular_scans && qp.sp_joins);
+    }
+
+    #[test]
+    fn admission_fabric_defaults_on_for_governed_engines() {
+        let rc = RunConfig::governed(ExecPolicy::Shared);
+        assert!(rc.admission_fabric, "fabric is the governed default");
+        assert_eq!(rc.admission_fabric_workers, 1, "doc'd default");
+        // The per-stage fallback pool keeps its knob for standalone stages.
+        assert_eq!(rc.cjoin_config().n_admission_workers, 1);
     }
 
     #[test]

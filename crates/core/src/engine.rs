@@ -15,7 +15,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use workshare_cjoin::{CjoinConfig, CjoinRuntimeStats, CjoinStage, CjoinStats};
+use workshare_cjoin::{
+    AdmissionFabric, CjoinConfig, CjoinRuntimeStats, CjoinStage, CjoinStats, FabricStats,
+};
 use workshare_common::bind::bind;
 use workshare_common::fxhash::FxHashMap;
 use workshare_common::{CostModel, SharingSignals, StarQuery};
@@ -82,6 +84,12 @@ struct StageRegistry {
     storage: StorageManager,
     config: CjoinConfig,
     cost: CostModel,
+    /// Engine-level cross-stage admission pool, shared by every stage this
+    /// registry builds ([`RunConfig::admission_fabric`]); stages fall back
+    /// to their own per-stage workers when `None`. The fabric outlives
+    /// stage teardown — its workers hold no stage state between windows —
+    /// and is shut down with the engine.
+    fabric: Option<AdmissionFabric>,
     live: Mutex<FxHashMap<TableId, StageEntry>>,
     retired: Mutex<FxHashMap<TableId, RetiredStage>>,
 }
@@ -105,12 +113,14 @@ impl StageRegistry {
         storage: &StorageManager,
         config: CjoinConfig,
         cost: CostModel,
+        fabric: Option<AdmissionFabric>,
     ) -> StageRegistry {
         StageRegistry {
             machine: machine.clone(),
             storage: storage.clone(),
             config,
             cost,
+            fabric,
             live: Mutex::new(FxHashMap::default()),
             retired: Mutex::new(FxHashMap::default()),
         }
@@ -136,8 +146,14 @@ impl StageRegistry {
                 return (entry.stage.clone(), lease);
             }
         }
-        let built =
-            CjoinStage::new(&self.machine, &self.storage, fact_name, self.config, self.cost);
+        let built = CjoinStage::with_fabric(
+            &self.machine,
+            &self.storage,
+            fact_name,
+            self.config,
+            self.cost,
+            self.fabric.clone(),
+        );
         let mut live = self.live.lock();
         let entry = live.entry(fact).or_insert_with(|| StageEntry {
             fact_name: fact_name.to_string(),
@@ -196,7 +212,7 @@ impl StageRegistry {
         let retired = self.retired.lock();
         let rt = retired
             .get(&fact)
-            .and_then(|r| r.last_runtime)
+            .and_then(|r| r.last_runtime.clone())
             .map(|rt| CjoinRuntimeStats {
                 active_queries: 0,
                 ..rt
@@ -205,12 +221,22 @@ impl StageRegistry {
                 active_queries: 0,
                 avg_key_run: 1.0,
                 dim_selectivity: None,
+                dim_selectivity_by_dim: Vec::new(),
             });
         (0, rt)
     }
 
+    /// Queries pending on the cross-stage admission fabric (0 without one):
+    /// the governor's `cross_stage_pending` signal.
+    fn fabric_pending(&self) -> u64 {
+        self.fabric.as_ref().map_or(0, |f| f.pending_queries())
+    }
+
     /// Aggregate CJOIN counters over every stage ever built (live +
-    /// retired).
+    /// retired), plus the physical pages the cross-stage fabric read on
+    /// their behalf (each counted once per batching window, attributed to
+    /// the fabric — per-stage counters stay 0 under it), so the aggregate
+    /// keeps covering every physical admission read of the engine.
     fn total_stats(&self) -> CjoinStats {
         let mut total = CjoinStats::default();
         for entry in self.live.lock().values() {
@@ -218,6 +244,9 @@ impl StageRegistry {
         }
         for cell in self.retired.lock().values() {
             total.absorb(&cell.stats);
+        }
+        if let Some(fabric) = &self.fabric {
+            total.admission_dim_pages += fabric.stats().admission_dim_pages;
         }
         total
     }
@@ -254,7 +283,8 @@ impl StageRegistry {
         rows
     }
 
-    /// Shut every live stage down (engine shutdown).
+    /// Shut every live stage down, then the shared admission fabric
+    /// (engine shutdown).
     fn shutdown_all(&self) {
         let entries: Vec<StageEntry> = {
             let mut live = self.live.lock();
@@ -262,6 +292,9 @@ impl StageRegistry {
         };
         for e in entries {
             e.stage.shutdown();
+        }
+        if let Some(fabric) = &self.fabric {
+            fabric.shutdown();
         }
     }
 }
@@ -362,6 +395,11 @@ impl Engine {
                     storage,
                     config.cjoin_config(),
                     config.cost,
+                    // One cross-stage admission pool for every stage the
+                    // registry will build. The serial oracle admits inline
+                    // on the preprocessor, so it never uses a fabric.
+                    (config.admission_fabric && !config.cjoin_serial_admission)
+                        .then(|| AdmissionFabric::new(machine, config.admission_fabric_workers)),
                 )),
                 qpipe: QpipeEngine::new(
                     machine,
@@ -451,10 +489,11 @@ impl Engine {
     }
 
     /// Live cost-model signals for routing `q`: catalog cardinalities, the
-    /// engine-wide in-flight count, and the per-stage signals of the
-    /// query's **own fact stage** (its crowd, observed selectivity,
-    /// key-run) — a crowded fact amortizes sharing while a quiet one does
-    /// not, even on the same engine.
+    /// engine-wide in-flight count, the cross-stage admission-fabric
+    /// pending count, and the per-stage signals of the query's **own fact
+    /// stage** (its crowd, observed per-dimension selectivities, key-run)
+    /// — a crowded fact amortizes sharing while a quiet one does not, even
+    /// on the same engine.
     fn live_signals(&self, g: &Governed, q: &StarQuery) -> SharingSignals {
         let storage = &self.inner.storage;
         let fact_t = storage.table(&q.fact);
@@ -466,9 +505,34 @@ impl Engine {
             .sum();
         let (stage_in_flight, rt) = g.registry.stage_signals(fact_t);
         let cold = SharingSignals::cold(fact_tuples, dim_tuples, q.dims.len());
+        // Per-dimension selectivity: average the observed EWMAs of the
+        // dimensions *this query* joins (the skew-aware signal — a query
+        // over a cheap-to-share dimension gets that dimension's estimate,
+        // not an engine-wide blend), falling back to the stage aggregate
+        // and then the cold prior.
+        let observed: Vec<f64> = q
+            .dims
+            .iter()
+            .filter_map(|d| {
+                let dim_t = storage.table(&d.dim);
+                rt.dim_selectivity_by_dim
+                    .iter()
+                    .find(|(t, _)| *t == dim_t)
+                    .map(|(_, s)| *s)
+            })
+            .collect();
+        let dim_selectivity = if observed.is_empty() {
+            rt.dim_selectivity.unwrap_or(cold.dim_selectivity)
+        } else {
+            observed.iter().sum::<f64>() / observed.len() as f64
+        };
         SharingSignals {
-            dim_selectivity: rt.dim_selectivity.unwrap_or(cold.dim_selectivity),
+            dim_selectivity,
             avg_key_run: rt.avg_key_run,
+            // Admissions queued across every fact stage on the engine's
+            // cross-stage fabric: the candidate's physical admission scan
+            // amortizes over them no matter which stage they came from.
+            cross_stage_pending: g.registry.fabric_pending() as f64,
             // The governor sees engine-wide load from both paths (its own
             // in-flight count) and from the GQPs (queries admitted by
             // earlier submissions that are still wrapping).
@@ -676,6 +740,16 @@ impl Engine {
         match &self.inner.kind {
             EngineKind::Governed(g) => g.registry.rows(),
             _ => Vec::new(),
+        }
+    }
+
+    /// Counters of the engine-level cross-stage admission fabric, if this
+    /// engine runs one ([`RunConfig::admission_fabric`]). `None` for
+    /// ungoverned engines and when the per-stage pools serve admission.
+    pub fn fabric_stats(&self) -> Option<FabricStats> {
+        match &self.inner.kind {
+            EngineKind::Governed(g) => g.registry.fabric.as_ref().map(|f| f.stats()),
+            _ => None,
         }
     }
 

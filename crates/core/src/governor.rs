@@ -11,8 +11,13 @@
 //!
 //! 1. Build [`SharingSignals`] for the query from the catalog (table
 //!    cardinalities) and live observations (in-flight query count, the
-//!    fact stage's own crowd, admission selectivity, filter key-run length
-//!    from [`CjoinRuntimeStats`](workshare_cjoin::CjoinRuntimeStats)).
+//!    fact stage's own crowd, the **per-dimension** admission-selectivity
+//!    EWMAs of the dimensions the query actually joins, filter key-run
+//!    length from [`CjoinRuntimeStats`](workshare_cjoin::CjoinRuntimeStats),
+//!    and the cross-stage admission fabric's pending count
+//!    ([`SharingSignals::cross_stage_pending`] — a dimension hot across
+//!    fact tables amortizes the candidate's admission scan, pushing both
+//!    facts' queries toward sharing).
 //! 2. Ask the cost model for the predicted **response times** of both
 //!    paths at the current concurrency
 //!    ([`CostModel::query_centric_latency_ns`],
@@ -476,6 +481,25 @@ mod tests {
         // Disk-resident crowd: bandwidth amortization wins — Shared.
         let g3 = governor();
         assert_eq!(g3.decide(&disk_signals(63.0)), Route::Shared);
+    }
+
+    #[test]
+    fn cross_stage_pending_tips_admission_bound_shapes_to_shared() {
+        // A lone admission-dominated query routes query-centric: nothing
+        // amortizes its dimension scan.
+        let g = governor();
+        assert_eq!(g.decide(&flat_signals(0.0)), Route::QueryCentric);
+        // The same lone query while a crowd from *other* fact stages is
+        // queued on the cross-stage admission fabric: the batching window
+        // scans the dimension once for everyone, the candidate's share
+        // collapses, and the governor routes it shared — the fabric makes
+        // a dimension hot across facts pull every fact toward sharing.
+        let g2 = governor();
+        let hot = SharingSignals {
+            cross_stage_pending: 31.0,
+            ..flat_signals(0.0)
+        };
+        assert_eq!(g2.decide(&hot), Route::Shared);
     }
 
     #[test]

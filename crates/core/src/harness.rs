@@ -37,8 +37,14 @@ pub struct RunReport {
     /// QPipe sharing statistics (if the engine was a QPipe variant).
     pub qpipe_sharing: Option<workshare_qpipe::SharingStats>,
     /// CJOIN statistics (if the engine was a CJOIN variant; aggregate over
-    /// all sharded stages when governed).
+    /// all sharded stages — plus the cross-stage fabric's physical reads —
+    /// when governed).
     pub cjoin: Option<workshare_cjoin::CjoinStats>,
+    /// Cross-stage admission-fabric counters (governed engines with
+    /// [`RunConfig::admission_fabric`] on): batching windows, cross-stage
+    /// merges, and the physical dimension pages read once per window on
+    /// behalf of every stage.
+    pub fabric: Option<workshare_cjoin::FabricStats>,
     /// Per-fact-table stage rows of a governed run's shared side: which
     /// sharded CJOIN stage served how many shared star queries, labeled
     /// with the fact table (`Shared(lineorder)`). Empty for ungoverned
@@ -138,6 +144,7 @@ pub fn run_batch_on(
         disk,
         qpipe_sharing: engine.qpipe_sharing(),
         cjoin: engine.cjoin_stats(),
+        fabric: engine.fabric_stats(),
         stages: engine.stage_rows(),
         governor: engine.governor_stats(),
         results: keep_results.then_some(rows),
@@ -205,6 +212,7 @@ pub fn run_staggered(
         disk,
         qpipe_sharing: engine.qpipe_sharing(),
         cjoin: engine.cjoin_stats(),
+        fabric: engine.fabric_stats(),
         stages: engine.stage_rows(),
         governor: engine.governor_stats(),
         results: keep_results.then_some(rows),
@@ -237,6 +245,8 @@ pub struct ThroughputReport {
     pub governor: Option<crate::governor::GovernorStats>,
     /// Per-fact-table stage rows of a governed run's shared side.
     pub stages: Vec<crate::engine::StageRow>,
+    /// Cross-stage admission-fabric counters, when the engine ran one.
+    pub fabric: Option<workshare_cjoin::FabricStats>,
 }
 
 /// Closed-loop run: each of `clients` submits a query, waits for it, then
@@ -317,6 +327,7 @@ where
         read_rate_mbps: disk.read_rate_mbps(window_ns),
         governor: engine.governor_stats(),
         stages: engine.stage_rows(),
+        fabric: engine.fabric_stats(),
     };
     engine.shutdown();
     report

@@ -49,6 +49,7 @@ pub use governor::{GovernorConfig, GovernorStats, Route, SharingGovernor};
 pub use harness::{run_batch, run_clients, run_staggered, RunReport, ThroughputReport};
 pub use ticket::Ticket;
 
+pub use workshare_cjoin::FabricStats;
 pub use workshare_common::{CostModel, StarQuery};
 pub use workshare_qpipe::ExchangeKind;
 pub use workshare_storage::IoMode;

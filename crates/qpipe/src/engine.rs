@@ -405,8 +405,8 @@ impl QpipeEngine {
         };
 
         // ---- joins --------------------------------------------------------
-        for k in start_level..d {
-            let dscan_r = self.scan_reader(dim_ts[k]);
+        for (k, &dim_t) in dim_ts.iter().enumerate().skip(start_level) {
+            let dscan_r = self.scan_reader(dim_t);
             let build_ex =
                 Exchange::new(inner.config.exchange, &inner.machine, cost, inner.config.cap_pages);
             let build_r = build_ex.attach(None);

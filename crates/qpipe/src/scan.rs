@@ -151,6 +151,9 @@ fn pending_consumers(ex: &Exchange) -> usize {
 /// vthread reads the table front-to-back once and closes. Returns the
 /// reading end. This is the no-sharing baseline whose buffer-pool and disk
 /// contention the paper's `QPipe` configuration exhibits.
+// The parameter list mirrors the shared-scan spawn path one-for-one; a
+// params struct would only obscure the symmetry.
+#[allow(clippy::too_many_arguments)]
 pub fn spawn_independent_scan(
     machine: &Machine,
     storage: &StorageManager,

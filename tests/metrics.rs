@@ -131,6 +131,77 @@ fn stage_rows_label_shared_queries_by_fact_table() {
 }
 
 #[test]
+fn fabric_counts_each_physical_page_once_and_keeps_logical_rows_invariant() {
+    // Two fact tables' star queries filter the same dimension tables
+    // through the governed shared path. With the cross-stage admission
+    // fabric (the default) each shared dimension is physically scanned
+    // once per batching window for BOTH stages; with per-stage pools each
+    // stage scans its dimensions itself. Physical reads must be attributed
+    // to the fabric and counted once per page; the per-stage logical
+    // volume must not depend on which pool ran the scans.
+    let d = Dataset::ssb_two_facts(0.05, 7);
+    let cfg = RunConfig::governed(workshare::ExecPolicy::Shared);
+    let mut r = workload::rng(5);
+    let queries: Vec<_> = (0..4)
+        .map(|i| {
+            let mut q = workload::ssb_q3_2(i as u64, &mut r);
+            if i % 2 == 1 {
+                q.fact = "lineorder2".into();
+            }
+            q
+        })
+        .collect();
+    let fabric_run = run_batch(&d, &cfg, &queries, false);
+    let mut perstage_cfg = cfg;
+    perstage_cfg.admission_fabric = false;
+    let perstage_run = run_batch(&d, &perstage_cfg, &queries, false);
+
+    // The fabric run reports fabric counters; the per-stage run does not.
+    let fs = fabric_run.fabric.expect("fabric run must report FabricStats");
+    assert!(perstage_run.fabric.is_none());
+    assert!(fs.batches > 0, "{fs:?}");
+
+    // Physical once-per-page accounting: every page the fabric read is in
+    // its own counter (per-stage counters stay 0 — a page read once for
+    // two stages belongs to neither), and the engine aggregate equals it.
+    for row in &fabric_run.stages {
+        assert_eq!(row.stats.admission_dim_pages, 0, "{row:?}");
+    }
+    let fabric_cj = fabric_run.cjoin.clone().unwrap();
+    assert_eq!(fabric_cj.admission_dim_pages, fs.admission_dim_pages);
+    // Exactly the distinct dimension page counts per window: the batch
+    // submits at one virtual instant, so one window serves both stages and
+    // scans customer + supplier + date once each.
+    let sm = d.instantiate(cfg.storage_config(), cfg.cost);
+    let pages = |t: &str| sm.page_count(sm.table(t)) as u64;
+    let once = pages("customer") + pages("supplier") + pages("date");
+    assert_eq!(fs.admission_dim_pages, once * fs.batches, "{fs:?}");
+    assert!(fs.cross_stage_batches >= 1, "window never merged stages: {fs:?}");
+
+    // Logical per-query volume is batching-invariant: identical per stage
+    // and in aggregate, however the scans were pooled — while the fabric's
+    // physical reads are at most the per-stage pools' (strictly less when
+    // a window merged stages).
+    let perstage_cj = perstage_run.cjoin.clone().unwrap();
+    assert_eq!(fabric_cj.admission_dim_rows, perstage_cj.admission_dim_rows);
+    assert_eq!(fabric_cj.admitted, perstage_cj.admitted);
+    let per_stage_rows = |rep: &workshare::harness::RunReport| {
+        let mut v: Vec<(String, u64)> = rep
+            .stages
+            .iter()
+            .map(|s| (s.fact.clone(), s.stats.admission_dim_rows))
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(per_stage_rows(&fabric_run), per_stage_rows(&perstage_run));
+    assert!(
+        fs.admission_dim_pages < perstage_cj.admission_dim_pages,
+        "cross-stage sharing must reduce physical reads: fabric {fs:?} vs {perstage_cj:?}"
+    );
+}
+
+#[test]
 fn sharing_stats_bounded_by_query_count() {
     let queries = workload::limited_plans(10, 2, 4, workload::ssb_q3_2_narrow);
     let rep = run_batch(ssb(), &RunConfig::named(NamedConfig::QpipeSp), &queries, false);

@@ -140,6 +140,41 @@ proptest! {
         let fallback = results_of(&fallback_cfg, &queries);
         prop_assert_eq!(&fallback, &reference, "qpipe fallback diverged from Volcano");
 
+        // Fabric-vs-per-stage-pool oracle: the sharded run above used the
+        // engine-level admission fabric (the default); the same mix on
+        // per-stage admission pools must produce identical joined rows and
+        // identical logical admission stats — only the physical read
+        // counters may differ, and the fabric's must not exceed the
+        // per-stage pools' (it scans shared dimensions once per window
+        // across stages).
+        let mut perstage_cfg = RunConfig::governed(ExecPolicy::Shared);
+        perstage_cfg.admission_fabric = false;
+        let perstage = run_batch(ssb2(), &perstage_cfg, &queries, true);
+        let perstage_rows: Vec<Vec<Row>> = perstage
+            .results
+            .as_ref()
+            .unwrap()
+            .iter()
+            .map(|r| (**r).clone())
+            .collect();
+        prop_assert_eq!(&perstage_rows, &reference, "per-stage pools diverged");
+        let fabric_cj = sharded.cjoin.clone().unwrap();
+        let perstage_cj = perstage.cjoin.clone().unwrap();
+        prop_assert_eq!(fabric_cj.admitted, perstage_cj.admitted);
+        prop_assert_eq!(fabric_cj.sp_shares, perstage_cj.sp_shares);
+        prop_assert_eq!(
+            fabric_cj.admission_dim_rows, perstage_cj.admission_dim_rows,
+            "logical per-query scan volume must be pool-invariant"
+        );
+        prop_assert!(
+            fabric_cj.admission_dim_pages <= perstage_cj.admission_dim_pages,
+            "fabric read more pages ({}) than per-stage pools ({})",
+            fabric_cj.admission_dim_pages,
+            perstage_cj.admission_dim_pages
+        );
+        let fs = sharded.fabric.expect("sharded run reports fabric stats");
+        prop_assert_eq!(fabric_cj.admission_dim_pages, fs.admission_dim_pages);
+
         // Stage accounting: one row per referenced fact, labels carry the
         // fact, served counts cover every star query of that fact.
         let mut facts: Vec<&str> = queries.iter().map(|q| q.fact.as_str()).collect();
