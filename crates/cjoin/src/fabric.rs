@@ -71,6 +71,12 @@ struct FabricInner {
     /// governor's cross-stage pending signal
     /// (`SharingSignals::cross_stage_pending`).
     pending_queries: AtomicU64,
+    /// Depth cap on `pending_queries` advertised via
+    /// [`AdmissionFabric::has_capacity`]. `u64::MAX` = unbounded (the
+    /// legacy default); the overload-safe service layer builds the fabric
+    /// with its queue cap so submissions are shed at the door instead of
+    /// queueing without bound.
+    capacity: u64,
     batches: AtomicU64,
     cross_stage_batches: AtomicU64,
     merged_requests: AtomicU64,
@@ -91,10 +97,19 @@ impl AdmissionFabric {
     /// (`RunConfig::admission_fabric_workers`); more workers overlap the
     /// scans of *independent* windows at the cost of best-effort merging.
     pub fn new(machine: &Machine, n_workers: usize) -> AdmissionFabric {
+        AdmissionFabric::with_capacity(machine, n_workers, u64::MAX)
+    }
+
+    /// [`AdmissionFabric::new`] with a depth cap on the pending-query
+    /// count: once `capacity` queries are queued across all stages,
+    /// [`AdmissionFabric::has_capacity`] turns false and the service layer
+    /// sheds further submissions instead of enqueueing them forever.
+    pub fn with_capacity(machine: &Machine, n_workers: usize, capacity: u64) -> AdmissionFabric {
         let fabric = AdmissionFabric {
             inner: Arc::new(FabricInner {
                 queue: SimQueue::unbounded(machine),
                 pending_queries: AtomicU64::new(0),
+                capacity,
                 batches: AtomicU64::new(0),
                 cross_stage_batches: AtomicU64::new(0),
                 merged_requests: AtomicU64::new(0),
@@ -111,6 +126,14 @@ impl AdmissionFabric {
     /// governor's cross-stage pending-admission signal.
     pub fn pending_queries(&self) -> u64 {
         self.inner.pending_queries.load(Ordering::Relaxed)
+    }
+
+    /// Whether the pending queue is below its depth cap (always true for
+    /// an uncapped fabric). Advisory — the race-free hard cap lives in the
+    /// engine's admission counter; this sheds on queue *depth* so a stalled
+    /// fabric rejects new work before the backlog grows unbounded.
+    pub fn has_capacity(&self) -> bool {
+        self.inner.pending_queries.load(Ordering::Relaxed) < self.inner.capacity
     }
 
     /// Lifetime fabric counters.

@@ -565,6 +565,13 @@ impl CjoinStage {
         self.inner.state.read().queries.len()
     }
 
+    /// Submissions sitting in this stage's pending-admission snapshot (not
+    /// yet handed to an admission worker or the fabric). The service
+    /// layer's per-stage queue-depth signal.
+    pub fn pending_len(&self) -> usize {
+        self.inner.pending.lock().len()
+    }
+
     /// Live workload-shape signals for the sharing governor.
     pub fn runtime_stats(&self) -> CjoinRuntimeStats {
         let dim_selectivity_by_dim: Vec<(TableId, f64)> = {

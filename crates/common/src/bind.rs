@@ -34,7 +34,7 @@ pub struct BoundAgg {
 }
 
 /// Physical binding of a [`StarQuery`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BoundQuery {
     /// Fact-schema indices of the join foreign keys, in join order.
     pub fact_fk_idx: Vec<usize>,
@@ -77,25 +77,88 @@ impl BoundQuery {
     }
 }
 
-fn resolve(q: &StarQuery, fact_payload: &[String], c: &ColRef) -> usize {
+/// Why a [`StarQuery`] could not be bound to its physical schemas. Carried
+/// to the harness as a per-query **error outcome** (instead of the former
+/// `panic!`, which poisoned whichever thread happened to bind — a malformed
+/// query must fail alone, not take a worker down with it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindError {
+    /// A grouping/aggregation column references the fact table but is not
+    /// in the fact payload carried past the scan.
+    FactColumnNotInPayload {
+        /// The unresolvable column name.
+        col: String,
+    },
+    /// A grouping/aggregation column references dimension `dim_index` but
+    /// is not in that join's payload list.
+    DimColumnNotInPayload {
+        /// Join index of the dimension.
+        dim_index: usize,
+        /// The dimension table's name.
+        dim: String,
+        /// The unresolvable column name.
+        col: String,
+    },
+    /// A grouping/aggregation column references a dimension index beyond
+    /// the query's join list.
+    DimIndexOutOfRange {
+        /// The out-of-range join index.
+        dim_index: usize,
+        /// Number of dimension joins in the query.
+        n_dims: usize,
+    },
+    /// A referenced column does not exist in the named table's schema.
+    NoSuchColumn {
+        /// The table whose schema was probed.
+        table: String,
+        /// The missing column name.
+        col: String,
+    },
+}
+
+impl std::fmt::Display for BindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BindError::FactColumnNotInPayload { col } => {
+                write!(f, "fact column '{col}' not in payload")
+            }
+            BindError::DimColumnNotInPayload { dim_index, dim, col } => {
+                write!(f, "dim {dim_index} column '{col}' not in payload of {dim}")
+            }
+            BindError::DimIndexOutOfRange { dim_index, n_dims } => {
+                write!(f, "dim index {dim_index} out of range ({n_dims} joins)")
+            }
+            BindError::NoSuchColumn { table, col } => {
+                write!(f, "no column '{col}' in schema of {table}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+fn resolve(q: &StarQuery, fact_payload: &[String], c: &ColRef) -> Result<usize, BindError> {
     match c.source {
         ColSource::Fact => {
-            let pos = fact_payload
-                .iter()
-                .position(|n| *n == c.col)
-                .unwrap_or_else(|| panic!("fact column '{}' not in payload", c.col));
-            q.dims.len() + pos
+            let pos = fact_payload.iter().position(|n| *n == c.col).ok_or_else(|| {
+                BindError::FactColumnNotInPayload { col: c.col.clone() }
+            })?;
+            Ok(q.dims.len() + pos)
         }
         ColSource::Dim(k) => {
-            let pos = q.dims[k]
-                .payload
-                .iter()
-                .position(|n| *n == c.col)
-                .unwrap_or_else(|| {
-                    panic!("dim {k} column '{}' not in payload of {}", c.col, q.dims[k].dim)
-                });
+            let d = q.dims.get(k).ok_or(BindError::DimIndexOutOfRange {
+                dim_index: k,
+                n_dims: q.dims.len(),
+            })?;
+            let pos = d.payload.iter().position(|n| *n == c.col).ok_or_else(|| {
+                BindError::DimColumnNotInPayload {
+                    dim_index: k,
+                    dim: d.dim.clone(),
+                    col: c.col.clone(),
+                }
+            })?;
             let before: usize = q.dims[..k].iter().map(|d| d.payload.len()).sum();
-            q.dims.len() + fact_payload.len() + before + pos
+            Ok(q.dims.len() + fact_payload.len() + before + pos)
         }
     }
 }
@@ -126,48 +189,67 @@ pub fn fact_payload_columns(q: &StarQuery) -> Vec<String> {
 }
 
 /// Bind `q` against the fact schema and its dimension schemas (in join
-/// order). Panics on unresolvable columns — plans are machine-generated, so
-/// failures are template bugs.
-pub fn bind(fact: &Schema, dims: &[&Schema], q: &StarQuery) -> BoundQuery {
+/// order), surfacing unresolvable columns as a typed [`BindError`] so the
+/// caller can turn a malformed query into a per-query error outcome.
+pub fn try_bind(fact: &Schema, dims: &[&Schema], q: &StarQuery) -> Result<BoundQuery, BindError> {
     assert_eq!(dims.len(), q.dims.len(), "schema count mismatch");
+    let col_in = |s: &Schema, table: &str, name: &str| -> Result<usize, BindError> {
+        s.try_col(name).ok_or_else(|| BindError::NoSuchColumn {
+            table: table.to_string(),
+            col: name.to_string(),
+        })
+    };
     let fact_payload = fact_payload_columns(q);
-    let fact_fk_idx = q.dims.iter().map(|d| fact.col(&d.fact_fk)).collect();
-    let fact_payload_idx = fact_payload.iter().map(|n| fact.col(n)).collect();
+    let fact_fk_idx = q
+        .dims
+        .iter()
+        .map(|d| col_in(fact, &q.fact, &d.fact_fk))
+        .collect::<Result<_, _>>()?;
+    let fact_payload_idx = fact_payload
+        .iter()
+        .map(|n| col_in(fact, &q.fact, n))
+        .collect::<Result<_, _>>()?;
     let dim_pk_idx = q
         .dims
         .iter()
         .zip(dims)
-        .map(|(d, s)| s.col(&d.dim_pk))
-        .collect();
+        .map(|(d, s)| col_in(s, &d.dim, &d.dim_pk))
+        .collect::<Result<_, _>>()?;
     let dim_payload_idx: Vec<Vec<usize>> = q
         .dims
         .iter()
         .zip(dims)
-        .map(|(d, s)| d.payload.iter().map(|n| s.col(n)).collect())
-        .collect();
+        .map(|(d, s)| {
+            d.payload
+                .iter()
+                .map(|n| col_in(s, &d.dim, n))
+                .collect::<Result<_, _>>()
+        })
+        .collect::<Result<_, _>>()?;
     let group_idx = q
         .group_by
         .iter()
         .map(|c| resolve(q, &fact_payload, c))
-        .collect();
+        .collect::<Result<_, _>>()?;
     let aggs = q
         .aggs
         .iter()
-        .map(|a: &AggSpec| BoundAgg {
-            func: a.func,
-            expr: a.expr.as_ref().map(|e| match e {
-                AggExpr::Col(c) => BoundAggExpr::Col(resolve(q, &fact_payload, c)),
-                AggExpr::Mul(x, y) => BoundAggExpr::Mul(
-                    resolve(q, &fact_payload, x),
-                    resolve(q, &fact_payload, y),
-                ),
-            }),
+        .map(|a: &AggSpec| {
+            let expr = match &a.expr {
+                Some(AggExpr::Col(c)) => Some(BoundAggExpr::Col(resolve(q, &fact_payload, c)?)),
+                Some(AggExpr::Mul(x, y)) => Some(BoundAggExpr::Mul(
+                    resolve(q, &fact_payload, x)?,
+                    resolve(q, &fact_payload, y)?,
+                )),
+                None => None,
+            };
+            Ok(BoundAgg { func: a.func, expr })
         })
-        .collect();
+        .collect::<Result<_, BindError>>()?;
     let joined_arity = q.dims.len()
         + fact_payload.len()
         + q.dims.iter().map(|d| d.payload.len()).sum::<usize>();
-    BoundQuery {
+    Ok(BoundQuery {
         fact_fk_idx,
         fact_payload_idx,
         dim_pk_idx,
@@ -175,7 +257,15 @@ pub fn bind(fact: &Schema, dims: &[&Schema], q: &StarQuery) -> BoundQuery {
         group_idx,
         aggs,
         joined_arity,
-    }
+    })
+}
+
+/// Bind `q` against the fact schema and its dimension schemas (in join
+/// order). Panics on unresolvable columns — for call sites whose plans are
+/// machine-generated, where failures are template bugs. Service-loop call
+/// sites use [`try_bind`] and shed the query instead.
+pub fn bind(fact: &Schema, dims: &[&Schema], q: &StarQuery) -> BoundQuery {
+    try_bind(fact, dims, q).unwrap_or_else(|e| panic!("bind failed for query {}: {e}", q.id))
 }
 
 #[cfg(test)]
@@ -294,5 +384,47 @@ mod tests {
         let da = dim_schema("a_pk", "a_val");
         let db = dim_schema("b_pk", "b_val");
         bind(&f, &[&da, &db], &q);
+    }
+
+    #[test]
+    fn try_bind_surfaces_typed_errors() {
+        let f = fact_schema();
+        let da = dim_schema("a_pk", "a_val");
+        let db = dim_schema("b_pk", "b_val");
+
+        let mut q = query();
+        q.group_by = vec![ColRef::dim(0, "nonexistent")];
+        assert_eq!(
+            try_bind(&f, &[&da, &db], &q),
+            Err(BindError::DimColumnNotInPayload {
+                dim_index: 0,
+                dim: "a".into(),
+                col: "nonexistent".into(),
+            })
+        );
+
+        let mut q = query();
+        q.aggs = vec![AggSpec::sum(ColRef::fact("no_such_measure"))];
+        assert_eq!(
+            try_bind(&f, &[&da, &db], &q),
+            Err(BindError::NoSuchColumn {
+                table: "f".into(),
+                col: "no_such_measure".into(),
+            }),
+            "a fact agg column absent from the schema fails at payload lookup"
+        );
+
+        let mut q = query();
+        q.dims[1].dim_pk = "missing_pk".into();
+        assert_eq!(
+            try_bind(&f, &[&da, &db], &q),
+            Err(BindError::NoSuchColumn {
+                table: "b".into(),
+                col: "missing_pk".into(),
+            })
+        );
+
+        let ok = try_bind(&f, &[&da, &db], &query()).expect("well-formed query binds");
+        assert_eq!(ok.joined_arity, 6);
     }
 }

@@ -80,6 +80,92 @@ impl NamedConfig {
     }
 }
 
+/// Maximum distinct tenants the service layer tracks. Fixed so
+/// [`ServiceConfig`] (and therefore [`RunConfig`]) stays `Copy`.
+pub const MAX_TENANTS: usize = 8;
+
+/// Overload-control knobs for the closed-loop service driver. The default
+/// is **fully off**: no queue cap, no deadline, no SLO target — every
+/// submission is admitted exactly as before, preserving the legacy
+/// behavior bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Cap on queries concurrently admitted into the governed engine
+    /// (in flight anywhere: fabric pending, stage pending, or executing).
+    /// `None` = unbounded (legacy). When the cap is hit, submissions are
+    /// shed with [`ShedReason::QueueFull`](crate::ShedReason::QueueFull)
+    /// instead of queueing forever.
+    pub queue_cap: Option<usize>,
+    /// Per-query virtual deadline in seconds, measured from submission.
+    /// `None` = no deadline. With a deadline set, submissions whose
+    /// predicted completion (cost model over live sharing signals) already
+    /// exceeds it are shed with
+    /// [`ShedReason::Deadline`](crate::ShedReason::Deadline), and the
+    /// governor switches to SLO mode: prefer the route predicted to meet
+    /// the deadline, shed only when neither can.
+    pub deadline_secs: Option<f64>,
+    /// Target p99 latency in seconds reported against by the `overload`
+    /// bench. Purely an observability/gating knob — shedding is driven by
+    /// `deadline_secs`.
+    pub slo_p99_secs: Option<f64>,
+    /// Relative admission weight per tenant (tenant id = index, queries
+    /// from tenants ≥ [`MAX_TENANTS`] fold onto the last slot). All-zero
+    /// (the default) disables per-tenant partitioning: every tenant may
+    /// use the whole queue cap. With any weight set, each tenant `t` may
+    /// hold at most `ceil(queue_cap · w_t / Σw)` of the in-flight slots,
+    /// so heavy tenants cannot starve light ones, and zero-weight tenants
+    /// are locked out.
+    pub tenant_weights: [f64; MAX_TENANTS],
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_cap: None,
+            deadline_secs: None,
+            slo_p99_secs: None,
+            tenant_weights: [0.0; MAX_TENANTS],
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Whether any overload control is active. False = legacy behavior.
+    pub fn is_active(&self) -> bool {
+        self.queue_cap.is_some() || self.deadline_secs.is_some()
+    }
+
+    /// The admission weight of `tenant` (ids beyond the table fold onto
+    /// the last slot; non-positive weights count as zero).
+    pub fn weight(&self, tenant: usize) -> f64 {
+        self.tenant_weights[tenant.min(MAX_TENANTS - 1)].max(0.0)
+    }
+
+    /// Per-tenant share of the queue cap: `ceil(cap · w_t / Σw)`, at least
+    /// 1 for any tenant with positive weight. `None` when no cap is set;
+    /// the whole cap when no weights are set (per-tenant partitioning
+    /// off).
+    pub fn tenant_cap(&self, tenant: usize) -> Option<usize> {
+        let cap = self.queue_cap?;
+        let total: f64 = (0..MAX_TENANTS).map(|t| self.weight(t)).sum();
+        if total <= 0.0 {
+            return Some(cap);
+        }
+        let w = self.weight(tenant);
+        if w <= 0.0 {
+            return Some(0);
+        }
+        let share = (cap as f64 * w / total).ceil() as usize;
+        Some(share.clamp(1, cap))
+    }
+
+    /// Deadline the governor's SLO mode routes against (`deadline_secs`,
+    /// falling back to the p99 target when only that is set).
+    pub fn slo_target_secs(&self) -> Option<f64> {
+        self.deadline_secs.or(self.slo_p99_secs)
+    }
+}
+
 /// Full run configuration: engine + machine + storage knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct RunConfig {
@@ -148,6 +234,9 @@ pub struct RunConfig {
     /// Sharing-governor knobs (hysteresis, calibration EWMA), used when
     /// `policy` is [`ExecPolicy::Adaptive`].
     pub governor: GovernorConfig,
+    /// Overload-control knobs (queue cap, deadline shedding, SLO target,
+    /// tenant weights). Default **off**: legacy unbounded admission.
+    pub service: ServiceConfig,
 }
 
 impl Default for RunConfig {
@@ -170,6 +259,7 @@ impl Default for RunConfig {
             admission_fabric: true,
             admission_fabric_workers: 1,
             governor: GovernorConfig::default(),
+            service: ServiceConfig::default(),
         }
     }
 }
@@ -319,6 +409,43 @@ mod tests {
         assert_eq!(rc.admission_fabric_workers, 1, "doc'd default");
         // The per-stage fallback pool keeps its knob for standalone stages.
         assert_eq!(rc.cjoin_config().n_admission_workers, 1);
+    }
+
+    #[test]
+    fn service_config_defaults_off() {
+        let rc = RunConfig::default();
+        assert!(!rc.service.is_active(), "overload control must default off");
+        assert_eq!(rc.service.queue_cap, None);
+        assert_eq!(rc.service.deadline_secs, None);
+        assert_eq!(rc.service.tenant_cap(0), None, "no cap without queue_cap");
+        assert_eq!(rc.service.slo_target_secs(), None);
+    }
+
+    #[test]
+    fn tenant_caps_follow_weights() {
+        let mut sc = ServiceConfig {
+            queue_cap: Some(8),
+            ..Default::default()
+        };
+        // No weights set: per-tenant partitioning is off, every tenant may
+        // use the whole cap.
+        assert_eq!(sc.tenant_cap(0), Some(8));
+        // Equal weights: every tenant gets ceil(8/8) = 1.
+        sc.tenant_weights = [1.0; MAX_TENANTS];
+        assert_eq!(sc.tenant_cap(0), Some(1));
+        assert_eq!(sc.tenant_cap(MAX_TENANTS + 5), Some(1), "ids fold onto last slot");
+        // A heavy tenant gets the lion's share, light ones keep ≥ 1.
+        sc.tenant_weights = [9.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        assert_eq!(sc.tenant_cap(0), Some(5)); // ceil(8·9/16)
+        assert_eq!(sc.tenant_cap(1), Some(1)); // ceil(8·1/16) = 1
+        // Zero weight admits nothing; deadline falls back to the p99 target.
+        sc.tenant_weights[2] = 0.0;
+        assert_eq!(sc.tenant_cap(2), Some(0));
+        sc.slo_p99_secs = Some(0.5);
+        assert_eq!(sc.slo_target_secs(), Some(0.5));
+        sc.deadline_secs = Some(0.2);
+        assert_eq!(sc.slo_target_secs(), Some(0.2));
+        assert!(sc.is_active());
     }
 
     #[test]

@@ -18,17 +18,67 @@ use parking_lot::Mutex;
 use workshare_cjoin::{
     AdmissionFabric, CjoinConfig, CjoinRuntimeStats, CjoinStage, CjoinStats, FabricStats,
 };
-use workshare_common::bind::bind;
+use workshare_common::bind::try_bind;
 use workshare_common::fxhash::FxHashMap;
 use workshare_common::{CostModel, SharingSignals, StarQuery};
 use workshare_qpipe::QpipeEngine;
 use workshare_sim::{CostKind, Machine, WaitSet};
 use workshare_storage::{StorageManager, TableId};
 
-use crate::config::{ExecPolicy, NamedConfig, RunConfig};
-use crate::governor::{GovernorStats, Route, SharingGovernor};
-use crate::ticket::{SlotResult, Ticket};
+use crate::config::{ExecPolicy, NamedConfig, RunConfig, ServiceConfig, MAX_TENANTS};
+use crate::governor::{GovernorStats, Route, SharingGovernor, SloDecision};
+use crate::ticket::{CompletionGuard, SlotResult, Ticket};
 use crate::volcano::run_volcano_query;
+
+/// Why a submission was shed by [`Engine::try_submit`] instead of admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// The bounded admission queue (engine outstanding count, the tenant's
+    /// weighted share of it, or the admission fabric's pending depth) was
+    /// full.
+    QueueFull,
+    /// No route's predicted completion met the query's virtual deadline.
+    Deadline,
+}
+
+impl ShedReason {
+    /// Display label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue-full",
+            ShedReason::Deadline => "deadline",
+        }
+    }
+}
+
+/// Result of a bounded submission ([`Engine::try_submit`]).
+pub enum Outcome {
+    /// The query was admitted; track it via the ticket.
+    Admitted(Ticket),
+    /// The query was shed at the door and never entered any queue.
+    Shed {
+        /// Why it was shed.
+        reason: ShedReason,
+    },
+}
+
+/// RAII claim on the bounded admission queue: one admitted query's slot in
+/// the engine-wide outstanding count and its tenant's count. Released on
+/// drop — the permit rides inside the query's completion closure, so
+/// normal completion, error completion, and a panicking producer (vthread
+/// closures unwind) all free the slot.
+struct ServicePermit {
+    outstanding: Arc<AtomicU64>,
+    tenant_outstanding: Arc<[AtomicU64; MAX_TENANTS]>,
+    tenant: usize,
+}
+
+impl Drop for ServicePermit {
+    fn drop(&mut self) {
+        self.outstanding.fetch_sub(1, Ordering::AcqRel);
+        self.tenant_outstanding[self.tenant].fetch_sub(1, Ordering::AcqRel);
+    }
+}
 
 /// Per-fact-table row of a governed run's shared side, surfaced in
 /// [`RunReport::stages`](crate::harness::RunReport::stages): which stage
@@ -327,6 +377,16 @@ struct Governed {
     /// Sequential disk bandwidth, bytes per virtual second; 0 when the
     /// database is memory-resident (no I/O terms in the estimates).
     disk_bandwidth: f64,
+    /// Overload-control knobs ([`RunConfig::service`]); inactive by
+    /// default, in which case [`Engine::try_submit`] degrades to plain
+    /// [`Engine::submit`].
+    service: ServiceConfig,
+    /// Queries admitted through [`Engine::try_submit`] and not yet
+    /// completed — the bounded-admission counter the queue cap CASes on.
+    outstanding: Arc<AtomicU64>,
+    /// Per-tenant slice of [`outstanding`](Governed::outstanding), for the
+    /// weighted per-tenant caps.
+    tenant_outstanding: Arc<[AtomicU64; MAX_TENANTS]>,
 }
 
 enum EngineKind {
@@ -364,6 +424,12 @@ impl RouteFeedback {
         self.governor
             .observe_latency_keyed(self.shape, self.route, latency_secs, &self.signals);
     }
+
+    /// The query never ran (bind error): drop it from the in-flight count
+    /// without feeding its non-latency into the calibration EWMAs.
+    fn abandon(&self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 /// An engine instance bound to one machine and one mounted database.
@@ -397,9 +463,20 @@ impl Engine {
                     config.cost,
                     // One cross-stage admission pool for every stage the
                     // registry will build. The serial oracle admits inline
-                    // on the preprocessor, so it never uses a fabric.
-                    (config.admission_fabric && !config.cjoin_serial_admission)
-                        .then(|| AdmissionFabric::new(machine, config.admission_fabric_workers)),
+                    // on the preprocessor, so it never uses a fabric. With
+                    // a service queue cap, the fabric advertises the same
+                    // cap as its pending depth so try_submit sheds before
+                    // the backlog grows unbounded.
+                    (config.admission_fabric && !config.cjoin_serial_admission).then(|| {
+                        match config.service.queue_cap {
+                            Some(cap) => AdmissionFabric::with_capacity(
+                                machine,
+                                config.admission_fabric_workers,
+                                cap as u64,
+                            ),
+                            None => AdmissionFabric::new(machine, config.admission_fabric_workers),
+                        }
+                    }),
                 )),
                 qpipe: QpipeEngine::new(
                     machine,
@@ -418,6 +495,9 @@ impl Engine {
                 } else {
                     config.disk.bandwidth_bytes_per_sec
                 },
+                service: config.service,
+                outstanding: Arc::new(AtomicU64::new(0)),
+                tenant_outstanding: Arc::new(std::array::from_fn(|_| AtomicU64::new(0))),
             }),
             None => match config.engine {
                 NamedConfig::Qpipe | NamedConfig::QpipeCs | NamedConfig::QpipeSp => {
@@ -478,13 +558,100 @@ impl Engine {
         }
     }
 
-    /// Submit a query; returns a [`Ticket`].
+    /// Submit a query; returns a [`Ticket`]. Unbounded: always admits
+    /// (the legacy path — overload control lives in
+    /// [`Engine::try_submit`]).
     pub fn submit(&self, q: &StarQuery) -> Ticket {
         match &self.inner.kind {
             EngineKind::Qpipe(e) => Ticket::Qpipe(e.submit(q)),
-            EngineKind::Cjoin(stage) => self.submit_cjoin(stage, q, None, None),
-            EngineKind::Volcano => self.submit_volcano(q, None),
-            EngineKind::Governed(g) => self.submit_governed(g, q),
+            EngineKind::Cjoin(stage) => self.submit_cjoin(stage, q, None, None, None),
+            EngineKind::Volcano => self.submit_volcano(q, None, None),
+            EngineKind::Governed(g) => self
+                .route_and_submit(g, q, None, None)
+                .expect("unbounded submission cannot shed"),
+        }
+    }
+
+    /// Bounded submission on behalf of `tenant`: admit `q` if the service
+    /// queue has room and some route is predicted to meet the deadline,
+    /// otherwise shed it with a typed reason. With
+    /// [`ServiceConfig`] inactive (the default) or on
+    /// an ungoverned engine this degrades to plain [`Engine::submit`] —
+    /// every query is admitted.
+    pub fn try_submit(&self, q: &StarQuery, tenant: usize) -> Outcome {
+        let EngineKind::Governed(g) = &self.inner.kind else {
+            return Outcome::Admitted(self.submit(q));
+        };
+        if !g.service.is_active() {
+            return Outcome::Admitted(self.submit(q));
+        }
+        let permit = match self.claim_service_slot(g, tenant) {
+            Ok(p) => p,
+            Err(reason) => return Outcome::Shed { reason },
+        };
+        match self.route_and_submit(g, q, permit, g.service.deadline_secs) {
+            Ok(t) => Outcome::Admitted(t),
+            Err(reason) => Outcome::Shed { reason },
+        }
+    }
+
+    /// Reserve one slot in the bounded admission queue for `tenant`.
+    /// The engine-wide and per-tenant caps are claimed by compare-and-swap
+    /// (the `SimQueue::try_push` shape: reserve-or-reject, never block), so
+    /// concurrent submitters cannot overshoot the cap; the fabric's pending
+    /// depth is an advisory front door on top — a stalled fabric rejects
+    /// new work before its backlog grows unbounded.
+    fn claim_service_slot(
+        &self,
+        g: &Governed,
+        tenant: usize,
+    ) -> Result<Option<ServicePermit>, ShedReason> {
+        let Some(cap) = g.service.queue_cap else {
+            return Ok(None);
+        };
+        if let Some(fabric) = &g.registry.fabric {
+            if !fabric.has_capacity() {
+                return Err(ShedReason::QueueFull);
+            }
+        }
+        let cap = cap as u64;
+        if g.outstanding
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |o| {
+                (o < cap).then_some(o + 1)
+            })
+            .is_err()
+        {
+            return Err(ShedReason::QueueFull);
+        }
+        let tenant_slot = tenant.min(MAX_TENANTS - 1);
+        let tenant_cap = g
+            .service
+            .tenant_cap(tenant)
+            .expect("queue_cap is set") as u64;
+        if g.tenant_outstanding[tenant_slot]
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |o| {
+                (o < tenant_cap).then_some(o + 1)
+            })
+            .is_err()
+        {
+            // Roll the engine-wide claim back: the tenant's weighted share
+            // is exhausted even though the queue as a whole has room.
+            g.outstanding.fetch_sub(1, Ordering::AcqRel);
+            return Err(ShedReason::QueueFull);
+        }
+        Ok(Some(ServicePermit {
+            outstanding: Arc::clone(&g.outstanding),
+            tenant_outstanding: Arc::clone(&g.tenant_outstanding),
+            tenant: tenant_slot,
+        }))
+    }
+
+    /// Queries admitted through [`Engine::try_submit`] and not yet
+    /// completed (0 for ungoverned engines or an inactive service config).
+    pub fn service_outstanding(&self) -> u64 {
+        match &self.inner.kind {
+            EngineKind::Governed(g) => g.outstanding.load(Ordering::Acquire),
+            _ => 0,
         }
     }
 
@@ -549,7 +716,18 @@ impl Engine {
         }
     }
 
-    fn submit_governed(&self, g: &Governed, q: &StarQuery) -> Ticket {
+    /// Route `q` and hand it to the chosen path. `deadline_secs` switches
+    /// the governor into SLO mode (deadline shedding); `permit` is the
+    /// query's claim on the bounded admission queue, released by the
+    /// completion closure of whichever path runs it. With both `None` this
+    /// is exactly the legacy unbounded routing.
+    fn route_and_submit(
+        &self,
+        g: &Governed,
+        q: &StarQuery,
+        permit: Option<ServicePermit>,
+        deadline_secs: Option<f64>,
+    ) -> Result<Ticket, ShedReason> {
         let fact_t = self.inner.storage.table(&q.fact);
         // Any star query can enter its fact's sharded stage; with
         // `multifact` off only the primary fact is CJOIN-eligible (legacy
@@ -558,49 +736,74 @@ impl Engine {
         let shape = q.shape_signature();
         // One signals snapshot per submission: the decision, the recorded
         // route, and the later calibration feedback all see the same state.
-        let signals =
-            (g.policy == ExecPolicy::Adaptive).then(|| self.live_signals(g, q));
+        // Pinned policies need the snapshot too when a deadline is set —
+        // their predicted latency decides shed-vs-admit.
+        let signals = (g.policy == ExecPolicy::Adaptive || deadline_secs.is_some())
+            .then(|| self.live_signals(g, q));
         let route = match g.policy {
-            ExecPolicy::QueryCentric => {
-                g.governor.record_forced(Route::QueryCentric);
-                Route::QueryCentric
-            }
-            ExecPolicy::Shared => {
-                g.governor.record_forced(Route::Shared);
-                Route::Shared
+            ExecPolicy::QueryCentric | ExecPolicy::Shared => {
+                let route = if g.policy == ExecPolicy::QueryCentric {
+                    Route::QueryCentric
+                } else {
+                    Route::Shared
+                };
+                if let Some(deadline) = deadline_secs {
+                    let predicted =
+                        g.governor
+                            .predicted_ns_keyed(shape, route, signals.as_ref().unwrap());
+                    if predicted > deadline * 1e9 {
+                        return Err(ShedReason::Deadline);
+                    }
+                }
+                g.governor.record_forced(route);
+                route
             }
             // Non-star queries can't enter a GQP; they are still routed by
             // the governor — the shared side just lands on QPipe below.
-            ExecPolicy::Adaptive => g.governor.decide_keyed(shape, signals.as_ref().unwrap()),
+            ExecPolicy::Adaptive => match deadline_secs {
+                None => g.governor.decide_keyed(shape, signals.as_ref().unwrap()),
+                Some(deadline) => {
+                    match g
+                        .governor
+                        .decide_slo_keyed(shape, signals.as_ref().unwrap(), deadline)
+                    {
+                        SloDecision::Route(r) => r,
+                        SloDecision::Shed => return Err(ShedReason::Deadline),
+                    }
+                }
+            },
         };
-        let feedback = signals.map(|signals| {
+        let feedback = (g.policy == ExecPolicy::Adaptive).then(|| {
             g.in_flight.fetch_add(1, Ordering::AcqRel);
             RouteFeedback {
                 governor: Arc::clone(&g.governor),
                 route,
                 shape,
-                signals,
+                signals: signals.unwrap(),
                 in_flight: Arc::clone(&g.in_flight),
             }
         });
-        match route {
-            Route::QueryCentric => self.submit_volcano(q, feedback),
+        Ok(match route {
+            Route::QueryCentric => self.submit_volcano(q, feedback, permit),
             Route::Shared if is_star => {
                 let (stage, lease) = g.registry.checkout(fact_t, &q.fact);
-                self.submit_cjoin(&stage, q, feedback, Some(lease))
+                self.submit_cjoin(&stage, q, feedback, Some(lease), permit)
             }
             Route::Shared => {
                 let handle = g.qpipe.submit(q);
-                if let Some(fb) = feedback {
+                if feedback.is_some() || permit.is_some() {
                     let h = handle.clone();
                     self.inner.machine.spawn(&format!("gov-obs-q{}", q.id), move |_| {
                         h.wait();
-                        fb.complete(h.latency_secs());
+                        if let Some(fb) = &feedback {
+                            fb.complete(h.latency_secs());
+                        }
+                        drop(permit); // release the admission slot
                     });
                 }
                 Ticket::Qpipe(handle)
             }
-        }
+        })
     }
 
     /// Run `q` on the CJOIN stage: the joins are shared; a query-centric
@@ -615,30 +818,14 @@ impl Engine {
         q: &StarQuery,
         feedback: Option<RouteFeedback>,
         lease: Option<StageLease>,
+        permit: Option<ServicePermit>,
     ) -> Ticket {
         let inner = &self.inner;
         let start_ns = inner.machine.now_ns();
-        if inner.shared_agg {
-            // DataPath extension: the distributor aggregates in place;
-            // adapt the stage's buffered result to a Ticket.
-            let slot = SlotResult::new(&inner.machine, start_ns);
-            let agg = stage.submit_aggregated(q);
-            let slot2 = Arc::clone(&slot);
-            inner.machine.spawn(&format!("cj-sagg-q{}", q.id), move |ctx| {
-                let rows = agg.wait();
-                let now = ctx.machine().now_ns();
-                slot2.complete(rows, now);
-                if let Some(fb) = &feedback {
-                    fb.complete((now - start_ns) / 1e9);
-                }
-                if let Some(l) = &lease {
-                    l.release();
-                }
-            });
-            return Ticket::Slot(slot);
-        }
         let slot = SlotResult::new(&inner.machine, start_ns);
-        let mut output = stage.submit(q);
+        // Bind before entering the stage: an unresolvable column becomes a
+        // per-query error outcome at the waiter instead of a panic inside
+        // the stage's own (later, internal) bind of the same plan.
         let fact_schema = inner.storage.schema(inner.storage.table(&q.fact));
         let dim_schemas: Vec<_> = q
             .dims
@@ -647,13 +834,49 @@ impl Engine {
             .collect();
         let dim_refs: Vec<&workshare_common::Schema> =
             dim_schemas.iter().map(|s| s.as_ref()).collect();
-        let bound = bind(&fact_schema, &dim_refs, q);
+        let bound = match try_bind(&fact_schema, &dim_refs, q) {
+            Ok(b) => b,
+            Err(e) => {
+                slot.complete_error(format!("query {}: {e}", q.id), start_ns);
+                if let Some(fb) = &feedback {
+                    fb.abandon();
+                }
+                if let Some(l) = &lease {
+                    l.release();
+                }
+                drop(permit);
+                return Ticket::Slot(slot);
+            }
+        };
+        if inner.shared_agg {
+            // DataPath extension: the distributor aggregates in place;
+            // adapt the stage's buffered result to a Ticket.
+            let agg = stage.submit_aggregated(q);
+            let slot2 = Arc::clone(&slot);
+            inner.machine.spawn(&format!("cj-sagg-q{}", q.id), move |ctx| {
+                let guard = CompletionGuard::new(Arc::clone(&slot2));
+                let rows = agg.wait();
+                let now = ctx.machine().now_ns();
+                slot2.complete(rows, now);
+                guard.disarm();
+                if let Some(fb) = &feedback {
+                    fb.complete((now - start_ns) / 1e9);
+                }
+                if let Some(l) = &lease {
+                    l.release();
+                }
+                drop(permit);
+            });
+            return Ticket::Slot(slot);
+        }
+        let mut output = stage.submit(q);
         let order = q.order_by.clone();
         let cost = inner.cost;
         let slot2 = Arc::clone(&slot);
         let gate_ws = inner.gate_ws.clone();
         let gate_open = Arc::clone(&inner.gate_open);
         inner.machine.spawn(&format!("cj-agg-q{}", q.id), move |ctx| {
+            let guard = CompletionGuard::new(Arc::clone(&slot2));
             if !gate_open.load(Ordering::Acquire) {
                 gate_ws.wait_until(|| gate_open.load(Ordering::Acquire));
             }
@@ -678,21 +901,48 @@ impl Engine {
             let rows = agg.finish(&order);
             let now = ctx.machine().now_ns();
             slot2.complete(Arc::new(rows), now);
+            guard.disarm();
             if let Some(fb) = &feedback {
                 fb.complete((now - start_ns) / 1e9);
             }
             if let Some(l) = &lease {
                 l.release();
             }
+            drop(permit);
         });
         Ticket::Slot(slot)
     }
 
     /// Run `q` on a private Volcano-style plan on its own vthread.
-    fn submit_volcano(&self, q: &StarQuery, feedback: Option<RouteFeedback>) -> Ticket {
+    fn submit_volcano(
+        &self,
+        q: &StarQuery,
+        feedback: Option<RouteFeedback>,
+        permit: Option<ServicePermit>,
+    ) -> Ticket {
         let inner = &self.inner;
         let start_ns = inner.machine.now_ns();
         let slot = SlotResult::new(&inner.machine, start_ns);
+        // Same up-front bind check as the CJOIN path: malformed queries
+        // become error outcomes, not a panic inside the plan vthread.
+        {
+            let fact_schema = inner.storage.schema(inner.storage.table(&q.fact));
+            let dim_schemas: Vec<_> = q
+                .dims
+                .iter()
+                .map(|d| inner.storage.schema(inner.storage.table(&d.dim)))
+                .collect();
+            let dim_refs: Vec<&workshare_common::Schema> =
+                dim_schemas.iter().map(|s| s.as_ref()).collect();
+            if let Err(e) = try_bind(&fact_schema, &dim_refs, q) {
+                slot.complete_error(format!("query {}: {e}", q.id), start_ns);
+                if let Some(fb) = &feedback {
+                    fb.abandon();
+                }
+                drop(permit);
+                return Ticket::Slot(slot);
+            }
+        }
         let slot2 = Arc::clone(&slot);
         let storage = inner.storage.clone();
         let cost = inner.cost;
@@ -700,15 +950,18 @@ impl Engine {
         let gate_ws = inner.gate_ws.clone();
         let gate_open = Arc::clone(&inner.gate_open);
         inner.machine.spawn(&format!("volcano-q{}", q.id), move |ctx| {
+            let guard = CompletionGuard::new(Arc::clone(&slot2));
             if !gate_open.load(Ordering::Acquire) {
                 gate_ws.wait_until(|| gate_open.load(Ordering::Acquire));
             }
             let rows = run_volcano_query(ctx, &storage, &q, &cost);
             let now = ctx.machine().now_ns();
             slot2.complete(Arc::new(rows), now);
+            guard.disarm();
             if let Some(fb) = &feedback {
                 fb.complete((now - start_ns) / 1e9);
             }
+            drop(permit);
         });
         Ticket::Slot(slot)
     }

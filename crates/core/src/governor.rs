@@ -65,6 +65,18 @@ impl Route {
     }
 }
 
+/// Outcome of an SLO-mode routing decision
+/// ([`SharingGovernor::decide_slo_keyed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloDecision {
+    /// Some route is predicted to finish within the deadline; run it.
+    Route(Route),
+    /// Neither route's calibrated estimate meets the deadline: admitting
+    /// the query would only burn capacity on a guaranteed SLO miss — shed
+    /// it at the door.
+    Shed,
+}
+
 /// The shape key the keyless [`SharingGovernor::decide`] /
 /// [`SharingGovernor::observe_latency`] wrappers file their state under.
 const GLOBAL_SHAPE: u64 = 0;
@@ -125,6 +137,9 @@ pub struct GovernorStats {
     pub shared_residual: f64,
     /// Distinct workload shapes the governor holds state for.
     pub shapes: u64,
+    /// SLO-mode decisions where **neither** route's calibrated estimate
+    /// met the deadline ([`SloDecision::Shed`]).
+    pub slo_sheds: u64,
 }
 
 /// Per-route learned state of one workload shape.
@@ -189,6 +204,7 @@ pub struct SharingGovernor {
     config: GovernorConfig,
     routed_qc: AtomicU64,
     routed_sh: AtomicU64,
+    slo_sheds: AtomicU64,
     state: Mutex<GovState>,
 }
 
@@ -200,6 +216,7 @@ impl SharingGovernor {
             config,
             routed_qc: AtomicU64::new(0),
             routed_sh: AtomicU64::new(0),
+            slo_sheds: AtomicU64::new(0),
             state: Mutex::new(GovState {
                 shapes: FxHashMap::default(),
             }),
@@ -302,6 +319,74 @@ impl SharingGovernor {
         self.decide_keyed(GLOBAL_SHAPE, signals)
     }
 
+    /// SLO-mode routing: like [`decide_keyed`](SharingGovernor::decide_keyed)
+    /// but deadline-aware. The hysteresis-preferred route wins when its
+    /// calibrated estimate meets `deadline_secs`; otherwise the other route
+    /// wins **if it meets the deadline** (a genuine flip — the SLO overrides
+    /// stickiness); when neither route is predicted to finish in time the
+    /// query is [shed](SloDecision::Shed) without touching the shape's
+    /// incumbent (a shed is not evidence about which route is cheaper).
+    pub fn decide_slo_keyed(
+        &self,
+        shape: u64,
+        signals: &SharingSignals,
+        deadline_secs: f64,
+    ) -> SloDecision {
+        let qc = self.predicted_ns_keyed(shape, Route::QueryCentric, signals);
+        let sh = self.predicted_ns_keyed(shape, Route::Shared, signals);
+        let deadline_ns = deadline_secs * 1e9;
+        let meets = |ns: f64| ns <= deadline_ns;
+        let mut state = self.state.lock();
+        let shape_state = state.shapes.entry(shape).or_default();
+        let margin = 1.0 - self.config.hysteresis.clamp(0.0, 0.9);
+        let preferred = match shape_state.route {
+            None => {
+                if sh < qc {
+                    Route::Shared
+                } else {
+                    Route::QueryCentric
+                }
+            }
+            Some(Route::QueryCentric) => {
+                if sh < qc * margin {
+                    Route::Shared
+                } else {
+                    Route::QueryCentric
+                }
+            }
+            Some(Route::Shared) => {
+                if qc < sh * margin {
+                    Route::QueryCentric
+                } else {
+                    Route::Shared
+                }
+            }
+        };
+        let (pref_ns, other, other_ns) = match preferred {
+            Route::QueryCentric => (qc, Route::Shared, sh),
+            Route::Shared => (sh, Route::QueryCentric, qc),
+        };
+        let route = if meets(pref_ns) {
+            preferred
+        } else if meets(other_ns) {
+            other
+        } else {
+            drop(state);
+            self.slo_sheds.fetch_add(1, Ordering::Relaxed);
+            return SloDecision::Shed;
+        };
+        if shape_state.route.is_some_and(|prev| prev != route) {
+            shape_state.flips += 1;
+        }
+        shape_state.route = Some(route);
+        drop(state);
+        match route {
+            Route::QueryCentric => self.routed_qc.fetch_add(1, Ordering::Relaxed),
+            Route::Shared => self.routed_sh.fetch_add(1, Ordering::Relaxed),
+        };
+        SloDecision::Route(route)
+    }
+
     /// Record a route that was forced by a pinned policy
     /// ([`ExecPolicy::QueryCentric`](crate::config::ExecPolicy) /
     /// [`ExecPolicy::Shared`](crate::config::ExecPolicy)) rather than
@@ -392,6 +477,7 @@ impl SharingGovernor {
             query_centric_residual: qc_res,
             shared_residual: sh_res,
             shapes: state.shapes.len() as u64,
+            slo_sheds: self.slo_sheds.load(Ordering::Relaxed),
         }
     }
 }
@@ -615,6 +701,59 @@ mod tests {
         // calibration loop fully absorbed the (stationary) model error.
         assert!((st.shared_residual - 1.0).abs() < 0.05, "{st:?}");
         assert!((st.query_centric_residual - 1.0).abs() < 0.05, "{st:?}");
+    }
+
+    #[test]
+    fn slo_mode_prefers_routes_that_meet_the_deadline() {
+        let cost = CostModel::default();
+        let g = governor();
+        let s = flat_signals(0.0); // query-centric decisively cheaper
+        let qc_ns = cost.query_centric_latency_ns(&s);
+        let sh_ns = cost.shared_latency_ns(&s);
+        assert!(qc_ns < sh_ns, "shape precondition");
+        // Generous deadline: the hysteresis-preferred (cheaper) route runs.
+        let roomy = (sh_ns * 2.0) / 1e9;
+        assert_eq!(g.decide_slo_keyed(7, &s, roomy), SloDecision::Route(Route::QueryCentric));
+        // Deadline between the two estimates: still the meeting route.
+        let between = (qc_ns + sh_ns) / 2.0 / 1e9;
+        assert_eq!(g.decide_slo_keyed(7, &s, between), SloDecision::Route(Route::QueryCentric));
+        assert_eq!(g.stats().slo_sheds, 0);
+    }
+
+    #[test]
+    fn slo_mode_overrides_hysteresis_to_meet_the_deadline() {
+        let cost = CostModel::default();
+        let g = governor();
+        // Establish a Shared incumbent on a shape where shared wins.
+        let easy = signals(4.0);
+        assert_eq!(g.decide_keyed(9, &easy), Route::Shared);
+        // Now a burst where shared misses the deadline but query-centric
+        // meets it: SLO mode must flip off the incumbent.
+        let tiny = tiny_signals(0.0);
+        let qc_ns = cost.query_centric_latency_ns(&tiny);
+        let sh_ns = cost.shared_latency_ns(&tiny);
+        assert!(qc_ns < sh_ns, "tiny shape favors query-centric");
+        let deadline = (qc_ns + sh_ns) / 2.0 / 1e9;
+        assert_eq!(
+            g.decide_slo_keyed(9, &tiny, deadline),
+            SloDecision::Route(Route::QueryCentric)
+        );
+        assert_eq!(g.stats().flips, 1, "the SLO override counts as a flip");
+    }
+
+    #[test]
+    fn slo_mode_sheds_when_neither_route_can_meet_the_deadline() {
+        let g = governor();
+        let s = signals(4.0);
+        // Establish an incumbent, then present an impossible deadline.
+        assert_eq!(g.decide_slo_keyed(3, &s, 1e9), SloDecision::Route(Route::Shared));
+        assert_eq!(g.decide_slo_keyed(3, &s, 1e-12), SloDecision::Shed);
+        let st = g.stats();
+        assert_eq!(st.slo_sheds, 1);
+        // The shed left the incumbent alone: the next roomy decision is
+        // still Shared with no flip.
+        assert_eq!(g.decide_slo_keyed(3, &s, 1e9), SloDecision::Route(Route::Shared));
+        assert_eq!(g.stats().flips, 0);
     }
 
     #[test]

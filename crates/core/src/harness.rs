@@ -4,15 +4,15 @@
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use workshare_common::value::Row;
 use workshare_common::StarQuery;
-use workshare_sim::{CostKind, CpuBreakdown, DiskStats, Machine};
+use workshare_sim::{CostKind, CpuBreakdown, DiskStats, LatencyHistogram, Machine};
 
 use crate::config::RunConfig;
 use crate::dataset::Dataset;
-use crate::engine::Engine;
+use crate::engine::{Engine, Outcome, ShedReason};
 
 /// Measurements of one batch run (the unit behind every response-time
 /// figure).
@@ -221,23 +221,49 @@ pub fn run_staggered(
     report
 }
 
-/// Measurements of one closed-loop client run (Fig. 16's throughput panel).
+/// Measurements of one closed-loop client run (Fig. 16's throughput panel)
+/// or one [`run_service`] overload run.
 #[derive(Debug, Clone)]
 pub struct ThroughputReport {
     /// Configuration label.
     pub config: &'static str,
     /// Concurrent clients.
     pub clients: usize,
+    /// Queries submitted (admitted **or** shed) inside the window.
+    pub submitted: u64,
     /// Queries completed inside the measurement window.
     pub completed: u64,
+    /// Admitted queries that completed only after the window closed (they
+    /// count toward conservation, not toward throughput).
+    pub completed_late: u64,
+    /// Submissions shed because the bounded admission queue was full.
+    pub shed_queue_full: u64,
+    /// Submissions shed because no route was predicted to meet the
+    /// deadline.
+    pub shed_deadline: u64,
+    /// Admitted queries that ended in a per-query error outcome
+    /// ([`crate::Ticket::error`]).
+    pub errors: u64,
     /// Throughput in queries per virtual hour.
     pub queries_per_hour: f64,
+    /// Goodput in queries per virtual hour: completed **within the
+    /// configured SLO target** ([`crate::ServiceConfig::slo_target_secs`]
+    /// — the enforced deadline, or the observability-only p99 target);
+    /// equals `queries_per_hour` when neither is set.
+    pub goodput_per_hour: f64,
     /// Mean response time over completed queries, seconds.
     pub mean_latency_secs: f64,
+    /// Median response time over completed queries, seconds.
+    pub p50_latency_secs: f64,
+    /// 99th-percentile response time over completed queries, seconds.
+    pub p99_latency_secs: f64,
     /// "Avg. # Cores Used" over the window.
     pub avg_cores_used: f64,
     /// "Avg. Read Rate (MB/s)" over the window.
     pub read_rate_mbps: f64,
+    /// Per-tenant outcome counts (one row per tenant of the
+    /// [`ServiceLoad`]; a single row for [`run_clients`]).
+    pub tenants: Vec<TenantCounts>,
     /// Sharing-governor routing statistics (if the run was governed) —
     /// under closed-loop arrivals the calibration residuals here are the
     /// check that the latency-feedback EWMA converges outside the batch
@@ -249,9 +275,100 @@ pub struct ThroughputReport {
     pub fabric: Option<workshare_cjoin::FabricStats>,
 }
 
+impl ThroughputReport {
+    /// Conservation check: every submitted query ended in exactly one of
+    /// {completed (in-window or late), shed, error}.
+    pub fn is_conserved(&self) -> bool {
+        self.submitted
+            == self.completed
+                + self.completed_late
+                + self.shed_queue_full
+                + self.shed_deadline
+                + self.errors
+    }
+}
+
+/// Per-tenant outcome counts of a [`run_service`] run. `submitted ==
+/// completed + shed + errors` per tenant (completed includes late
+/// completions — the window cutoff is not a per-tenant property).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCounts {
+    /// Tenant id (client `c` maps to tenant `c % tenants`).
+    pub tenant: usize,
+    /// Queries this tenant submitted.
+    pub submitted: u64,
+    /// Queries admitted and completed (in-window or late).
+    pub completed: u64,
+    /// Queries shed (either reason).
+    pub shed: u64,
+    /// Queries admitted that ended in an error outcome.
+    pub errors: u64,
+}
+
+/// Offered-load description of a [`run_service`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceLoad {
+    /// Client vthreads.
+    pub clients: usize,
+    /// `None` = closed loop (each client waits for its query before
+    /// submitting the next — the legacy [`run_clients`] behavior).
+    /// `Some(rate)` = open loop: clients submit with exponential
+    /// interarrival times at an aggregate `rate` arrivals per virtual
+    /// second, without waiting — offered load keeps rising past
+    /// saturation, which is what the overload gates sweep.
+    pub arrivals_per_sec: Option<f64>,
+    /// Distinct tenants; client `c` submits as tenant `c % tenants`.
+    pub tenants: usize,
+    /// Measurement window, virtual seconds.
+    pub window_secs: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// Virtual backoff after a shed submission in closed-loop mode. Without it
+/// a shedding engine would let the client loop spin without advancing
+/// virtual time (sheds consume none), hanging the simulation in real time.
+const SHED_BACKOFF_NS: f64 = 10e6;
+
+/// Per-client tally of a [`run_service`] run.
+#[derive(Default)]
+struct ClientTally {
+    submitted: u64,
+    completed: u64,
+    completed_late: u64,
+    shed_queue_full: u64,
+    shed_deadline: u64,
+    errors: u64,
+    lat_sum: f64,
+    latencies: Vec<f64>,
+    within_deadline: u64,
+}
+
+impl ClientTally {
+    /// Fold a finished ticket in (`deadline_ns` = window cutoff).
+    fn settle(&mut self, t: &crate::Ticket, window_end_ns: f64, deadline_secs: Option<f64>) {
+        if t.error().is_some() {
+            self.errors += 1;
+        } else if t.finish_ns() <= window_end_ns {
+            self.completed += 1;
+            let lat = t.latency_secs();
+            self.lat_sum += lat;
+            self.latencies.push(lat);
+            if deadline_secs.is_none_or(|d| lat <= d) {
+                self.within_deadline += 1;
+            }
+        } else {
+            self.completed_late += 1;
+        }
+    }
+}
+
 /// Closed-loop run: each of `clients` submits a query, waits for it, then
 /// submits the next, for `window_secs` of virtual time. `make_query`
-/// instantiates the next query for `(client, sequence)`.
+/// instantiates the next query for `(client, sequence)`. Thin wrapper over
+/// [`run_service`] with a closed loop and a single tenant — with the
+/// default (inactive) [`crate::ServiceConfig`] the behavior and counts are
+/// exactly the legacy ones.
 pub fn run_clients<F>(
     dataset: &Dataset,
     config: &RunConfig,
@@ -264,67 +381,180 @@ pub fn run_clients<F>(
 where
     F: Fn(u64, &mut StdRng) -> StarQuery + Send + Sync + 'static,
 {
+    run_service(
+        dataset,
+        config,
+        fact_table,
+        ServiceLoad {
+            clients,
+            arrivals_per_sec: None,
+            tenants: 1,
+            window_secs,
+            seed,
+        },
+        make_query,
+    )
+}
+
+/// Service-loop run: drive the engine with `load` (closed- or open-loop
+/// arrivals, multi-tenant) through the bounded-admission front door
+/// ([`Engine::try_submit`]), reporting shed counts by reason, p50/p99
+/// latency of admitted queries, and goodput alongside the classic
+/// throughput metrics. Every submission ends in exactly one of
+/// {completed, shed, error} ([`ThroughputReport::is_conserved`]).
+pub fn run_service<F>(
+    dataset: &Dataset,
+    config: &RunConfig,
+    fact_table: &str,
+    load: ServiceLoad,
+    make_query: F,
+) -> ThroughputReport
+where
+    F: Fn(u64, &mut StdRng) -> StarQuery + Send + Sync + 'static,
+{
     let machine = Machine::new(config.machine_config());
     let storage = dataset.instantiate(config.storage_config(), config.cost);
     let engine = Engine::new(&machine, &storage, config, fact_table);
     let disk0 = machine.disk_stats();
     let make_query = Arc::new(make_query);
+    // Goodput yardstick: the enforced deadline, or the observability-only
+    // p99 target when only that is set (lets an unbounded baseline report
+    // deadline-accounted goodput without enabling shedding).
+    let deadline_secs = config.service.slo_target_secs();
+    let tenants = load.tenants.max(1);
 
     let e2 = engine.clone();
-    let (completed, lat_sum) = machine
+    let tallies: Vec<(usize, ClientTally)> = machine
         .spawn("clients", move |ctx| {
-            let deadline_ns = ctx.machine().now_ns() + window_secs * 1e9;
-            let workers: Vec<_> = (0..clients)
+            let window_end_ns = ctx.machine().now_ns() + load.window_secs * 1e9;
+            let workers: Vec<_> = (0..load.clients)
                 .map(|c| {
                     let engine = e2.clone();
                     let make_query = Arc::clone(&make_query);
+                    let tenant = c % tenants;
+                    // Per-client share of the aggregate open-loop rate.
+                    let rate = load
+                        .arrivals_per_sec
+                        .map(|r| (r / load.clients.max(1) as f64).max(1e-9));
                     ctx.machine().spawn(&format!("client-{c}"), move |ctx| {
-                        let mut rng = StdRng::seed_from_u64(seed ^ (c as u64) << 20);
-                        let mut done = 0u64;
-                        let mut lat = 0.0f64;
+                        let mut rng = StdRng::seed_from_u64(load.seed ^ (c as u64) << 20);
+                        let mut tally = ClientTally::default();
+                        let mut open_tickets = Vec::new();
                         let mut seq = 0u64;
-                        while ctx.machine().now_ns() < deadline_ns {
+                        while ctx.machine().now_ns() < window_end_ns {
+                            if let Some(rate) = rate {
+                                // Open loop: exponential interarrival gap
+                                // first, then submit without waiting.
+                                let u: f64 = rng.gen_range(1e-12..1.0f64);
+                                ctx.sleep(-u.ln() / rate * 1e9);
+                                if ctx.machine().now_ns() >= window_end_ns {
+                                    break;
+                                }
+                            }
                             let qid = (c as u64) << 32 | seq;
                             seq += 1;
                             let q = make_query(qid, &mut rng);
-                            let t = engine.submit(&q);
-                            t.wait();
-                            if t.finish_ns() <= deadline_ns {
-                                done += 1;
-                                lat += t.latency_secs();
+                            tally.submitted += 1;
+                            match engine.try_submit(&q, tenant) {
+                                Outcome::Admitted(t) => {
+                                    if rate.is_some() {
+                                        open_tickets.push(t);
+                                    } else {
+                                        t.wait();
+                                        tally.settle(&t, window_end_ns, deadline_secs);
+                                        if t.error().is_some() {
+                                            // Error outcomes complete without
+                                            // consuming virtual time; back off
+                                            // like a shed so an all-error
+                                            // workload cannot spin the loop.
+                                            ctx.sleep(SHED_BACKOFF_NS);
+                                        }
+                                    }
+                                }
+                                Outcome::Shed { reason } => {
+                                    match reason {
+                                        ShedReason::QueueFull => tally.shed_queue_full += 1,
+                                        ShedReason::Deadline => tally.shed_deadline += 1,
+                                    }
+                                    if rate.is_none() {
+                                        // Closed loop: back off in virtual
+                                        // time so a shedding engine cannot
+                                        // spin the loop without the clock
+                                        // advancing.
+                                        ctx.sleep(SHED_BACKOFF_NS);
+                                    }
+                                }
                             }
                         }
-                        (done, lat)
+                        // Open loop: drain what was admitted.
+                        for t in &open_tickets {
+                            t.wait();
+                            tally.settle(t, window_end_ns, deadline_secs);
+                        }
+                        (tenant, tally)
                     })
                 })
                 .collect();
-            let mut total = 0u64;
-            let mut lat = 0.0;
-            for w in workers {
-                let (d, l) = w.join().expect("client panicked");
-                total += d;
-                lat += l;
-            }
-            (total, lat)
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("client panicked"))
+                .collect()
         })
         .join()
         .expect("client harness panicked");
 
-    let window_ns = machine.now_ns().min(window_secs * 1e9).max(1.0);
+    let mut total = ClientTally::default();
+    let mut hist = LatencyHistogram::new();
+    let mut per_tenant: Vec<TenantCounts> = (0..tenants)
+        .map(|t| TenantCounts {
+            tenant: t,
+            ..Default::default()
+        })
+        .collect();
+    for (tenant, tally) in &tallies {
+        total.submitted += tally.submitted;
+        total.completed += tally.completed;
+        total.completed_late += tally.completed_late;
+        total.shed_queue_full += tally.shed_queue_full;
+        total.shed_deadline += tally.shed_deadline;
+        total.errors += tally.errors;
+        total.lat_sum += tally.lat_sum;
+        total.within_deadline += tally.within_deadline;
+        for &l in &tally.latencies {
+            hist.record(l);
+        }
+        let row = &mut per_tenant[*tenant];
+        row.submitted += tally.submitted;
+        row.completed += tally.completed + tally.completed_late;
+        row.shed += tally.shed_queue_full + tally.shed_deadline;
+        row.errors += tally.errors;
+    }
+
+    let window_ns = machine.now_ns().min(load.window_secs * 1e9).max(1.0);
     let disk = machine.disk_stats().delta(&disk0);
+    let per_hour = |n: u64| n as f64 / (load.window_secs / 3600.0);
     let report = ThroughputReport {
         config: config.label(),
-        clients,
-        completed,
-        queries_per_hour: completed as f64 / (window_secs / 3600.0),
-        mean_latency_secs: if completed > 0 {
-            lat_sum / completed as f64
+        clients: load.clients,
+        submitted: total.submitted,
+        completed: total.completed,
+        completed_late: total.completed_late,
+        shed_queue_full: total.shed_queue_full,
+        shed_deadline: total.shed_deadline,
+        errors: total.errors,
+        queries_per_hour: per_hour(total.completed),
+        goodput_per_hour: per_hour(total.within_deadline),
+        mean_latency_secs: if total.completed > 0 {
+            total.lat_sum / total.completed as f64
         } else {
             0.0
         },
+        p50_latency_secs: hist.quantile(0.5),
+        p99_latency_secs: hist.quantile(0.99),
         avg_cores_used: (machine.busy_core_secs() / (window_ns / 1e9))
             .min(config.cores as f64),
         read_rate_mbps: disk.read_rate_mbps(window_ns),
+        tenants: per_tenant,
         governor: engine.governor_stats(),
         stages: engine.stage_rows(),
         fabric: engine.fabric_stats(),

@@ -42,11 +42,14 @@ pub mod ticket;
 pub mod volcano;
 pub mod workload;
 
-pub use config::{ExecPolicy, NamedConfig, RunConfig};
+pub use config::{ExecPolicy, NamedConfig, RunConfig, ServiceConfig, MAX_TENANTS};
 pub use dataset::Dataset;
-pub use engine::{Engine, StageRow};
-pub use governor::{GovernorConfig, GovernorStats, Route, SharingGovernor};
-pub use harness::{run_batch, run_clients, run_staggered, RunReport, ThroughputReport};
+pub use engine::{Engine, Outcome, ShedReason, StageRow};
+pub use governor::{GovernorConfig, GovernorStats, Route, SharingGovernor, SloDecision};
+pub use harness::{
+    run_batch, run_clients, run_service, run_staggered, RunReport, ServiceLoad, TenantCounts,
+    ThroughputReport,
+};
 pub use ticket::Ticket;
 
 pub use workshare_cjoin::FabricStats;

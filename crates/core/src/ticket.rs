@@ -13,8 +13,10 @@ use workshare_sim::{Machine, WaitSet};
 /// the engine's own handle).
 pub struct SlotResult {
     rows: Mutex<Option<Arc<Vec<Row>>>>,
+    error: Mutex<Option<String>>,
     done: AtomicBool,
     ws: WaitSet,
+    machine: Machine,
     start_ns: f64,
     finish_ns: Mutex<f64>,
 }
@@ -24,8 +26,10 @@ impl SlotResult {
     pub fn new(machine: &Machine, start_ns: f64) -> Arc<SlotResult> {
         Arc::new(SlotResult {
             rows: Mutex::new(None),
+            error: Mutex::new(None),
             done: AtomicBool::new(false),
             ws: WaitSet::new(machine),
+            machine: machine.clone(),
             start_ns,
             finish_ns: Mutex::new(0.0),
         })
@@ -37,6 +41,51 @@ impl SlotResult {
         *self.finish_ns.lock() = now_ns;
         self.done.store(true, Ordering::Release);
         self.ws.notify_all();
+    }
+
+    /// Poison the slot with an error: waiters wake with empty rows and
+    /// [`Ticket::error`] reports the message. Used when a producer sheds,
+    /// fails to bind, or abandons the slot by panicking.
+    pub fn complete_error(&self, msg: impl Into<String>, now_ns: f64) {
+        if self.done.load(Ordering::Acquire) {
+            return;
+        }
+        *self.error.lock() = Some(msg.into());
+        *self.rows.lock() = Some(Arc::new(Vec::new()));
+        *self.finish_ns.lock() = now_ns;
+        self.done.store(true, Ordering::Release);
+        self.ws.notify_all();
+    }
+}
+
+/// RAII guard held by a slot's producer thread. Dropping the guard without
+/// [`CompletionGuard::disarm`]ing it poisons the slot, so a producer that
+/// panics (or early-returns on an error path) yields an error outcome at the
+/// waiter instead of a deadlock on a slot nobody will ever complete.
+pub struct CompletionGuard {
+    slot: Arc<SlotResult>,
+    armed: bool,
+}
+
+impl CompletionGuard {
+    /// Arm a guard for `slot`.
+    pub fn new(slot: Arc<SlotResult>) -> CompletionGuard {
+        CompletionGuard { slot, armed: true }
+    }
+
+    /// The producer completed the slot normally; the drop becomes a no-op.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CompletionGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            let now = self.slot.machine.now_ns();
+            self.slot
+                .complete_error("producer abandoned the result slot", now);
+        }
     }
 }
 
@@ -51,7 +100,8 @@ pub enum Ticket {
 
 impl Ticket {
     /// Block (in virtual time from a vthread) until completion; returns the
-    /// result rows.
+    /// result rows (empty when the slot was poisoned — check
+    /// [`Ticket::error`]).
     pub fn wait(&self) -> Arc<Vec<Row>> {
         match self {
             Ticket::Qpipe(h) => h.wait(),
@@ -73,6 +123,15 @@ impl Ticket {
         match self {
             Ticket::Qpipe(h) => h.is_done(),
             Ticket::Slot(s) => s.done.load(Ordering::Acquire),
+        }
+    }
+
+    /// The error that poisoned this query's slot, if any. QPipe handles
+    /// never poison (the engine completes them inline).
+    pub fn error(&self) -> Option<String> {
+        match self {
+            Ticket::Qpipe(_) => None,
+            Ticket::Slot(s) => s.error.lock().clone(),
         }
     }
 
@@ -99,27 +158,68 @@ mod tests {
     use workshare_common::Value;
     use workshare_sim::MachineConfig;
 
-    #[test]
-    fn slot_ticket_roundtrip() {
-        let m = Machine::new(MachineConfig {
+    fn machine() -> Machine {
+        Machine::new(MachineConfig {
             cores: 2,
             ..Default::default()
-        });
+        })
+    }
+
+    #[test]
+    fn slot_ticket_roundtrip() {
+        let m = machine();
         let slot = SlotResult::new(&m, 0.0);
         let t = Ticket::Slot(Arc::clone(&slot));
         assert!(!t.is_done());
         let s2 = Arc::clone(&slot);
         m.spawn("producer", move |ctx| {
+            let guard = CompletionGuard::new(Arc::clone(&s2));
             ctx.charge(workshare_sim::CostKind::Misc, 5e6);
             s2.complete(
                 Arc::new(vec![vec![Value::Int(1)]]),
                 ctx.machine().now_ns(),
             );
+            guard.disarm();
         });
         let rows = t.wait();
         assert_eq!(rows.len(), 1);
         assert!(t.is_done());
+        assert!(t.error().is_none(), "disarmed guard must not poison");
         assert!((t.latency_secs() - 0.005).abs() < 1e-9);
         assert!(t.finish_ns() > 0.0);
+    }
+
+    #[test]
+    fn panicking_producer_poisons_instead_of_deadlocking() {
+        let m = machine();
+        let slot = SlotResult::new(&m, 0.0);
+        let t = Ticket::Slot(Arc::clone(&slot));
+        let s2 = Arc::clone(&slot);
+        let h = m.spawn("doomed-producer", move |ctx| {
+            let _guard = CompletionGuard::new(s2);
+            ctx.charge(workshare_sim::CostKind::Misc, 1e6);
+            panic!("producer blew up mid-query");
+        });
+        // The waiter wakes (no deadlock) with empty rows and the error set.
+        let rows = t.wait();
+        assert!(rows.is_empty());
+        assert_eq!(t.error().as_deref(), Some("producer abandoned the result slot"));
+        assert!(t.is_done());
+        assert!(h.join().is_err(), "the producer really panicked");
+    }
+
+    #[test]
+    fn explicit_error_completion_wins_over_guard() {
+        let m = machine();
+        let slot = SlotResult::new(&m, 0.0);
+        let t = Ticket::Slot(Arc::clone(&slot));
+        let s2 = Arc::clone(&slot);
+        m.spawn("erroring-producer", move |ctx| {
+            let _guard = CompletionGuard::new(Arc::clone(&s2));
+            s2.complete_error("query failed to bind", ctx.machine().now_ns());
+            // Guard drops armed, but complete_error is first-write-wins.
+        });
+        t.wait();
+        assert_eq!(t.error().as_deref(), Some("query failed to bind"));
     }
 }

@@ -49,7 +49,7 @@ mod waitset;
 pub use disk::{DiskConfig, DiskStats};
 pub use machine::{JoinHandle, Machine, MachineConfig, SimCtx, ThreadState};
 pub use queue::{QueueClosed, SimQueue};
-pub use stats::{CostKind, CpuBreakdown, COST_KINDS};
+pub use stats::{CostKind, CpuBreakdown, LatencyHistogram, COST_KINDS};
 pub use waitset::WaitSet;
 
 /// Nanoseconds of virtual time, the machine's base unit.

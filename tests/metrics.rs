@@ -98,6 +98,30 @@ fn throughput_report_is_consistent() {
     assert!((rep.queries_per_hour - per_hour).abs() < 1e-6);
     assert!(rep.mean_latency_secs > 0.0);
     assert!(rep.avg_cores_used > 0.0 && rep.avg_cores_used <= 24.0);
+
+    // Service accounting with the default (inactive) ServiceConfig: every
+    // submission is admitted, nothing sheds or errors, and goodput equals
+    // throughput because no SLO target is set.
+    assert!(rep.is_conserved(), "{rep:?}");
+    assert_eq!(rep.submitted, rep.completed + rep.completed_late, "{rep:?}");
+    assert_eq!(rep.shed_queue_full + rep.shed_deadline + rep.errors, 0);
+    assert!((rep.goodput_per_hour - rep.queries_per_hour).abs() < 1e-6);
+
+    // Percentiles come from the latency histogram (exact nearest-rank at
+    // this sample count): positive, ordered, and consistent with the mean
+    // (the median of a non-negative sample is at most twice its mean).
+    assert!(rep.p50_latency_secs > 0.0, "{rep:?}");
+    assert!(rep.p50_latency_secs <= rep.p99_latency_secs, "{rep:?}");
+    assert!(rep.p50_latency_secs <= 2.0 * rep.mean_latency_secs, "{rep:?}");
+    assert!(rep.p99_latency_secs <= 1.0, "one-second window bounds latency");
+
+    // A single-tenant run reports one tenant row that mirrors the totals.
+    assert_eq!(rep.tenants.len(), 1);
+    let t = &rep.tenants[0];
+    assert_eq!(t.tenant, 0);
+    assert_eq!(t.submitted, rep.submitted);
+    assert_eq!(t.completed, rep.completed + rep.completed_late);
+    assert_eq!(t.shed + t.errors, 0);
 }
 
 #[test]

@@ -1,0 +1,116 @@
+//! Shed-path smoke tests of the bounded service loop — the deterministic
+//! CI companions to the self-gating `overload` bench: queue-full sheds,
+//! deadline sheds on every routing policy, weighted tenant lockout, and
+//! bind errors surfacing as per-query error outcomes.
+
+use std::sync::OnceLock;
+
+use workshare::harness::{run_service, ServiceLoad};
+use workshare::{workload, Dataset, ExecPolicy, RunConfig, ServiceConfig, MAX_TENANTS};
+
+fn ssb() -> &'static Dataset {
+    static D: OnceLock<Dataset> = OnceLock::new();
+    D.get_or_init(|| Dataset::ssb(0.05, 2468))
+}
+
+fn load(clients: usize, tenants: usize, window_secs: f64) -> ServiceLoad {
+    ServiceLoad {
+        clients,
+        arrivals_per_sec: None,
+        tenants,
+        window_secs,
+        seed: 9,
+    }
+}
+
+#[test]
+fn queue_cap_sheds_under_concurrency() {
+    // Four closed-loop clients racing a single service slot: the losers
+    // shed with QueueFull, the winners complete, everything balances.
+    let mut cfg = RunConfig::governed(ExecPolicy::Adaptive);
+    cfg.service = ServiceConfig {
+        queue_cap: Some(1),
+        ..ServiceConfig::default()
+    };
+    let rep = run_service(ssb(), &cfg, "lineorder", load(4, 1, 0.5), |id, rng| {
+        workload::ssb_q3_2(id, rng)
+    });
+    assert!(rep.completed > 0, "{rep:?}");
+    assert!(rep.shed_queue_full > 0, "cap 1 under 4 clients must shed: {rep:?}");
+    assert_eq!(rep.shed_deadline, 0, "{rep:?}");
+    assert!(rep.is_conserved(), "{rep:?}");
+}
+
+#[test]
+fn impossible_deadline_sheds_every_submission() {
+    // A deadline below any predicted completion: every submission is shed
+    // at submit time, on the adaptive (SLO-mode) and both pinned routes.
+    for policy in [
+        ExecPolicy::Adaptive,
+        ExecPolicy::Shared,
+        ExecPolicy::QueryCentric,
+    ] {
+        let mut cfg = RunConfig::governed(policy);
+        cfg.service = ServiceConfig {
+            deadline_secs: Some(1e-7),
+            ..ServiceConfig::default()
+        };
+        let rep = run_service(ssb(), &cfg, "lineorder", load(2, 1, 0.2), |id, rng| {
+            workload::ssb_q3_2(id, rng)
+        });
+        assert!(rep.submitted > 0, "{policy:?}: {rep:?}");
+        assert_eq!(rep.completed, 0, "{policy:?}: {rep:?}");
+        assert_eq!(rep.shed_deadline, rep.submitted, "{policy:?}: {rep:?}");
+        assert!(rep.is_conserved(), "{policy:?}: {rep:?}");
+        if policy == ExecPolicy::Adaptive {
+            // SLO mode counts its sheds in the governor stats too.
+            let g = rep.governor.expect("governed run reports stats");
+            assert_eq!(g.slo_sheds, rep.shed_deadline, "{g:?}");
+        }
+    }
+}
+
+#[test]
+fn zero_weight_tenant_is_locked_out_under_explicit_weights() {
+    // With weights set, a zero-weight tenant holds no slot under pressure
+    // while the weighted tenants keep completing.
+    let mut weights = [0.0; MAX_TENANTS];
+    weights[0] = 3.0;
+    weights[1] = 1.0;
+    let mut cfg = RunConfig::governed(ExecPolicy::Adaptive);
+    cfg.service = ServiceConfig {
+        queue_cap: Some(4),
+        tenant_weights: weights,
+        ..ServiceConfig::default()
+    };
+    let rep = run_service(ssb(), &cfg, "lineorder", load(3, 3, 0.5), |id, rng| {
+        workload::ssb_q3_2(id, rng)
+    });
+    assert!(rep.is_conserved(), "{rep:?}");
+    let by_tenant = &rep.tenants;
+    assert_eq!(by_tenant.len(), 3);
+    assert!(by_tenant[0].completed > 0, "{rep:?}");
+    assert!(by_tenant[1].completed > 0, "{rep:?}");
+    assert_eq!(
+        by_tenant[2].shed, by_tenant[2].submitted,
+        "zero-weight tenant must shed everything: {rep:?}"
+    );
+    assert!(by_tenant[2].submitted > 0, "{rep:?}");
+}
+
+#[test]
+fn bind_errors_surface_as_error_outcomes() {
+    // Every query references a payload column its dimension doesn't have:
+    // the governed engine must return per-query error outcomes (completing
+    // the slot immediately) instead of panicking a stage worker.
+    let cfg = RunConfig::governed(ExecPolicy::Shared);
+    let rep = run_service(ssb(), &cfg, "lineorder", load(2, 1, 0.2), |id, rng| {
+        let mut q = workload::ssb_q3_2(id, rng);
+        q.dims[0].payload = vec!["no_such_col".into()];
+        q
+    });
+    assert!(rep.submitted > 0, "{rep:?}");
+    assert_eq!(rep.errors, rep.submitted, "{rep:?}");
+    assert_eq!(rep.completed, 0, "{rep:?}");
+    assert!(rep.is_conserved(), "{rep:?}");
+}
