@@ -21,8 +21,10 @@
 //! [`DimEntry`] insert per selected row **per stage filter**, delivered
 //! under a single state write per stage.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+// Atomics come through the swappable sync layer: `run_scan_unit` shares
+// page counters with the fabric, whose `--cfg interleave` build swaps the
+// atomics for model-checked ones (see `workshare_common::sync`).
+use workshare_common::sync::{Arc, AtomicU64, Ordering};
 
 use workshare_common::fxhash::FxHashMap;
 use workshare_common::value::Row;
@@ -307,6 +309,10 @@ pub(crate) fn run_scan_unit(
         }
     }
     // One state write per participating stage: merge its staged entries.
+    // Entries merge *before* the batch's slots activate (`activate_batch`
+    // sets the distributor-visible bits afterwards) — the
+    // publish-entries-then-activate order model-checked on
+    // [`crate::publish::FilterSpec`] by `tests/interleave_core.rs`.
     for (si, stage) in stages.iter().enumerate() {
         if !buckets.iter().any(|((s, _), _)| *s == si) {
             continue;
@@ -331,6 +337,11 @@ pub(crate) fn run_scan_unit(
 
 /// Phase 3: activate the whole batch — build each query's sink/runtime and
 /// make it visible to the preprocessor, distributor, and wrap bookkeeping.
+/// Must run strictly after [`run_scan_unit`] has merged the batch's staged
+/// filter entries: activation is what lets in-flight pages route rows to
+/// these slots, so activating first would let a page probe a filter whose
+/// entries aren't published yet (the `ActivateBeforePublish` mutation of
+/// [`crate::publish::FilterSpec`], caught by `tests/interleave_core.rs`).
 pub(crate) fn activate_batch(inner: &StageInner, prepared: PreparedBatch) {
     let PreparedBatch {
         pending,

@@ -24,16 +24,18 @@
 //! remains the oracle-tested baseline and the path of the standalone /
 //! paper-figure deployments.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-
 use workshare_common::fxhash::FxHashMap;
+// Concurrent-core primitives come through the swappable sync layer so the
+// `--cfg interleave` build model-checks this module's protocols (see
+// `workshare_common::sync` and docs/TESTING.md).
+use workshare_common::sync::{Arc, AtomicU64, Ordering};
 use workshare_sim::{Machine, SimCtx, SimQueue};
 
 use crate::admission::{
     activate_batch, build_units, prepare_batch, run_scan_unit, PreparedBatch, ScanUnit,
 };
 use crate::stage::{Admission, CjoinStage, StageInner, ADMISSION_BATCH_WINDOW_NS};
+use crate::window::WindowLedger;
 
 /// Page-range partitions a batching window splits each scan unit into (when
 /// the dimension spans that many pages): the admission latency of a merged
@@ -69,14 +71,14 @@ struct FabricInner {
     queue: SimQueue<FabricRequest>,
     /// Queries queued across all stages and not yet activated — the
     /// governor's cross-stage pending signal
-    /// (`SharingSignals::cross_stage_pending`).
-    pending_queries: AtomicU64,
-    /// Depth cap on `pending_queries` advertised via
-    /// [`AdmissionFabric::has_capacity`]. `u64::MAX` = unbounded (the
-    /// legacy default); the overload-safe service layer builds the fabric
-    /// with its queue cap so submissions are shed at the door instead of
-    /// queueing without bound.
-    capacity: u64,
+    /// (`SharingSignals::cross_stage_pending`) — plus the depth cap
+    /// advertised via [`AdmissionFabric::has_capacity`] (`u64::MAX` =
+    /// unbounded, the legacy default; the overload-safe service layer
+    /// builds the fabric with its queue cap so submissions are shed at the
+    /// door instead of queueing without bound). The add-before-visible /
+    /// rollback-on-failed-push protocol lives in [`WindowLedger`]
+    /// (model-checked by `tests/interleave_core.rs`).
+    ledger: WindowLedger,
     batches: AtomicU64,
     cross_stage_batches: AtomicU64,
     merged_requests: AtomicU64,
@@ -108,8 +110,7 @@ impl AdmissionFabric {
         let fabric = AdmissionFabric {
             inner: Arc::new(FabricInner {
                 queue: SimQueue::unbounded(machine),
-                pending_queries: AtomicU64::new(0),
-                capacity,
+                ledger: WindowLedger::new(capacity),
                 batches: AtomicU64::new(0),
                 cross_stage_batches: AtomicU64::new(0),
                 merged_requests: AtomicU64::new(0),
@@ -125,7 +126,7 @@ impl AdmissionFabric {
     /// Queries queued across all stages and not yet activated: the
     /// governor's cross-stage pending-admission signal.
     pub fn pending_queries(&self) -> u64 {
-        self.inner.pending_queries.load(Ordering::Relaxed)
+        self.inner.ledger.pending()
     }
 
     /// Whether the pending queue is below its depth cap (always true for
@@ -133,7 +134,7 @@ impl AdmissionFabric {
     /// engine's admission counter; this sheds on queue *depth* so a stalled
     /// fabric rejects new work before the backlog grows unbounded.
     pub fn has_capacity(&self) -> bool {
-        self.inner.pending_queries.load(Ordering::Relaxed) < self.inner.capacity
+        self.inner.ledger.has_capacity()
     }
 
     /// Lifetime fabric counters.
@@ -157,9 +158,12 @@ impl AdmissionFabric {
     /// has shut down (the caller's stage is shutting down too).
     pub(crate) fn submit(&self, stage: CjoinStage, pending: Vec<Admission>) -> bool {
         let n = pending.len() as u64;
-        self.inner.pending_queries.fetch_add(n, Ordering::Relaxed);
+        // Ledger add *before* the push makes the request visible: the
+        // governor's pending signal never undercounts queued work. A push
+        // onto a closed queue (fabric shut down) rolls the add back.
+        self.inner.ledger.add(n);
         if self.inner.queue.push(FabricRequest { stage, pending }).is_err() {
-            self.inner.pending_queries.fetch_sub(n, Ordering::Relaxed);
+            self.inner.ledger.sub(n);
             return false;
         }
         true
@@ -187,7 +191,7 @@ impl AdmissionFabric {
                     let counted: u64 =
                         reqs.iter().map(|r| r.pending.len() as u64).sum();
                     process_window(&inner, ctx, reqs, idx);
-                    inner.pending_queries.fetch_sub(counted, Ordering::Relaxed);
+                    inner.ledger.sub(counted);
                 }
             });
     }
@@ -224,7 +228,7 @@ fn process_window(
         pendings[si].extend(req.pending);
     }
     for (si, stage) in stages.iter().enumerate() {
-        pendings[si].extend(std::mem::take(&mut *stage.inner.pending.lock()));
+        pendings[si].extend(stage.inner.pending.drain());
     }
     let (stages, pendings): (Vec<CjoinStage>, Vec<Vec<Admission>>) = stages
         .into_iter()

@@ -38,7 +38,9 @@
 mod admission;
 pub mod fabric;
 pub mod filter;
+pub mod publish;
 mod stage;
+pub mod window;
 
 pub use fabric::{AdmissionFabric, FabricStats};
 pub use filter::{

@@ -1,0 +1,173 @@
+//! Executable spec of the admission **publication discipline**: filter
+//! entries first, activation second.
+//!
+//! The staged admission paths (`admission.rs`, per-stage pool and
+//! fabric alike) merge a pending query's staged [`DimEntry`] inserts into
+//! the stage's live filters under one state write, and only *then* activate
+//! the query (`activate_batch`). The distributor joins concurrently
+//! throughout: it ANDs a fact row's filter-entry bits with the active-query
+//! set, so the discipline is what guarantees an active query never misses a
+//! dimension row its predicate selected — activation-before-publish would
+//! let an in-flight fact page observe the query active while its filter
+//! entries are still staged, silently dropping its joins.
+//!
+//! The production state (`crate::filter`) carries rows, payload bindings
+//! and per-filter hash tables; this module is the same locking discipline
+//! over the minimal state (slot masks keyed by join key) so the
+//! deterministic interleaving checker (`tests/interleave_core.rs`) can race
+//! admission against a probing reader exhaustively, including the
+//! `PublishMutation::ActivateBeforePublish` mutation the discipline
+//! exists to rule out. `admission.rs` cross-references this module at its
+//! merge and activation sites.
+//!
+//! Built on [`workshare_common::sync`], so an `--cfg interleave` build swaps
+//! the lock for the model-checked shim.
+//!
+//! [`DimEntry`]: crate::DimEntry
+
+use workshare_common::fxhash::FxHashMap;
+use workshare_common::sync::RwLock;
+
+/// Test-only protocol mutations, compiled only under `--cfg interleave`.
+#[cfg(interleave)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PublishMutation {
+    /// The faithful discipline.
+    #[default]
+    None,
+    /// Activate the query *before* publishing its filter entries: a
+    /// concurrent probe can observe the query active with its entries
+    /// still unpublished and drop its joins.
+    ActivateBeforePublish,
+}
+
+struct SpecState {
+    /// Filter-entry slot masks by join key (the spec's `DimEntry.bits`).
+    entries: FxHashMap<i64, u64>,
+    /// Active-query slot mask (the spec's activated sinks).
+    active: u64,
+}
+
+/// Minimal shared filter state under the production locking discipline.
+/// All methods take `&self`; share it behind the stage's `Arc`.
+pub struct FilterSpec {
+    state: RwLock<SpecState>,
+    #[cfg(interleave)]
+    mutation: PublishMutation,
+}
+
+impl FilterSpec {
+    /// Empty filter state, no queries active.
+    pub fn new() -> Self {
+        FilterSpec {
+            state: RwLock::new(SpecState {
+                entries: FxHashMap::default(),
+                active: 0,
+            }),
+            #[cfg(interleave)]
+            mutation: PublishMutation::None,
+        }
+    }
+
+    /// Test-only constructor selecting a deliberately broken protocol
+    /// variant (see [`PublishMutation`]).
+    #[cfg(interleave)]
+    pub fn with_mutation(mutation: PublishMutation) -> Self {
+        FilterSpec {
+            state: RwLock::new(SpecState {
+                entries: FxHashMap::default(),
+                active: 0,
+            }),
+            mutation,
+        }
+    }
+
+    /// Admit `slot`: publish its selected `keys` into the filter (one state
+    /// write, the staged-insert merge), then activate it (a second state
+    /// write, `activate_batch`). The two writes are deliberately separate
+    /// lock acquisitions, as in production — the discipline under check is
+    /// their *order*, not their atomicity.
+    pub fn admit(&self, slot: u32, keys: &[i64]) {
+        #[cfg(interleave)]
+        if self.mutation == PublishMutation::ActivateBeforePublish {
+            self.state.write().active |= 1 << slot;
+            let mut s = self.state.write();
+            for &k in keys {
+                *s.entries.entry(k).or_insert(0) |= 1 << slot;
+            }
+            return;
+        }
+        {
+            let mut s = self.state.write();
+            for &k in keys {
+                *s.entries.entry(k).or_insert(0) |= 1 << slot;
+            }
+        }
+        self.state.write().active |= 1 << slot;
+    }
+
+    /// The distributor's probe: the slot mask a fact row with join key
+    /// `key` joins against — entry bits ANDed with the active set, under
+    /// one read lock (the production distributor holds the state read lock
+    /// across a page).
+    pub fn probe(&self, key: i64) -> u64 {
+        let s = self.state.read();
+        s.entries.get(&key).copied().unwrap_or(0) & s.active
+    }
+
+    /// Whether `slot` is active (visible to the distributor).
+    pub fn is_active(&self, slot: u32) -> bool {
+        self.state.read().active & (1 << slot) != 0
+    }
+
+    /// Probe `key` *conditioned on* `slot` being active, in one read lock:
+    /// `None` while the slot is inactive, otherwise whether the entry
+    /// carries the slot's bit. This is the checker's detector — under the
+    /// faithful discipline an active slot's selected keys are always
+    /// present.
+    pub fn probe_if_active(&self, slot: u32, key: i64) -> Option<bool> {
+        let s = self.state.read();
+        if s.active & (1 << slot) == 0 {
+            return None;
+        }
+        Some(s.entries.get(&key).copied().unwrap_or(0) & (1 << slot) != 0)
+    }
+}
+
+impl Default for FilterSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_slot_never_joins() {
+        let f = FilterSpec::new();
+        assert_eq!(f.probe(5), 0);
+        assert_eq!(f.probe_if_active(0, 5), None);
+    }
+
+    #[test]
+    fn admitted_slot_joins_its_keys() {
+        let f = FilterSpec::new();
+        f.admit(3, &[10, 20]);
+        assert!(f.is_active(3));
+        assert_eq!(f.probe(10), 1 << 3);
+        assert_eq!(f.probe(20), 1 << 3);
+        assert_eq!(f.probe(30), 0, "unselected key");
+        assert_eq!(f.probe_if_active(3, 10), Some(true));
+    }
+
+    #[test]
+    fn slots_overlap_on_shared_keys() {
+        let f = FilterSpec::new();
+        f.admit(0, &[7]);
+        f.admit(1, &[7, 8]);
+        assert_eq!(f.probe(7), 0b11);
+        assert_eq!(f.probe(8), 0b10);
+    }
+}

@@ -1,9 +1,9 @@
 //! The CJOIN stage: preprocessor, shared filters, distributor parts.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-
-use parking_lot::{Mutex, RwLock};
+// Concurrent-core primitives come through the swappable sync layer so the
+// `--cfg interleave` build model-checks this module's protocols (see
+// `workshare_common::sync` and docs/TESTING.md).
+use workshare_common::sync::{Arc, AtomicBool, AtomicU64, Mutex, Ordering, RwLock};
 
 use workshare_common::agg::Aggregator;
 use workshare_common::bind::{bind, BoundQuery};
@@ -13,6 +13,7 @@ use workshare_common::{CostModel, OrderKey, Predicate, QueryBitmap, SelVec, Star
 
 use crate::admission::{admit_batch_serial, admit_batch_shared};
 use crate::fabric::AdmissionFabric;
+use crate::window::PendingSlot;
 use crate::filter::{
     filter_page_scalar, filter_page_vectorized, FilterCore, FilterScratch, FilteredPage,
 };
@@ -183,6 +184,12 @@ pub struct CjoinOutput {
 /// Buffered final result of a shared-aggregation CJOIN query.
 pub struct AggResult {
     rows: Mutex<Option<Arc<Vec<Row>>>>,
+    /// Completion flag. **Ordering invariant** (same shape as
+    /// [`workshare_core`'s `CompletionCell`]): `complete` publishes `rows`
+    /// *before* the `Release` store of `done`, so the `Acquire` load in
+    /// [`AggResult::wait`]/[`AggResult::is_done`] that observes `true`
+    /// also observes the rows — the `expect("done without rows")` below is
+    /// the invariant's detector, not a reachable panic.
     done: AtomicBool,
     ws: WaitSet,
 }
@@ -314,7 +321,11 @@ pub(crate) struct StageInner {
     pub(crate) fact: TableId,
     pub(crate) fact_pages: u64,
     pub(crate) state: RwLock<GqpState>,
-    pub(crate) pending: Mutex<Vec<Admission>>,
+    /// Pending admissions awaiting the next batch window. The
+    /// atomic-drain protocol lives in [`PendingSlot`] (model-checked by
+    /// `tests/interleave_core.rs`): a submission either rides the window
+    /// that drained it or stays for the next — never lost, never doubled.
+    pub(crate) pending: PendingSlot<Admission>,
     pub(crate) wake: WaitSet,
     worker_q: SimQueue<Arc<WorkBatch>>,
     dist_q: SimQueue<Arc<DistBatch>>,
@@ -328,6 +339,12 @@ pub(crate) struct StageInner {
     /// a governed engine's registry ([`CjoinStage::with_fabric`]); `None`
     /// for standalone stages, which fall back to their own workers.
     fabric: Option<AdmissionFabric>,
+    /// Cooperative stop flag. Written once with Release
+    /// ([`CjoinStage::shutdown`]) and read with Acquire at the top of every
+    /// pipeline-thread loop: a thread that observes the flag also observes
+    /// every write the shutting-down thread made before raising it. The
+    /// flag alone is not a wakeup — `shutdown` also notifies `wake` and
+    /// closes the queues so parked threads re-check it.
     shutdown: AtomicBool,
     sp_registry: Mutex<FxHashMap<u64, (u64, HostRef)>>,
     pub(crate) admitted: AtomicU64,
@@ -399,7 +416,7 @@ impl CjoinStage {
                 free_slots: Vec::new(),
                 next_slot: 0,
             }),
-            pending: Mutex::new(Vec::new()),
+            pending: PendingSlot::new(),
             wake: WaitSet::new(machine),
             worker_q: SimQueue::bounded(machine, config.pipeline_depth.max(1)),
             dist_q: SimQueue::bounded(machine, config.pipeline_depth.max(1)),
@@ -484,7 +501,7 @@ impl CjoinStage {
                 .lock()
                 .insert(sig, (q.id, HostRef::Stream(out.clone())));
         }
-        inner.pending.lock().push(Admission {
+        inner.pending.push(Admission {
             query: q.clone(),
             bound,
             sink: AdmissionSink::Stream(out),
@@ -533,7 +550,7 @@ impl CjoinStage {
                 .lock()
                 .insert(sig, (q.id, HostRef::Agg(Arc::clone(&result))));
         }
-        inner.pending.lock().push(Admission {
+        inner.pending.push(Admission {
             query: q.clone(),
             bound,
             sink: AdmissionSink::Agg(Arc::clone(&result)),
@@ -569,7 +586,7 @@ impl CjoinStage {
     /// yet handed to an admission worker or the fabric). The service
     /// layer's per-stage queue-depth signal.
     pub fn pending_len(&self) -> usize {
-        self.inner.pending.lock().len()
+        self.inner.pending.len()
     }
 
     /// Live workload-shape signals for the sharing governor.
@@ -628,7 +645,7 @@ impl CjoinStage {
                 // with one) or the stage's own admission workers, so the
                 // dimension scans overlap fact-page production instead of
                 // stalling the GQP.
-                let pending = std::mem::take(&mut *inner.pending.lock());
+                let pending = inner.pending.drain();
                 if !pending.is_empty() {
                     if inner.config.serial_admission {
                         admit_batch_serial(&inner, ctx, pending);
@@ -649,7 +666,7 @@ impl CjoinStage {
                     // batch activates, or shutdown.
                     inner.wake.wait_until(|| {
                         inner.shutdown.load(Ordering::Acquire)
-                            || !inner.pending.lock().is_empty()
+                            || !inner.pending.is_empty()
                             || inner.state.read().active_bits.any()
                     });
                     continue;
@@ -727,7 +744,7 @@ impl CjoinStage {
                     while let Some(more) = inner.admission_q.try_pop() {
                         batch.extend(more);
                     }
-                    batch.extend(std::mem::take(&mut *inner.pending.lock()));
+                    batch.extend(inner.pending.drain());
                     admit_batch_shared(&inner, ctx, batch);
                     // The preprocessor may be parked waiting for an active
                     // query; the batch just activated.
@@ -932,7 +949,13 @@ impl CjoinStage {
                         );
                     }
                     // Completion bookkeeping: the part that processes a
-                    // query's last page finalizes it.
+                    // query's last page finalizes it. **Ordering
+                    // invariant**: the decrement is `AcqRel` so the winner
+                    // (the part that observes the count hit zero) acquires
+                    // every other part's released writes — the sink updates
+                    // they made before their own decrement — before
+                    // `finalize_query` reads the aggregator. `Relaxed`
+                    // would let finalization read a stale aggregate.
                     for qrt in &runtimes {
                         if qrt.process_left.fetch_sub(1, Ordering::AcqRel) == 1 {
                             finalize_query(&inner, ctx, qrt);

@@ -1,0 +1,184 @@
+//! Pending-admission window plumbing: the pending-set drain used by the
+//! stage admission workers and the fabric's merged batching windows
+//! ([`crate::fabric`]), plus the fabric's pending-depth ledger — extracted
+//! so the deterministic interleaving checker (`tests/interleave_core.rs`)
+//! can race a window merge against concurrent submissions exhaustively.
+//!
+//! Protocol invariants, checked by the model:
+//!
+//! * Draining a pending set is one atomic take under a single lock
+//!   acquisition: every submission either rides the window that drained it
+//!   or stays pending for the next — none is lost, none runs twice. (A
+//!   clone-then-clear drain in two lock acquisitions loses submissions that
+//!   land between the two; that is the `WindowMutation::TornDrain`
+//!   mutation.)
+//! * The depth ledger's add happens *before* the request is visible to a
+//!   window, and the failed-submit rollback restores it exactly, so the
+//!   governor's cross-stage pending signal never undercounts work a window
+//!   is about to absorb.
+//!
+//! Built on [`workshare_common::sync`], so an `--cfg interleave` build swaps
+//! the primitives for the model-checked shim.
+
+use workshare_common::sync::{AtomicU64, Mutex, Ordering};
+
+/// Test-only protocol mutations, compiled only under `--cfg interleave`.
+#[cfg(interleave)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WindowMutation {
+    /// The faithful protocol.
+    #[default]
+    None,
+    /// Drain with clone-then-clear in two lock acquisitions instead of one
+    /// atomic take: a submission that lands between the clone and the clear
+    /// is silently dropped.
+    TornDrain,
+}
+
+/// A stage's pending-admission set: submissions accumulate here until an
+/// admission worker (per-stage pool or fabric window) drains them as one
+/// batch. All methods take `&self`; share it behind the stage's `Arc`.
+pub struct PendingSlot<A> {
+    items: Mutex<Vec<A>>,
+    #[cfg(interleave)]
+    mutation: WindowMutation,
+}
+
+impl<A> PendingSlot<A> {
+    /// Empty pending set.
+    pub fn new() -> Self {
+        PendingSlot {
+            items: Mutex::new(Vec::new()),
+            #[cfg(interleave)]
+            mutation: WindowMutation::None,
+        }
+    }
+
+    /// Test-only constructor selecting a deliberately broken protocol
+    /// variant (see [`WindowMutation`]).
+    #[cfg(interleave)]
+    pub fn with_mutation(mutation: WindowMutation) -> Self {
+        PendingSlot {
+            items: Mutex::new(Vec::new()),
+            mutation,
+        }
+    }
+
+    /// Queue one submission for the next window.
+    pub fn push(&self, item: A) {
+        self.items.lock().push(item);
+    }
+
+    /// Queue a batch of submissions for the next window.
+    pub fn extend(&self, items: impl IntoIterator<Item = A>) {
+        self.items.lock().extend(items);
+    }
+
+    /// Atomically take everything pending: the window drain. One lock
+    /// acquisition — see the module invariants.
+    pub fn drain(&self) -> Vec<A> {
+        #[cfg(interleave)]
+        if self.mutation == WindowMutation::TornDrain {
+            // Torn: the lock is released between sizing the batch and
+            // taking it, so a submission landing in the gap is dropped.
+            let snapshot = self.items.lock().len();
+            let mut items = self.items.lock();
+            return items.drain(..).take(snapshot).collect();
+        }
+        std::mem::take(&mut *self.items.lock())
+    }
+
+    /// Submissions currently pending.
+    pub fn len(&self) -> usize {
+        self.items.lock().len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.items.lock().is_empty()
+    }
+}
+
+impl<A> Default for PendingSlot<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The fabric's pending-depth ledger: queries queued across all stages and
+/// not yet activated, with the depth cap behind
+/// [`crate::AdmissionFabric::has_capacity`].
+pub struct WindowLedger {
+    pending: AtomicU64,
+    capacity: u64,
+}
+
+impl WindowLedger {
+    /// Ledger with a depth cap (`u64::MAX` = unbounded).
+    pub fn new(capacity: u64) -> Self {
+        WindowLedger {
+            pending: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// Record `n` queries entering the pending queue. Call *before* making
+    /// the request visible to a window, so the signal never undercounts.
+    pub fn add(&self, n: u64) {
+        self.pending.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` queries leaving (activated by a window, or rolled back by
+    /// a failed submit).
+    pub fn sub(&self, n: u64) {
+        self.pending.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Queries currently pending — advisory (governor signal, reports).
+    pub fn pending(&self) -> u64 {
+        self.pending.load(Ordering::Relaxed)
+    }
+
+    /// Whether the pending depth is below the cap (always true when
+    /// unbounded). Advisory shed signal; the race-free hard cap is the
+    /// engine's admission counter.
+    pub fn has_capacity(&self) -> bool {
+        self.pending.load(Ordering::Relaxed) < self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_takes_everything_once() {
+        let slot: PendingSlot<u32> = PendingSlot::new();
+        slot.push(1);
+        slot.extend([2, 3]);
+        assert_eq!(slot.len(), 3);
+        assert_eq!(slot.drain(), vec![1, 2, 3]);
+        assert!(slot.is_empty());
+        assert!(slot.drain().is_empty(), "second drain finds nothing");
+    }
+
+    #[test]
+    fn ledger_balances_and_caps() {
+        let ledger = WindowLedger::new(2);
+        assert!(ledger.has_capacity());
+        ledger.add(2);
+        assert_eq!(ledger.pending(), 2);
+        assert!(!ledger.has_capacity(), "at cap");
+        ledger.sub(1);
+        assert!(ledger.has_capacity());
+        ledger.sub(1);
+        assert_eq!(ledger.pending(), 0);
+    }
+
+    #[test]
+    fn unbounded_ledger_always_has_capacity() {
+        let ledger = WindowLedger::new(u64::MAX);
+        ledger.add(1 << 40);
+        assert!(ledger.has_capacity());
+    }
+}

@@ -13,6 +13,8 @@
 //!   operators AND together (CJOIN's core mechanism).
 //! * [`CostModel`] — calibrated virtual CPU cost constants.
 //! * [`fxhash`] — a fast non-cryptographic hasher for hot join paths.
+//! * [`sync`] — the swappable synchronization layer: `parking_lot`/`std`
+//!   in production, the deterministic `loom` shim under `--cfg interleave`.
 
 #![warn(missing_docs)]
 
@@ -25,6 +27,7 @@ pub mod fxhash;
 pub mod plan;
 pub mod predicate;
 pub mod schema;
+pub mod sync;
 pub mod value;
 
 pub use bitmap::{BitmapBank, QueryBitmap, SelVec};

@@ -116,6 +116,15 @@ pub struct ServiceConfig {
     /// so heavy tenants cannot starve light ones, and zero-weight tenants
     /// are locked out.
     pub tenant_weights: [f64; MAX_TENANTS],
+    /// Fault injection for conservation tests: panic inside the producer
+    /// vthread of every query whose id is a multiple of the stride,
+    /// *after* admission (the completion guard and permit drop must turn
+    /// the panic into an error outcome that still balances
+    /// [`ThroughputReport::is_conserved`](crate::ThroughputReport::is_conserved)).
+    /// `None` (the default) injects nothing. Test-only knob — not a
+    /// service feature.
+    #[doc(hidden)]
+    pub fault_panic_stride: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -125,6 +134,7 @@ impl Default for ServiceConfig {
             deadline_secs: None,
             slo_p99_secs: None,
             tenant_weights: [0.0; MAX_TENANTS],
+            fault_panic_stride: None,
         }
     }
 }

@@ -10,23 +10,25 @@
 //! genuinely non-star plans (zero dimension joins). Per-fact accounting is
 //! surfaced as [`StageRow`]s.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-
-use parking_lot::Mutex;
-
 use workshare_cjoin::{
     AdmissionFabric, CjoinConfig, CjoinRuntimeStats, CjoinStage, CjoinStats, FabricStats,
 };
 use workshare_common::bind::try_bind;
 use workshare_common::fxhash::FxHashMap;
+// The concurrent core imports its primitives through the swappable sync
+// layer: production builds get the same `std`/`parking_lot` types as
+// before, `--cfg interleave` builds get the deterministic-model shim (see
+// `workshare_common::sync` and docs/TESTING.md).
+use workshare_common::sync::{Arc, AtomicBool, AtomicU64, Ordering};
 use workshare_common::{CostModel, SharingSignals, StarQuery};
 use workshare_qpipe::QpipeEngine;
 use workshare_sim::{CostKind, Machine, WaitSet};
 use workshare_storage::{StorageManager, TableId};
 
-use crate::config::{ExecPolicy, NamedConfig, RunConfig, ServiceConfig, MAX_TENANTS};
+use crate::config::{ExecPolicy, NamedConfig, RunConfig, ServiceConfig};
 use crate::governor::{GovernorStats, Route, SharingGovernor, SloDecision};
+use crate::lease::{LeaseRegistry, Leased};
+use crate::slots::{ServiceSlots, SlotPermit};
 use crate::ticket::{CompletionGuard, SlotResult, Ticket};
 use crate::volcano::run_volcano_query;
 
@@ -62,24 +64,6 @@ pub enum Outcome {
     },
 }
 
-/// RAII claim on the bounded admission queue: one admitted query's slot in
-/// the engine-wide outstanding count and its tenant's count. Released on
-/// drop — the permit rides inside the query's completion closure, so
-/// normal completion, error completion, and a panicking producer (vthread
-/// closures unwind) all free the slot.
-struct ServicePermit {
-    outstanding: Arc<AtomicU64>,
-    tenant_outstanding: Arc<[AtomicU64; MAX_TENANTS]>,
-    tenant: usize,
-}
-
-impl Drop for ServicePermit {
-    fn drop(&mut self) {
-        self.outstanding.fetch_sub(1, Ordering::AcqRel);
-        self.tenant_outstanding[self.tenant].fetch_sub(1, Ordering::AcqRel);
-    }
-}
-
 /// Per-fact-table row of a governed run's shared side, surfaced in
 /// [`RunReport::stages`](crate::harness::RunReport::stages): which stage
 /// served how many shared star queries, with the stage's CJOIN counters.
@@ -103,16 +87,34 @@ pub struct StageRow {
     pub stats: CjoinStats,
 }
 
-/// A live per-fact stage plus its lifecycle counters.
-struct StageEntry {
+/// A fact table's stage as the lease registry's managed value: the
+/// checkout / refcount / teardown lifecycle itself lives in
+/// [`LeaseRegistry`] (model-checked by `tests/interleave_core.rs`); this
+/// impl supplies the stage-specific pieces — identity, teardown, and the
+/// retired-ledger absorb.
+#[derive(Clone)]
+struct FactStage {
     fact_name: String,
     stage: CjoinStage,
-    /// Shared queries currently in flight on this stage — the per-stage
-    /// concurrency signal and the teardown refcount.
-    in_flight: u64,
-    /// Shared queries served by this incarnation (folded into
-    /// [`RetiredStage`] on teardown).
-    served: u64,
+}
+
+impl Leased for FactStage {
+    type Retired = RetiredStage;
+
+    fn same(&self, other: &Self) -> bool {
+        CjoinStage::same_stage(&self.stage, &other.stage)
+    }
+
+    fn retire_into(&self, served: u64, cell: &mut RetiredStage) {
+        cell.fact_name = self.fact_name.clone();
+        cell.served += served;
+        cell.stats.absorb(&self.stage.stats());
+        cell.last_runtime = Some(self.stage.runtime_stats());
+    }
+
+    fn shutdown(&self) {
+        self.stage.shutdown();
+    }
 }
 
 /// Counters and last-observed signals of torn-down incarnations of a
@@ -140,8 +142,9 @@ struct StageRegistry {
     /// stage teardown — its workers hold no stage state between windows —
     /// and is shut down with the engine.
     fabric: Option<AdmissionFabric>,
-    live: Mutex<FxHashMap<TableId, StageEntry>>,
-    retired: Mutex<FxHashMap<TableId, RetiredStage>>,
+    /// Stage lifecycle: lease-counted lazy checkout, teardown at refcount
+    /// zero with counters absorbed into the retired ledger.
+    leases: LeaseRegistry<TableId, FactStage>,
 }
 
 /// One shared star query's claim on its fact's stage: released on
@@ -171,8 +174,7 @@ impl StageRegistry {
             config,
             cost,
             fabric,
-            live: Mutex::new(FxHashMap::default()),
-            retired: Mutex::new(FxHashMap::default()),
+            leases: LeaseRegistry::new(),
         }
     }
 
@@ -180,45 +182,27 @@ impl StageRegistry {
     /// in-flight query on it. The returned stage stays valid until the
     /// matching [`StageLease::release`] (stages are only torn down at
     /// refcount zero). The stage pipeline is constructed *outside* the
-    /// registry lock (double-checked insert) so that routing and signal
-    /// reads for other facts never stall behind a stage build; a racing
-    /// duplicate build loses the insert and is shut down.
+    /// registry lock ([`LeaseRegistry::checkout`]'s double-checked insert)
+    /// so that routing and signal reads for other facts never stall behind
+    /// a stage build; a racing duplicate build loses the insert and is
+    /// shut down.
     fn checkout(self: &Arc<Self>, fact: TableId, fact_name: &str) -> (CjoinStage, StageLease) {
         let lease = StageLease {
             registry: Arc::clone(self),
             fact,
         };
-        {
-            let mut live = self.live.lock();
-            if let Some(entry) = live.get_mut(&fact) {
-                entry.in_flight += 1;
-                entry.served += 1;
-                return (entry.stage.clone(), lease);
-            }
-        }
-        let built = CjoinStage::with_fabric(
-            &self.machine,
-            &self.storage,
-            fact_name,
-            self.config,
-            self.cost,
-            self.fabric.clone(),
-        );
-        let mut live = self.live.lock();
-        let entry = live.entry(fact).or_insert_with(|| StageEntry {
+        let fs = self.leases.checkout(fact, || FactStage {
             fact_name: fact_name.to_string(),
-            stage: built.clone(),
-            in_flight: 0,
-            served: 0,
+            stage: CjoinStage::with_fabric(
+                &self.machine,
+                &self.storage,
+                fact_name,
+                self.config,
+                self.cost,
+                self.fabric.clone(),
+            ),
         });
-        entry.in_flight += 1;
-        entry.served += 1;
-        let stage = entry.stage.clone();
-        drop(live);
-        if !CjoinStage::same_stage(&stage, &built) {
-            built.shutdown(); // lost the insert race
-        }
-        (stage, lease)
+        (fs.stage, lease)
     }
 
     /// Drop one in-flight claim on `fact`'s stage; tears the stage down
@@ -229,24 +213,7 @@ impl StageRegistry {
     /// is fine — stage shutdown is cooperative (flags + closed queues), so
     /// tearing down under it is benign.
     fn release(&self, fact: TableId) {
-        let mut live = self.live.lock();
-        let Some(entry) = live.get_mut(&fact) else {
-            return;
-        };
-        entry.in_flight = entry.in_flight.saturating_sub(1);
-        if entry.in_flight > 0 {
-            return;
-        }
-        let entry = live.remove(&fact).expect("entry present");
-        drop(live);
-        let mut retired = self.retired.lock();
-        let cell = retired.entry(fact).or_default();
-        cell.fact_name = entry.fact_name;
-        cell.served += entry.served;
-        cell.stats.absorb(&entry.stage.stats());
-        cell.last_runtime = Some(entry.stage.runtime_stats());
-        drop(retired);
-        entry.stage.shutdown();
+        self.leases.release(fact);
     }
 
     /// Per-stage governor signals for `fact`: in-flight count plus the
@@ -254,15 +221,16 @@ impl StageRegistry {
     /// signals (selectivity / key-run EWMAs) when the stage is currently
     /// torn down.
     fn stage_signals(&self, fact: TableId) -> (u64, CjoinRuntimeStats) {
-        let live = self.live.lock();
-        if let Some(entry) = live.get(&fact) {
-            return (entry.in_flight, entry.stage.runtime_stats());
+        if let Some(sig) = self
+            .leases
+            .with_live(fact, |e| (e.in_flight, e.value.stage.runtime_stats()))
+        {
+            return sig;
         }
-        drop(live);
-        let retired = self.retired.lock();
-        let rt = retired
-            .get(&fact)
-            .and_then(|r| r.last_runtime.clone())
+        let rt = self
+            .leases
+            .with_retired(fact, |r| r.last_runtime.clone())
+            .flatten()
             .map(|rt| CjoinRuntimeStats {
                 active_queries: 0,
                 ..rt
@@ -289,12 +257,10 @@ impl StageRegistry {
     /// keeps covering every physical admission read of the engine.
     fn total_stats(&self) -> CjoinStats {
         let mut total = CjoinStats::default();
-        for entry in self.live.lock().values() {
-            total.absorb(&entry.stage.stats());
-        }
-        for cell in self.retired.lock().values() {
-            total.absorb(&cell.stats);
-        }
+        self.leases
+            .for_each_live(|_, entry| total.absorb(&entry.value.stage.stats()));
+        self.leases
+            .for_each_retired(|_, cell| total.absorb(&cell.stats));
         if let Some(fabric) = &self.fabric {
             total.admission_dim_pages += fabric.stats().admission_dim_pages;
         }
@@ -304,7 +270,7 @@ impl StageRegistry {
     /// Per-fact report rows, sorted by fact name (deterministic output).
     fn rows(&self) -> Vec<StageRow> {
         let mut by_fact: FxHashMap<TableId, StageRow> = FxHashMap::default();
-        for (fact, cell) in self.retired.lock().iter() {
+        self.leases.for_each_retired(|fact, cell| {
             by_fact.insert(
                 *fact,
                 StageRow {
@@ -315,19 +281,19 @@ impl StageRegistry {
                     stats: cell.stats.clone(),
                 },
             );
-        }
-        for (fact, entry) in self.live.lock().iter() {
+        });
+        self.leases.for_each_live(|fact, entry| {
             let row = by_fact.entry(*fact).or_insert_with(|| StageRow {
-                fact: entry.fact_name.clone(),
-                label: format!("Shared({})", entry.fact_name),
+                fact: entry.value.fact_name.clone(),
+                label: format!("Shared({})", entry.value.fact_name),
                 shared_queries: 0,
                 live: true,
                 stats: CjoinStats::default(),
             });
             row.live = true;
             row.shared_queries += entry.served;
-            row.stats.absorb(&entry.stage.stats());
-        }
+            row.stats.absorb(&entry.value.stage.stats());
+        });
         let mut rows: Vec<StageRow> = by_fact.into_values().collect();
         rows.sort_by(|a, b| a.fact.cmp(&b.fact));
         rows
@@ -336,12 +302,8 @@ impl StageRegistry {
     /// Shut every live stage down, then the shared admission fabric
     /// (engine shutdown).
     fn shutdown_all(&self) {
-        let entries: Vec<StageEntry> = {
-            let mut live = self.live.lock();
-            live.drain().map(|(_, e)| e).collect()
-        };
-        for e in entries {
-            e.stage.shutdown();
+        for fs in self.leases.drain_live() {
+            fs.stage.shutdown();
         }
         if let Some(fabric) = &self.fabric {
             fabric.shutdown();
@@ -381,12 +343,10 @@ struct Governed {
     /// default, in which case [`Engine::try_submit`] degrades to plain
     /// [`Engine::submit`].
     service: ServiceConfig,
-    /// Queries admitted through [`Engine::try_submit`] and not yet
-    /// completed — the bounded-admission counter the queue cap CASes on.
-    outstanding: Arc<AtomicU64>,
-    /// Per-tenant slice of [`outstanding`](Governed::outstanding), for the
-    /// weighted per-tenant caps.
-    tenant_outstanding: Arc<[AtomicU64; MAX_TENANTS]>,
+    /// Bounded-admission occupancy (engine-wide + per-tenant) the queue
+    /// cap CASes on; the claim/rollback/release protocol lives in
+    /// [`ServiceSlots`] (model-checked by `tests/interleave_core.rs`).
+    slots: Arc<ServiceSlots>,
 }
 
 enum EngineKind {
@@ -404,6 +364,13 @@ struct EngineInner {
     kind: EngineKind,
     gate_ws: WaitSet,
     gate_open: Arc<AtomicBool>,
+    /// Test-only fault injection
+    /// ([`ServiceConfig::fault_panic_stride`]): panic inside the producer
+    /// vthread of every query whose id is a multiple of the stride, after
+    /// admission. Exercises the unwind path end to end — the completion
+    /// guard poisons the slot, the permit and lease drops release their
+    /// claims, and the run report still balances.
+    fault_panic_stride: Option<u64>,
 }
 
 /// Observed-latency feedback plumbing of one adaptive submission: completes
@@ -496,8 +463,7 @@ impl Engine {
                     config.disk.bandwidth_bytes_per_sec
                 },
                 service: config.service,
-                outstanding: Arc::new(AtomicU64::new(0)),
-                tenant_outstanding: Arc::new(std::array::from_fn(|_| AtomicU64::new(0))),
+                slots: ServiceSlots::new(),
             }),
             None => match config.engine {
                 NamedConfig::Qpipe | NamedConfig::QpipeCs | NamedConfig::QpipeSp => {
@@ -523,6 +489,7 @@ impl Engine {
                 kind,
                 gate_ws: WaitSet::new(machine),
                 gate_open: Arc::new(AtomicBool::new(true)),
+                fault_panic_stride: config.service.fault_panic_stride,
             }),
         }
     }
@@ -605,7 +572,7 @@ impl Engine {
         &self,
         g: &Governed,
         tenant: usize,
-    ) -> Result<Option<ServicePermit>, ShedReason> {
+    ) -> Result<Option<SlotPermit>, ShedReason> {
         let Some(cap) = g.service.queue_cap else {
             return Ok(None);
         };
@@ -614,43 +581,21 @@ impl Engine {
                 return Err(ShedReason::QueueFull);
             }
         }
-        let cap = cap as u64;
-        if g.outstanding
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |o| {
-                (o < cap).then_some(o + 1)
-            })
-            .is_err()
-        {
-            return Err(ShedReason::QueueFull);
-        }
-        let tenant_slot = tenant.min(MAX_TENANTS - 1);
-        let tenant_cap = g
-            .service
-            .tenant_cap(tenant)
-            .expect("queue_cap is set") as u64;
-        if g.tenant_outstanding[tenant_slot]
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |o| {
-                (o < tenant_cap).then_some(o + 1)
-            })
-            .is_err()
-        {
-            // Roll the engine-wide claim back: the tenant's weighted share
-            // is exhausted even though the queue as a whole has room.
-            g.outstanding.fetch_sub(1, Ordering::AcqRel);
-            return Err(ShedReason::QueueFull);
-        }
-        Ok(Some(ServicePermit {
-            outstanding: Arc::clone(&g.outstanding),
-            tenant_outstanding: Arc::clone(&g.tenant_outstanding),
-            tenant: tenant_slot,
-        }))
+        let tenant_cap = g.service.tenant_cap(tenant).expect("queue_cap is set") as u64;
+        // The CAS claim / tenant claim / rollback protocol lives in
+        // `ServiceSlots::try_claim` (with its ordering invariants) so the
+        // interleaving checker can explore it exhaustively.
+        g.slots
+            .try_claim(cap as u64, tenant, tenant_cap)
+            .map(Some)
+            .ok_or(ShedReason::QueueFull)
     }
 
     /// Queries admitted through [`Engine::try_submit`] and not yet
     /// completed (0 for ungoverned engines or an inactive service config).
     pub fn service_outstanding(&self) -> u64 {
         match &self.inner.kind {
-            EngineKind::Governed(g) => g.outstanding.load(Ordering::Acquire),
+            EngineKind::Governed(g) => g.slots.outstanding(),
             _ => 0,
         }
     }
@@ -725,7 +670,7 @@ impl Engine {
         &self,
         g: &Governed,
         q: &StarQuery,
-        permit: Option<ServicePermit>,
+        permit: Option<SlotPermit>,
         deadline_secs: Option<f64>,
     ) -> Result<Ticket, ShedReason> {
         let fact_t = self.inner.storage.table(&q.fact);
@@ -818,7 +763,7 @@ impl Engine {
         q: &StarQuery,
         feedback: Option<RouteFeedback>,
         lease: Option<StageLease>,
-        permit: Option<ServicePermit>,
+        permit: Option<SlotPermit>,
     ) -> Ticket {
         let inner = &self.inner;
         let start_ns = inner.machine.now_ns();
@@ -853,8 +798,13 @@ impl Engine {
             // adapt the stage's buffered result to a Ticket.
             let agg = stage.submit_aggregated(q);
             let slot2 = Arc::clone(&slot);
+            let fault = inner.fault_panic_stride;
+            let qid = q.id;
             inner.machine.spawn(&format!("cj-sagg-q{}", q.id), move |ctx| {
                 let guard = CompletionGuard::new(Arc::clone(&slot2));
+                if fault.is_some_and(|s| s > 0 && qid.is_multiple_of(s)) {
+                    panic!("injected fault: query {qid}");
+                }
                 let rows = agg.wait();
                 let now = ctx.machine().now_ns();
                 slot2.complete(rows, now);
@@ -875,10 +825,18 @@ impl Engine {
         let slot2 = Arc::clone(&slot);
         let gate_ws = inner.gate_ws.clone();
         let gate_open = Arc::clone(&inner.gate_open);
+        let fault = inner.fault_panic_stride;
+        let qid = q.id;
         inner.machine.spawn(&format!("cj-agg-q{}", q.id), move |ctx| {
             let guard = CompletionGuard::new(Arc::clone(&slot2));
             if !gate_open.load(Ordering::Acquire) {
                 gate_ws.wait_until(|| gate_open.load(Ordering::Acquire));
+            }
+            if fault.is_some_and(|s| s > 0 && qid.is_multiple_of(s)) {
+                // Unwinding drops the output reader, which detaches from
+                // the stage's exchange (the distributor marks the consumer
+                // dead); the guard poisons the slot on the way out.
+                panic!("injected fault: query {qid}");
             }
             let mut agg = workshare_common::agg::Aggregator::new(&bound);
             while let Some(batch) = output.reader.next(ctx) {
@@ -918,7 +876,7 @@ impl Engine {
         &self,
         q: &StarQuery,
         feedback: Option<RouteFeedback>,
-        permit: Option<ServicePermit>,
+        permit: Option<SlotPermit>,
     ) -> Ticket {
         let inner = &self.inner;
         let start_ns = inner.machine.now_ns();
@@ -949,10 +907,14 @@ impl Engine {
         let q = q.clone();
         let gate_ws = inner.gate_ws.clone();
         let gate_open = Arc::clone(&inner.gate_open);
+        let fault = inner.fault_panic_stride;
         inner.machine.spawn(&format!("volcano-q{}", q.id), move |ctx| {
             let guard = CompletionGuard::new(Arc::clone(&slot2));
             if !gate_open.load(Ordering::Acquire) {
                 gate_ws.wait_until(|| gate_open.load(Ordering::Acquire));
+            }
+            if fault.is_some_and(|s| s > 0 && q.id.is_multiple_of(s)) {
+                panic!("injected fault: query {}", q.id);
             }
             let rows = run_volcano_query(ctx, &storage, &q, &cost);
             let now = ctx.machine().now_ns();

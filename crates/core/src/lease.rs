@@ -1,0 +1,300 @@
+//! Lease-counted lazy registry: the checkout / release / teardown protocol
+//! behind the engine's per-fact [`CjoinStage`](workshare_cjoin::CjoinStage)
+//! registry, extracted so the deterministic interleaving checker
+//! (`tests/interleave_core.rs`) can race checkout against teardown
+//! exhaustively. The engine keeps its domain wrapper (`StageRegistry`) and
+//! delegates the lifecycle to [`LeaseRegistry`].
+//!
+//! Protocol invariants, checked by the model:
+//!
+//! * An entry is torn down only when its lease refcount (`in_flight`)
+//!   reaches zero, and its counters are absorbed into the retired ledger
+//!   *before* shutdown — a report taken at any point observes every served
+//!   query exactly once (live or retired, never neither).
+//! * A checkout builds the value *outside* the registry lock (double-checked
+//!   insert), so concurrent checkouts of other keys never stall behind a
+//!   build; the loser of a racing duplicate build shuts its orphan down.
+//!
+//! Built on [`workshare_common::sync`], so an `--cfg interleave` build swaps
+//! the lock for the model-checked shim.
+
+use std::hash::Hash;
+
+use workshare_common::fxhash::FxHashMap;
+use workshare_common::sync::Mutex;
+
+/// A value whose lifecycle a [`LeaseRegistry`] manages.
+pub trait Leased: Clone {
+    /// Per-key ledger cell that outlives torn-down incarnations.
+    type Retired: Default;
+
+    /// Whether `self` and `other` are the same underlying instance (used to
+    /// detect a lost duplicate-build race).
+    fn same(&self, other: &Self) -> bool;
+
+    /// Fold this incarnation's counters into the retired ledger cell.
+    /// Called with the registry's retired lock held, before [`shutdown`]
+    /// (so a report never misses counters mid-teardown).
+    ///
+    /// [`shutdown`]: Leased::shutdown
+    fn retire_into(&self, served: u64, cell: &mut Self::Retired);
+
+    /// Tear the instance down (idempotent, cooperative).
+    fn shutdown(&self);
+}
+
+/// Test-only protocol mutations, compiled only under `--cfg interleave`.
+/// Each deliberately breaks one step of the lease lifecycle so the model
+/// checker can prove it would catch the regression.
+#[cfg(interleave)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LeaseMutation {
+    /// The faithful protocol.
+    #[default]
+    None,
+    /// Tear the entry down on *any* release, ignoring the lease refcount:
+    /// a concurrent holder's instance is shut down under it, and its
+    /// still-in-flight service disappears from both ledgers.
+    TeardownWhileLeased,
+    /// Skip the ledger absorb on teardown ("reordering the ledger absorb"
+    /// bug class): served counts of retired incarnations vanish.
+    AbsorbDropped,
+}
+
+/// A live entry: the leased value plus its lifecycle counters.
+pub struct LeaseEntry<S> {
+    /// The checked-out value.
+    pub value: S,
+    /// Outstanding leases — the teardown refcount.
+    pub in_flight: u64,
+    /// Checkouts served by this incarnation (folded into the retired
+    /// ledger on teardown).
+    pub served: u64,
+}
+
+/// Lease-counted registry of lazily built values, one per key. All methods
+/// take `&self`; share it behind an `Arc`.
+pub struct LeaseRegistry<K, S: Leased> {
+    live: Mutex<FxHashMap<K, LeaseEntry<S>>>,
+    retired: Mutex<FxHashMap<K, S::Retired>>,
+    #[cfg(interleave)]
+    mutation: LeaseMutation,
+}
+
+impl<K: Eq + Hash + Copy, S: Leased> LeaseRegistry<K, S> {
+    /// Empty registry.
+    pub fn new() -> Self {
+        LeaseRegistry {
+            live: Mutex::new(FxHashMap::default()),
+            retired: Mutex::new(FxHashMap::default()),
+            #[cfg(interleave)]
+            mutation: LeaseMutation::None,
+        }
+    }
+
+    /// Test-only constructor selecting a deliberately broken protocol
+    /// variant (see [`LeaseMutation`]).
+    #[cfg(interleave)]
+    pub fn with_mutation(mutation: LeaseMutation) -> Self {
+        LeaseRegistry {
+            live: Mutex::new(FxHashMap::default()),
+            retired: Mutex::new(FxHashMap::default()),
+            mutation,
+        }
+    }
+
+    /// The value for `key`, built by `build` on first use; registers one
+    /// lease on it. The value stays valid until the matching
+    /// [`release`](LeaseRegistry::release) (entries are only torn down at
+    /// refcount zero). `build` runs *outside* the registry lock
+    /// (double-checked insert) so checkouts of other keys never stall
+    /// behind it; a racing duplicate build loses the insert and is shut
+    /// down.
+    pub fn checkout(&self, key: K, build: impl FnOnce() -> S) -> S {
+        {
+            let mut live = self.live.lock();
+            if let Some(entry) = live.get_mut(&key) {
+                entry.in_flight += 1;
+                entry.served += 1;
+                return entry.value.clone();
+            }
+        }
+        let built = build();
+        let mut live = self.live.lock();
+        let entry = live.entry(key).or_insert_with(|| LeaseEntry {
+            value: built.clone(),
+            in_flight: 0,
+            served: 0,
+        });
+        entry.in_flight += 1;
+        entry.served += 1;
+        let value = entry.value.clone();
+        drop(live);
+        if !value.same(&built) {
+            built.shutdown(); // lost the insert race
+        }
+        value
+    }
+
+    /// Drop one lease on `key`'s entry; tears it down when it was the last.
+    /// The incarnation's counters are absorbed into the retired ledger
+    /// *before* shutdown, so reports survive the churn.
+    pub fn release(&self, key: K) {
+        let mut live = self.live.lock();
+        let Some(entry) = live.get_mut(&key) else {
+            return;
+        };
+        entry.in_flight = entry.in_flight.saturating_sub(1);
+        #[cfg(interleave)]
+        let skip_refcount = self.mutation == LeaseMutation::TeardownWhileLeased;
+        #[cfg(not(interleave))]
+        let skip_refcount = false;
+        if entry.in_flight > 0 && !skip_refcount {
+            return;
+        }
+        let entry = live.remove(&key).expect("entry present");
+        drop(live);
+        #[cfg(interleave)]
+        let absorb = self.mutation != LeaseMutation::AbsorbDropped;
+        #[cfg(not(interleave))]
+        let absorb = true;
+        if absorb {
+            let mut retired = self.retired.lock();
+            let cell = retired.entry(key).or_default();
+            entry.value.retire_into(entry.served, cell);
+        }
+        entry.value.shutdown();
+    }
+
+    /// Apply `f` to `key`'s live entry, if any (signals, per-key stats).
+    pub fn with_live<R>(&self, key: K, f: impl FnOnce(&LeaseEntry<S>) -> R) -> Option<R> {
+        self.live.lock().get(&key).map(f)
+    }
+
+    /// Apply `f` to `key`'s retired ledger cell, if any.
+    pub fn with_retired<R>(&self, key: K, f: impl FnOnce(&S::Retired) -> R) -> Option<R> {
+        self.retired.lock().get(&key).map(f)
+    }
+
+    /// Visit every live entry (aggregate stats, report rows).
+    pub fn for_each_live(&self, mut f: impl FnMut(&K, &LeaseEntry<S>)) {
+        for (k, e) in self.live.lock().iter() {
+            f(k, e);
+        }
+    }
+
+    /// Visit every retired ledger cell.
+    pub fn for_each_retired(&self, mut f: impl FnMut(&K, &S::Retired)) {
+        for (k, c) in self.retired.lock().iter() {
+            f(k, c);
+        }
+    }
+
+    /// Remove and return every live value without retiring it (engine
+    /// shutdown: callers shut the values down themselves).
+    pub fn drain_live(&self) -> Vec<S> {
+        self.live
+            .lock()
+            .drain()
+            .map(|(_, e)| e.value)
+            .collect()
+    }
+}
+
+impl<K: Eq + Hash + Copy, S: Leased> Default for LeaseRegistry<K, S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[derive(Clone)]
+    struct FakeStage {
+        id: usize,
+        shut: Arc<AtomicBool>,
+        work: Arc<AtomicU64>,
+    }
+
+    #[derive(Default)]
+    struct FakeRetired {
+        served: u64,
+        work: u64,
+    }
+
+    impl Leased for FakeStage {
+        type Retired = FakeRetired;
+        fn same(&self, other: &Self) -> bool {
+            self.id == other.id
+        }
+        fn retire_into(&self, served: u64, cell: &mut FakeRetired) {
+            cell.served += served;
+            cell.work += self.work.load(Ordering::Acquire);
+        }
+        fn shutdown(&self) {
+            self.shut.store(true, Ordering::Release);
+        }
+    }
+
+    fn build(id: usize) -> FakeStage {
+        FakeStage {
+            id,
+            shut: Arc::new(AtomicBool::new(false)),
+            work: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    #[test]
+    fn checkout_builds_once_and_refcounts() {
+        let reg: LeaseRegistry<u32, FakeStage> = LeaseRegistry::new();
+        let a = reg.checkout(7, || build(1));
+        let b = reg.checkout(7, || build(2));
+        assert!(a.same(&b), "second checkout reuses the first build");
+        assert_eq!(reg.with_live(7, |e| e.in_flight), Some(2));
+        reg.release(7);
+        assert!(!a.shut.load(Ordering::Acquire), "still one lease out");
+        reg.release(7);
+        assert!(a.shut.load(Ordering::Acquire), "last release tears down");
+        assert_eq!(reg.with_retired(7, |c| c.served), Some(2));
+    }
+
+    #[test]
+    fn counters_survive_teardown_into_the_retired_ledger() {
+        let reg: LeaseRegistry<u32, FakeStage> = LeaseRegistry::new();
+        let s = reg.checkout(1, || build(1));
+        s.work.store(5, Ordering::Release);
+        reg.release(1);
+        // Second incarnation after teardown: a fresh build.
+        let s2 = reg.checkout(1, || build(2));
+        assert!(!s.same(&s2));
+        s2.work.store(3, Ordering::Release);
+        reg.release(1);
+        assert_eq!(reg.with_retired(1, |c| (c.served, c.work)), Some((2, 8)));
+        assert_eq!(
+            reg.with_live(1, |_| ()),
+            None,
+            "no live entry after teardown"
+        );
+    }
+
+    #[test]
+    fn release_of_unknown_key_is_a_no_op() {
+        let reg: LeaseRegistry<u32, FakeStage> = LeaseRegistry::new();
+        reg.release(99);
+        reg.for_each_retired(|_, _| panic!("nothing retired"));
+    }
+
+    #[test]
+    fn drain_live_skips_the_retired_ledger() {
+        let reg: LeaseRegistry<u32, FakeStage> = LeaseRegistry::new();
+        let _a = reg.checkout(1, || build(1));
+        let _b = reg.checkout(2, || build(2));
+        let drained = reg.drain_live();
+        assert_eq!(drained.len(), 2);
+        reg.for_each_retired(|_, _| panic!("drain must not retire"));
+    }
+}

@@ -33,11 +33,14 @@
 //! * [`workload`] — SSB Q1.1 / Q2.1 / Q3.2 and TPC-H Q1 templates with
 //!   similarity control.
 
+pub mod cell;
 pub mod config;
 pub mod dataset;
 pub mod engine;
 pub mod governor;
 pub mod harness;
+pub mod lease;
+pub mod slots;
 pub mod ticket;
 pub mod volcano;
 pub mod workload;

@@ -1,20 +1,20 @@
 //! Unified query handles across engine kinds.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use workshare_common::sync::{Arc, Mutex};
 
 use workshare_common::value::Row;
 use workshare_qpipe::QueryHandle;
 use workshare_sim::{Machine, WaitSet};
 
+use crate::cell::CompletionCell;
+
 /// Result slot used by the CJOIN and Volcano paths (the QPipe path reuses
-/// the engine's own handle).
+/// the engine's own handle). The write-once publish/claim protocol lives
+/// in [`CompletionCell`] (model-checked by `tests/interleave_core.rs`);
+/// this type adds the sim-side plumbing: virtual-time waiters and latency
+/// stamps.
 pub struct SlotResult {
-    rows: Mutex<Option<Arc<Vec<Row>>>>,
-    error: Mutex<Option<String>>,
-    done: AtomicBool,
+    cell: CompletionCell<Arc<Vec<Row>>>,
     ws: WaitSet,
     machine: Machine,
     start_ns: f64,
@@ -25,9 +25,7 @@ impl SlotResult {
     /// New pending slot stamped with the submission time.
     pub fn new(machine: &Machine, start_ns: f64) -> Arc<SlotResult> {
         Arc::new(SlotResult {
-            rows: Mutex::new(None),
-            error: Mutex::new(None),
-            done: AtomicBool::new(false),
+            cell: CompletionCell::new(),
             ws: WaitSet::new(machine),
             machine: machine.clone(),
             start_ns,
@@ -35,26 +33,24 @@ impl SlotResult {
         })
     }
 
-    /// Publish the result.
+    /// Publish the result. First write wins: a slot already completed (or
+    /// poisoned) ignores the call.
     pub fn complete(&self, rows: Arc<Vec<Row>>, now_ns: f64) {
-        *self.rows.lock() = Some(rows);
-        *self.finish_ns.lock() = now_ns;
-        self.done.store(true, Ordering::Release);
-        self.ws.notify_all();
+        if self.cell.complete(rows) {
+            *self.finish_ns.lock() = now_ns;
+            self.ws.notify_all();
+        }
     }
 
     /// Poison the slot with an error: waiters wake with empty rows and
     /// [`Ticket::error`] reports the message. Used when a producer sheds,
-    /// fails to bind, or abandons the slot by panicking.
+    /// fails to bind, or abandons the slot by panicking. First write wins,
+    /// as with [`SlotResult::complete`].
     pub fn complete_error(&self, msg: impl Into<String>, now_ns: f64) {
-        if self.done.load(Ordering::Acquire) {
-            return;
+        if self.cell.complete_error(msg) {
+            *self.finish_ns.lock() = now_ns;
+            self.ws.notify_all();
         }
-        *self.error.lock() = Some(msg.into());
-        *self.rows.lock() = Some(Arc::new(Vec::new()));
-        *self.finish_ns.lock() = now_ns;
-        self.done.store(true, Ordering::Release);
-        self.ws.notify_all();
     }
 }
 
@@ -108,11 +104,10 @@ impl Ticket {
             Ticket::Slot(s) => {
                 let s2 = Arc::clone(s);
                 s.ws.wait_for(move || {
-                    if s2.done.load(Ordering::Acquire) {
-                        Some(s2.rows.lock().clone().expect("done without rows"))
-                    } else {
-                        None
-                    }
+                    s2.cell.try_outcome().map(|outcome| match outcome {
+                        Ok(rows) => rows,
+                        Err(_) => Arc::new(Vec::new()),
+                    })
                 })
             }
         }
@@ -122,7 +117,7 @@ impl Ticket {
     pub fn is_done(&self) -> bool {
         match self {
             Ticket::Qpipe(h) => h.is_done(),
-            Ticket::Slot(s) => s.done.load(Ordering::Acquire),
+            Ticket::Slot(s) => s.cell.is_done(),
         }
     }
 
@@ -131,7 +126,7 @@ impl Ticket {
     pub fn error(&self) -> Option<String> {
         match self {
             Ticket::Qpipe(_) => None,
-            Ticket::Slot(s) => s.error.lock().clone(),
+            Ticket::Slot(s) => s.cell.error(),
         }
     }
 

@@ -1,0 +1,36 @@
+//! Model-aware threads: inside [`crate::model`] each spawn registers a
+//! model thread with the deterministic scheduler (spawn and join are
+//! happens-before edges and schedule points); outside, this is a thin
+//! wrapper over `std::thread`.
+
+use crate::rt;
+
+/// Handle to a spawned thread; join it to retrieve the closure's result.
+pub struct JoinHandle<T> {
+    inner: rt::JoinInner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait (in model time under the checker) for the thread to finish.
+    pub fn join(self) -> std::thread::Result<T> {
+        rt::join_thread(self.inner)
+    }
+}
+
+/// Spawn a thread running `f`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    JoinHandle {
+        inner: rt::spawn_thread(f),
+    }
+}
+
+/// Hand the scheduler an extra preemption point (no memory effect).
+pub fn yield_now() {
+    if !rt::yield_point() {
+        std::thread::yield_now();
+    }
+}

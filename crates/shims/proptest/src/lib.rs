@@ -7,8 +7,11 @@
 //!
 //! Differences from real proptest, by design: cases are generated from a
 //! deterministic per-case seed (override with `PROPTEST_SEED`), and there is
-//! **no shrinking** — a failing case panics with the case number and seed so
-//! it can be replayed.
+//! **no shrinking** — a failing case panics with the case number and seed.
+//! As in real proptest, failing seeds persist to `proptest-regressions/`
+//! (one `<test>.txt` of `cc 0x<seed>` lines under the crate manifest, or
+//! `$PROPTEST_REGRESSIONS`) and are replayed *before* fresh cases on every
+//! subsequent run, so a caught regression stays caught until fixed.
 
 pub mod strategy;
 pub mod test_runner;
@@ -146,6 +149,15 @@ macro_rules! __proptest_cases {
         $(#[$meta])+
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $config;
+            // Replay seeds persisted by earlier failing runs first: a
+            // once-caught regression is re-checked before any fresh case.
+            for seed in $crate::test_runner::persisted_seeds(stringify!($name)) {
+                let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+                $( let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut rng); )+
+                let guard = $crate::test_runner::CaseGuard::replay(stringify!($name), seed);
+                $body
+                guard.passed();
+            }
             for case in 0..config.cases {
                 let mut rng =
                     $crate::test_runner::TestRng::for_case(stringify!($name), case);

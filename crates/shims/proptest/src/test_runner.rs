@@ -1,5 +1,9 @@
 //! Deterministic case runner plumbing for the [`proptest!`](crate::proptest)
-//! macro expansion.
+//! macro expansion: per-case RNGs, and the failing-seed persistence that
+//! stands in for real proptest's `proptest-regressions/` files.
+
+use std::io::Write as _;
+use std::path::PathBuf;
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -43,7 +47,12 @@ impl TestRng {
         for b in test_name.bytes() {
             h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
         }
-        let seed = base ^ h ^ ((case as u64) << 32);
+        Self::from_seed(base ^ h ^ ((case as u64) << 32))
+    }
+
+    /// RNG replaying an exact persisted seed: the same stream
+    /// [`TestRng::for_case`] produced when it failed.
+    pub fn from_seed(seed: u64) -> TestRng {
         TestRng {
             inner: StdRng::seed_from_u64(seed),
             seed,
@@ -77,21 +86,94 @@ impl TestRng {
     }
 }
 
-/// Prints replay context if a case body panics (no shrinking: the case
-/// number and seed are the replay handle).
+/// Directory the failing seeds persist to: `$PROPTEST_REGRESSIONS` when
+/// set (tests use this; CI could point it at a cache), else
+/// `proptest-regressions/` under the running crate's manifest — the same
+/// location real proptest uses, so the files ride along in the repo and a
+/// failure found once replays everywhere.
+fn regressions_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("PROPTEST_REGRESSIONS") {
+        return PathBuf::from(dir);
+    }
+    let base = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
+    PathBuf::from(base).join("proptest-regressions")
+}
+
+/// One seed file per test: `<dir>/<test_name>.txt`, lines of `cc 0x<seed>`
+/// (comments start with `#`), mirroring real proptest's `cc <digest>` rows.
+fn seed_file(test_name: &str) -> PathBuf {
+    regressions_dir().join(format!("{test_name}.txt"))
+}
+
+/// Seeds persisted by earlier failing runs of `test_name`, in file order.
+/// The [`proptest!`](crate::proptest) expansion replays these **before**
+/// generating fresh cases, so a once-caught regression is re-checked first
+/// on every subsequent run.
+pub fn persisted_seeds(test_name: &str) -> Vec<u64> {
+    let Ok(contents) = std::fs::read_to_string(seed_file(test_name)) else {
+        return Vec::new();
+    };
+    contents
+        .lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            u64::from_str_radix(rest.trim().trim_start_matches("0x"), 16).ok()
+        })
+        .collect()
+}
+
+/// Append `seed` to `test_name`'s regression file (deduplicated; the file
+/// and directory are created on first failure). Best-effort: persistence
+/// failing must not mask the test failure itself.
+pub(crate) fn persist_failure(test_name: &str, seed: u64) {
+    if persisted_seeds(test_name).contains(&seed) {
+        return;
+    }
+    let path = seed_file(test_name);
+    let _ = std::fs::create_dir_all(regressions_dir());
+    let fresh = !path.exists();
+    let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) else {
+        return;
+    };
+    if fresh {
+        let _ = writeln!(
+            f,
+            "# Seeds for failing cases of `{test_name}` (proptest shim). Each\n\
+             # line is replayed before fresh cases on every run; delete the\n\
+             # line once the regression is fixed and re-verified."
+        );
+    }
+    let _ = writeln!(f, "cc {seed:#x}");
+}
+
+/// Prints replay context if a case body panics, and persists the failing
+/// seed to `proptest-regressions/` so the next run replays it first (no
+/// shrinking: the seed is the whole replay handle).
 pub struct CaseGuard {
     test_name: &'static str,
-    case: u32,
+    /// Generated case index; `None` when replaying a persisted seed (a
+    /// replay failure is already persisted — don't duplicate it).
+    case: Option<u32>,
     seed: u64,
     passed: bool,
 }
 
 impl CaseGuard {
-    /// Arm the guard for one case.
+    /// Arm the guard for one generated case.
     pub fn new(test_name: &'static str, case: u32, seed: u64) -> CaseGuard {
         CaseGuard {
             test_name,
-            case,
+            case: Some(case),
+            seed,
+            passed: false,
+        }
+    }
+
+    /// Arm the guard for the replay of a persisted seed.
+    pub fn replay(test_name: &'static str, seed: u64) -> CaseGuard {
+        CaseGuard {
+            test_name,
+            case: None,
             seed,
             passed: false,
         }
@@ -105,12 +187,69 @@ impl CaseGuard {
 
 impl Drop for CaseGuard {
     fn drop(&mut self) {
-        if !self.passed && std::thread::panicking() {
-            eprintln!(
-                "proptest shim: test `{}` failed at case {} (seed {:#x}); \
-                 set PROPTEST_SEED to replay",
-                self.test_name, self.case, self.seed
-            );
+        if self.passed || !std::thread::panicking() {
+            return;
         }
+        match self.case {
+            Some(case) => {
+                persist_failure(self.test_name, self.seed);
+                eprintln!(
+                    "proptest shim: test `{}` failed at case {case} (seed {:#x}); \
+                     seed persisted to proptest-regressions/ and will replay first",
+                    self.test_name, self.seed
+                );
+            }
+            None => eprintln!(
+                "proptest shim: test `{}` still failing on persisted seed {:#x} \
+                 (see proptest-regressions/)",
+                self.test_name, self.seed
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Single test covering the whole persistence lifecycle (one test so
+    /// the `PROPTEST_REGRESSIONS` env override is not raced by a sibling).
+    #[test]
+    fn failing_seeds_persist_dedupe_and_replay() {
+        let dir = std::env::temp_dir().join(format!("proptest-shim-regr-{}", std::process::id()));
+        std::env::set_var("PROPTEST_REGRESSIONS", &dir);
+
+        assert!(persisted_seeds("lifecycle_test").is_empty());
+
+        // A failing generated case persists its seed via the guard's drop
+        // during unwinding…
+        let boom = std::panic::catch_unwind(|| {
+            let _guard = CaseGuard::new("lifecycle_test", 3, 0xABCD);
+            panic!("injected case failure");
+        });
+        assert!(boom.is_err());
+        assert_eq!(persisted_seeds("lifecycle_test"), vec![0xABCD]);
+
+        // …deduplicated on repeat failures, ordered on new ones…
+        persist_failure("lifecycle_test", 0xABCD);
+        persist_failure("lifecycle_test", 0x1234);
+        assert_eq!(persisted_seeds("lifecycle_test"), vec![0xABCD, 0x1234]);
+
+        // …a failing *replay* does not append a duplicate…
+        let again = std::panic::catch_unwind(|| {
+            let _guard = CaseGuard::replay("lifecycle_test", 0xABCD);
+            panic!("still failing");
+        });
+        assert!(again.is_err());
+        assert_eq!(persisted_seeds("lifecycle_test"), vec![0xABCD, 0x1234]);
+
+        // …and the replay RNG reproduces the failing stream exactly.
+        let mut replayed = TestRng::from_seed(0xABCD);
+        let mut original = TestRng::from_seed(0xABCD);
+        assert_eq!(replayed.next_u64(), original.next_u64());
+        assert_eq!(replayed.seed(), 0xABCD);
+
+        std::env::remove_var("PROPTEST_REGRESSIONS");
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -345,6 +345,107 @@ mod tests {
         assert_eq!(a.quantile(0.5), 0.5);
     }
 
+    /// Deterministic LCG in `[0, 1)` (PCG-XSH constants) so the
+    /// distribution tests need no external RNG.
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (*seed >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The exact-sort oracle: nearest-rank quantile over all samples, the
+    /// definition `LatencyHistogram::quantile` matches exactly below the
+    /// streaming cap and approximates above it.
+    fn oracle(samples: &[f64], q: f64) -> f64 {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Feed `samples` through a histogram and assert p50/p99 stay within
+    /// `tol` relative error of the exact-sort oracle.
+    fn assert_tracks_oracle(samples: &[f64], tol: f64) {
+        let mut h = LatencyHistogram::new();
+        for &s in samples {
+            h.record(s);
+        }
+        assert_eq!(h.count(), samples.len() as u64);
+        for q in [0.5, 0.99] {
+            let est = h.quantile(q);
+            let exact = oracle(samples, q);
+            let rel = (est - exact).abs() / exact;
+            assert!(
+                rel < tol,
+                "q={q}: histogram {est} vs oracle {exact} (rel {rel:.4}, n={})",
+                samples.len()
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_transition_at_the_exact_cap_is_seamless() {
+        // One sample either side of the 4096-sample spill: the last fully
+        // exact count answers quantiles identically to the oracle, and the
+        // first streaming count stays within the bucket error — no cliff.
+        let cap = super::HISTOGRAM_EXACT_CAP;
+        for n in [cap - 1, cap] {
+            let samples: Vec<f64> = (1..=n).map(|i| i as f64 / n as f64).collect();
+            let mut h = LatencyHistogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            for q in [0.5, 0.99] {
+                assert_eq!(
+                    h.quantile(q),
+                    oracle(&samples, q),
+                    "n={n} must still be exact"
+                );
+            }
+        }
+        let n = cap + 1;
+        let samples: Vec<f64> = (1..=n).map(|i| i as f64 / n as f64).collect();
+        // 1/32 sub-bucket resolution plus midpoint rounding: ≤5 % relative.
+        assert_tracks_oracle(&samples, 0.05);
+    }
+
+    #[test]
+    fn histogram_bimodal_quantiles_track_the_exact_oracle() {
+        // Interactive-vs-overload shape: a fast mode near 1 ms and a slow
+        // mode near 1 s, interleaved. p50 lands inside a mode and p99 in
+        // the slow mode; both must track the oracle through the spill.
+        let mut seed = 0x5eed_cafe;
+        let n = 3 * super::HISTOGRAM_EXACT_CAP;
+        let samples: Vec<f64> = (0..n)
+            .map(|i| {
+                let jitter = 0.8 + 0.4 * lcg(&mut seed);
+                if i % 2 == 0 {
+                    1e-3 * jitter
+                } else {
+                    1.0 * jitter
+                }
+            })
+            .collect();
+        assert_tracks_oracle(&samples, 0.05);
+    }
+
+    #[test]
+    fn histogram_heavy_tail_quantiles_track_the_exact_oracle() {
+        // Pareto-ish tail (α = 1.5, three decades of spread): the
+        // log-linear buckets must hold their relative error where the mass
+        // is sparse — exactly where an overload sweep's p99 lives.
+        let mut seed = 0xdead_beef;
+        let n = 3 * super::HISTOGRAM_EXACT_CAP;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| {
+                let u = 1.0 - lcg(&mut seed); // in (0, 1]
+                1e-3 * u.powf(-1.0 / 1.5)
+            })
+            .collect();
+        assert_tracks_oracle(&samples, 0.05);
+    }
+
     #[test]
     fn histogram_streams_past_the_cap_with_bounded_error() {
         let mut h = LatencyHistogram::new();

@@ -1,0 +1,438 @@
+//! Deterministic interleaving checks for the concurrent core.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg interleave"`, where
+//! [`workshare_common::sync`] resolves the workspace's sync primitives to
+//! the model-checked `loom` shim. Each scenario runs a load-bearing
+//! protocol of the engine under **every** (bounded) thread interleaving:
+//!
+//! 1. [`LeaseRegistry`] checkout vs teardown (the engine's per-fact stage
+//!    registry): no instance torn down under a live lease, counters land in
+//!    exactly one ledger.
+//! 2. [`PendingSlot`] window drain vs concurrent submission (the fabric's
+//!    merged batching windows): every submission rides exactly one window,
+//!    and the [`WindowLedger`] depth signal balances.
+//! 3. [`FilterSpec`] staged-entry publish vs activation (the admission
+//!    publication discipline): a probing distributor never observes an
+//!    active query whose filter entries are missing.
+//! 4. [`ServiceSlots`] claim/rollback CAS pair (the bounded admission
+//!    queue): caps never overshoot, shed claims roll back exactly.
+//! 5. [`CompletionCell`] complete vs racing error-complete vs polling
+//!    waiter: exactly one completion wins and `done` never precedes the
+//!    outcome.
+//!
+//! Every faithful scenario must *exhaust* its schedule space
+//! (`report.complete`) and explore at least 1 000 distinct schedules; every
+//! deliberately broken variant (the `*Mutation` enums, compiled only under
+//! this cfg) must be caught deterministically. See docs/TESTING.md.
+
+#![cfg(interleave)]
+
+use loom::thread;
+use loom::{Builder, Report};
+
+use workshare_cjoin::publish::{FilterSpec, PublishMutation};
+use workshare_cjoin::window::{PendingSlot, WindowLedger, WindowMutation};
+use workshare_common::sync::{Arc, AtomicBool, AtomicU64, Ordering};
+use workshare_core::cell::{CellMutation, CompletionCell};
+use workshare_core::lease::{LeaseMutation, LeaseRegistry, Leased};
+use workshare_core::slots::{ServiceSlots, SlotMutation};
+
+/// The suite's preemption bound. The scenarios' full interleaving spaces
+/// run past the schedule cap (the lease scenario alone exceeds 10⁵), so we
+/// search the bounded subspace **exhaustively** instead: every schedule
+/// with at most this many involuntary context switches. That is where
+/// concurrency bugs live (all the mutation variants below are caught well
+/// inside it), and it keeps the suite's wall-clock bounded as scenarios
+/// grow. See docs/TESTING.md for how to re-tune it.
+const PREEMPTION_BOUND: usize = 3;
+
+fn explore<F>(bound: Option<usize>, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let mut b = Builder::new();
+    b.preemption_bound = bound;
+    b.max_schedules = 500_000;
+    b.check(f)
+}
+
+/// Run `f` under the suite's bounded DFS and require both exhaustion of
+/// the bounded space and the coverage floor the issue mandates.
+fn check_exhaustive<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let report = explore(Some(PREEMPTION_BOUND), f);
+    assert!(
+        report.complete,
+        "bounded schedule space must be exhausted (explored {})",
+        report.schedules
+    );
+    assert!(
+        report.schedules >= 1_000,
+        "scenario too small to be meaningful: {} schedules",
+        report.schedules
+    );
+    report
+}
+
+/// Whether the checker rejects `f` (some schedule panics). Used on the
+/// mutation variants: a `true` means the model checker would have caught
+/// the regression the mutation reintroduces.
+fn catches<F>(f: F) -> bool
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        explore(Some(PREEMPTION_BOUND), f)
+    }))
+    .is_err()
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1: stage-registry checkout vs teardown
+// ---------------------------------------------------------------------------
+
+/// Stand-in for the engine's `FactStage`: a shutdown flag and a served-work
+/// counter, both shared so the test can observe teardown from outside.
+#[derive(Clone)]
+struct FakeStage {
+    id: u64,
+    shut: Arc<AtomicBool>,
+    work: Arc<AtomicU64>,
+}
+
+#[derive(Default)]
+struct FakeRetired {
+    served: u64,
+    work: u64,
+}
+
+impl Leased for FakeStage {
+    type Retired = FakeRetired;
+    fn same(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+    fn retire_into(&self, served: u64, cell: &mut FakeRetired) {
+        cell.served += served;
+        cell.work += self.work.load(Ordering::Acquire);
+    }
+    fn shutdown(&self) {
+        self.shut.store(true, Ordering::Release);
+    }
+}
+
+/// Three leaseholders race checkout → work → release on one key (the
+/// engine shape: concurrent queries leasing the same fact stage while
+/// earlier leases tear it down). Invariants: no instance is ever shut down
+/// while a lease on it is live, and after all releases every checkout and
+/// every unit of work is visible in the retired ledger (teardown absorbed
+/// the counters before shutdown).
+fn lease_scenario(mutation: LeaseMutation) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let reg: Arc<LeaseRegistry<u32, FakeStage>> =
+            Arc::new(LeaseRegistry::with_mutation(mutation));
+        let build = |id: u64| {
+            move || FakeStage {
+                id,
+                shut: Arc::new(AtomicBool::new(false)),
+                work: Arc::new(AtomicU64::new(0)),
+            }
+        };
+        let lease_once = move |reg: &LeaseRegistry<u32, FakeStage>, id: u64| {
+            let s = reg.checkout(1, build(id));
+            s.work.fetch_add(1, Ordering::AcqRel);
+            assert!(
+                !s.shut.load(Ordering::Acquire),
+                "instance torn down under a live lease"
+            );
+            reg.release(1);
+        };
+        let ts: Vec<_> = (0..2)
+            .map(|i| {
+                let reg = Arc::clone(&reg);
+                thread::spawn(move || lease_once(&reg, i + 1))
+            })
+            .collect();
+        lease_once(&reg, 3);
+        for t in ts {
+            t.join().unwrap();
+        }
+        // Conservation: every checkout and work unit retired, no live
+        // entry leaked.
+        assert_eq!(reg.with_live(1, |_| ()), None, "live entry leaked");
+        let (served, work) = reg
+            .with_retired(1, |c| (c.served, c.work))
+            .expect("teardown must retire the counters");
+        assert_eq!(served, 3, "checkout lost in teardown churn");
+        assert_eq!(work, 3, "work absorbed after shutdown or not at all");
+    }
+}
+
+#[test]
+fn lease_checkout_vs_teardown_holds() {
+    check_exhaustive(lease_scenario(LeaseMutation::None));
+}
+
+#[test]
+fn lease_mutation_teardown_while_leased_is_caught() {
+    assert!(catches(lease_scenario(LeaseMutation::TeardownWhileLeased)));
+}
+
+#[test]
+fn lease_mutation_absorb_dropped_is_caught() {
+    assert!(catches(lease_scenario(LeaseMutation::AbsorbDropped)));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: fabric window drain vs concurrent submission
+// ---------------------------------------------------------------------------
+
+/// A window worker drains the pending set while two submitters race their
+/// pushes (each adding to the depth ledger *before* the push, as the fabric
+/// does). Invariants: every submission is drained exactly once across the
+/// racing window and the final sweep, and the ledger balances to zero.
+fn window_scenario(mutation: WindowMutation) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let slot: Arc<PendingSlot<u32>> = Arc::new(PendingSlot::with_mutation(mutation));
+        let ledger = Arc::new(WindowLedger::new(u64::MAX));
+        let drained = Arc::new(AtomicU64::new(0));
+        let submitter = {
+            let (slot, ledger) = (Arc::clone(&slot), Arc::clone(&ledger));
+            thread::spawn(move || {
+                ledger.add(1);
+                slot.push(7);
+            })
+        };
+        let window = {
+            let (slot, ledger, drained) =
+                (Arc::clone(&slot), Arc::clone(&ledger), Arc::clone(&drained));
+            thread::spawn(move || {
+                let batch = slot.drain();
+                ledger.sub(batch.len() as u64);
+                drained.fetch_add(batch.len() as u64, Ordering::AcqRel);
+            })
+        };
+        ledger.add(1);
+        slot.push(8);
+        submitter.join().unwrap();
+        window.join().unwrap();
+        // Final sweep: whatever the racing window left pending.
+        let batch = slot.drain();
+        ledger.sub(batch.len() as u64);
+        let total = drained.load(Ordering::Acquire) + batch.len() as u64;
+        assert_eq!(total, 2, "a submission was lost or drained twice");
+        assert_eq!(ledger.pending(), 0, "depth ledger out of balance");
+    }
+}
+
+#[test]
+fn window_drain_vs_submission_holds() {
+    check_exhaustive(window_scenario(WindowMutation::None));
+}
+
+#[test]
+fn window_mutation_torn_drain_is_caught() {
+    assert!(catches(window_scenario(WindowMutation::TornDrain)));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3: staged admission publish vs activation
+// ---------------------------------------------------------------------------
+
+/// Two admitters race the two-write admit (publish entries, then activate)
+/// against a probing distributor. Invariant: a probe that observes a slot
+/// active always finds its published keys — the publication discipline
+/// `admission.rs` documents against `crate::publish`.
+fn publish_scenario(mutation: PublishMutation) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let f = Arc::new(FilterSpec::with_mutation(mutation));
+        let admitters: Vec<_> = [(0u32, 10i64), (1u32, 20i64)]
+            .into_iter()
+            .map(|(slot, key)| {
+                let f = Arc::clone(&f);
+                thread::spawn(move || f.admit(slot, &[key]))
+            })
+            .collect();
+        // The distributor's view, mid-admission: active ⇒ entries present.
+        for (slot, key) in [(0u32, 10i64), (1u32, 20i64)] {
+            if let Some(hit) = f.probe_if_active(slot, key) {
+                assert!(hit, "slot {slot} active without its published key");
+            }
+        }
+        for t in admitters {
+            t.join().unwrap();
+        }
+        assert_eq!(f.probe(10), 1 << 0);
+        assert_eq!(f.probe(20), 1 << 1);
+    }
+}
+
+#[test]
+fn publish_before_activate_holds() {
+    check_exhaustive(publish_scenario(PublishMutation::None));
+}
+
+#[test]
+fn publish_mutation_activate_before_publish_is_caught() {
+    assert!(catches(publish_scenario(PublishMutation::ActivateBeforePublish)));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 4: bounded-admission claim/rollback CAS pair
+// ---------------------------------------------------------------------------
+
+/// Two tenant-0 claimants race against a tenant-1 claimant (main), with the
+/// engine cap at 2 and per-tenant caps at 1, so the tenant-cap rollback
+/// path is exercised under contention. Invariants: the engine-wide count
+/// never overshoots its cap, and every claim — admitted, shed, or rolled
+/// back — leaves the counters balanced at zero once the permits drop.
+fn slots_scenario(mutation: SlotMutation, cap: u64) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let slots = ServiceSlots::with_mutation(mutation);
+        let ts: Vec<_> = (0..2)
+            .map(|_| {
+                let slots = Arc::clone(&slots);
+                thread::spawn(move || {
+                    let permit = slots.try_claim(cap, 0, 1);
+                    assert!(
+                        slots.outstanding() <= cap,
+                        "engine-wide cap overshot: {} > {cap}",
+                        slots.outstanding()
+                    );
+                    drop(permit);
+                })
+            })
+            .collect();
+        let permit = slots.try_claim(cap, 1, 1);
+        assert!(slots.outstanding() <= cap, "engine-wide cap overshot");
+        drop(permit);
+        for t in ts {
+            t.join().unwrap();
+        }
+        assert_eq!(slots.outstanding(), 0, "engine slot leaked");
+        assert_eq!(slots.tenant_outstanding(0), 0, "tenant 0 slot leaked");
+        assert_eq!(slots.tenant_outstanding(1), 0, "tenant 1 slot leaked");
+    }
+}
+
+#[test]
+fn slot_claim_rollback_holds() {
+    check_exhaustive(slots_scenario(SlotMutation::None, 2));
+}
+
+#[test]
+fn slot_mutation_leak_on_tenant_full_is_caught() {
+    assert!(catches(slots_scenario(SlotMutation::LeakOnTenantFull, 2)));
+}
+
+#[test]
+fn slot_mutation_blind_increment_is_caught() {
+    // Cap 1 with two racing claimants: the blind fetch_add transiently
+    // drives the engine-wide count to 2 before its rollback, which the
+    // concurrent cap observers must flag.
+    assert!(catches(slots_scenario(SlotMutation::BlindIncrement, 1)));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 5: completion cell vs racing error path vs waiter
+// ---------------------------------------------------------------------------
+
+/// A completing producer races a poisoning error path (the completion
+/// guard's drop shape) while the waiter polls. Invariants: exactly one
+/// completion wins, the final outcome is the winner's, and a waiter that
+/// observes `done` always finds a published outcome (`try_outcome` panics
+/// on a claimed-but-empty cell — the detector).
+fn cell_scenario(mutation: CellMutation) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let cell: Arc<CompletionCell<u64>> = Arc::new(CompletionCell::with_mutation(mutation));
+        let producer = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || cell.complete(7))
+        };
+        let guard = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || cell.complete_error("producer abandoned the result slot"))
+        };
+        // Polling waiter: done ⇒ outcome published (try_outcome panics on
+        // the broken ordering).
+        if let Some(outcome) = cell.try_outcome() {
+            match outcome {
+                Ok(v) => assert_eq!(v, 7),
+                Err(e) => assert_eq!(e, "producer abandoned the result slot"),
+            }
+        }
+        let value_won = producer.join().unwrap();
+        let error_won = guard.join().unwrap();
+        assert_eq!(
+            value_won as u32 + error_won as u32,
+            1,
+            "exactly one completion must win the cell"
+        );
+        let outcome = cell.try_outcome().expect("cell done after both completers");
+        assert_eq!(
+            outcome.is_ok(),
+            value_won,
+            "final outcome must be the winner's"
+        );
+    }
+}
+
+#[test]
+fn completion_race_holds() {
+    check_exhaustive(cell_scenario(CellMutation::None));
+}
+
+#[test]
+fn cell_mutation_flag_before_value_is_caught() {
+    assert!(catches(cell_scenario(CellMutation::FlagBeforeValue)));
+}
+
+#[test]
+fn cell_mutation_blind_error_overwrite_is_caught() {
+    assert!(catches(cell_scenario(CellMutation::BlindErrorOverwrite)));
+}
+
+// ---------------------------------------------------------------------------
+// Cross-cutting checks
+// ---------------------------------------------------------------------------
+
+#[test]
+fn preemption_bound_shrinks_the_search() {
+    // The bound is what keeps the suite's wall-clock in check as scenarios
+    // grow: each extra allowed preemption widens the explored subspace
+    // strictly, so bound N is a strict subset of bound N+1 on the same
+    // scenario — and the bugs (the mutation variants above) already
+    // surface at the suite's bound.
+    let tighter = explore(Some(1), slots_scenario(SlotMutation::None, 2));
+    let wider = explore(Some(2), slots_scenario(SlotMutation::None, 2));
+    assert!(tighter.complete && wider.complete);
+    assert!(
+        tighter.schedules < wider.schedules,
+        "bound must prune ({} vs {})",
+        tighter.schedules,
+        wider.schedules
+    );
+}
+
+#[test]
+fn production_types_degrade_outside_the_model() {
+    // The same protocol objects must behave as plain concurrent types when
+    // no model is active: the `--cfg interleave` build of the whole
+    // workspace still runs its ordinary tests.
+    let slots = ServiceSlots::new();
+    let ts: Vec<_> = (0..4)
+        .map(|i| {
+            let slots = Arc::clone(&slots);
+            std::thread::spawn(move || {
+                let permit = slots.try_claim(2, i % 2, 2);
+                let claimed = permit.is_some();
+                drop(permit);
+                claimed
+            })
+        })
+        .collect();
+    let claims = ts.into_iter().filter_map(|t| t.join().unwrap().then_some(())).count();
+    assert!(claims >= 2, "cap 2 admits at least two of four");
+    assert_eq!(slots.outstanding(), 0);
+}

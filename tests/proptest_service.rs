@@ -33,11 +33,14 @@ proptest! {
         fabric in proptest::bool::ANY,
         inject_errors in proptest::bool::ANY,
         stride in 2u64..5,
+        inject_panics in proptest::bool::ANY,
+        panic_stride in 3u64..6,
         seed in 0u64..1000,
     ) {
         let open_rate = open_loop.then_some(rate);
         let queue_cap = capped.then_some(cap);
         let err_stride = inject_errors.then_some(stride);
+        let fault_panic_stride = inject_panics.then_some(panic_stride);
         let mut cfg = RunConfig::governed(ExecPolicy::Adaptive);
         cfg.admission_fabric = fabric;
         cfg.service = ServiceConfig {
@@ -45,6 +48,9 @@ proptest! {
             // Tight enough that the predicted latency sheds some (often
             // all) submissions at SF 0.05, loose enough to stay non-zero.
             deadline_secs: tight_deadline.then_some(0.002),
+            // Mid-execution worker panics: the completion guard must turn
+            // them into error outcomes, never lost queries or deadlock.
+            fault_panic_stride,
             ..ServiceConfig::default()
         };
         let load = ServiceLoad {
@@ -104,9 +110,9 @@ proptest! {
                 "{rep:?}"
             );
         }
-        // Injected bind errors only ever produce error outcomes; without
-        // injection the workload is error-free.
-        if err_stride.is_none() {
+        // Injected bind errors and worker panics only ever produce error
+        // outcomes; without injection the workload is error-free.
+        if err_stride.is_none() && fault_panic_stride.is_none() {
             prop_assert_eq!(rep.errors, 0, "{rep:?}");
         }
         // Latency percentiles exist whenever something completed in-window.
@@ -114,5 +120,42 @@ proptest! {
             prop_assert!(rep.p50_latency_secs > 0.0);
             prop_assert!(rep.p50_latency_secs <= rep.p99_latency_secs);
         }
+    }
+}
+
+/// Deterministic companion to the property above: force the shared path
+/// (every admitted query executes a worker closure with the injected
+/// panic), and require that stride-3 faults really fire, surface as typed
+/// error outcomes, and leave the report conserved — the completion guard
+/// poisons the abandoned slot and the queue permit is released by its RAII
+/// drop, so a panicking worker can neither lose a query nor wedge the
+/// admission queue.
+#[test]
+fn injected_worker_panics_surface_as_errors_and_conserve() {
+    let mut cfg = RunConfig::governed(ExecPolicy::Shared);
+    cfg.service = ServiceConfig {
+        fault_panic_stride: Some(3),
+        ..ServiceConfig::default()
+    };
+    let load = ServiceLoad {
+        clients: 3,
+        arrivals_per_sec: None,
+        tenants: 2,
+        window_secs: 0.25,
+        seed: 7,
+    };
+    let rep = run_service(ssb(), &cfg, "lineorder", load, |id, rng| {
+        workload::ssb_q3_2(id, rng)
+    });
+    assert!(rep.is_conserved(), "{rep:?}");
+    assert!(rep.submitted > 0 && rep.completed > 0, "{rep:?}");
+    assert!(rep.errors > 0, "stride-3 faults must have fired: {rep:?}");
+    for row in &rep.tenants {
+        assert_eq!(
+            row.submitted,
+            row.completed + row.shed + row.errors,
+            "tenant {} unbalanced: {row:?}",
+            row.tenant
+        );
     }
 }
