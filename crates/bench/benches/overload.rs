@@ -38,9 +38,17 @@
 //!   step keeps ≥ 90 % of the previous), and at the top rate it beats the
 //!   unbounded baseline's, whose p99 has diverged past the bound the
 //!   service loop is holding.
+//!
+//! A second, **faulted** gate (see docs/FAULTS.md) runs the shared fabric
+//! path under a seeded [`FaultPlan`] — transient page faults plus a wedging
+//! fabric worker — and checks that the self-healing ladder (storage
+//! retry/backoff, dark-fabric demotion, reclaim + respawn) keeps goodput
+//! alive and admitted-query p99 within 3× the fault-free run, while a
+//! no-recovery baseline under the same storage schedule degrades into typed
+//! per-query errors and loses goodput.
 
 use workshare_core::harness::{run_service, ServiceLoad, ThroughputReport};
-use workshare_core::{workload, Dataset, ExecPolicy, RunConfig, ServiceConfig};
+use workshare_core::{workload, Dataset, ExecPolicy, FaultPlan, RunConfig, ServiceConfig};
 
 /// Queue-depth cap of the bounded side: enough concurrency to keep the
 /// shared path busy at saturation, small enough that queueing delay alone
@@ -61,6 +69,27 @@ fn service_run(dataset: &Dataset, service: ServiceConfig, rate: Option<f64>) -> 
     let load = ServiceLoad {
         clients: CLIENTS,
         arrivals_per_sec: rate,
+        tenants: 1,
+        window_secs: WINDOW_SECS,
+        seed: 77,
+    };
+    run_service(dataset, &cfg, "lineorder", load, |id, rng| {
+        workload::ssb_q3_2_wide(id, rng, 12, 12)
+    })
+}
+
+/// Closed-loop run over the shared fabric path with a seeded fault plan:
+/// the faulted-overload gate pins the policy to `Shared` so every query
+/// rides the admission fabric the plan is targeting.
+fn faulted_run(dataset: &Dataset, faults: FaultPlan, service: ServiceConfig) -> ThroughputReport {
+    let mut cfg = RunConfig::governed(ExecPolicy::Shared);
+    cfg.cores = CORES;
+    cfg.admission_fabric = true;
+    cfg.faults = faults;
+    cfg.service = service;
+    let load = ServiceLoad {
+        clients: CLIENTS,
+        arrivals_per_sec: None,
         tenants: 1,
         window_secs: WINDOW_SECS,
         seed: 77,
@@ -190,6 +219,92 @@ fn main() {
     } else {
         failures.push("sweep never passed saturation".into());
     }
+
+    // ---- Faulted overload gate: seeded faults over the fabric path. ----
+    let fabric_service = ServiceConfig {
+        queue_cap: Some(QUEUE_CAP),
+        ..ServiceConfig::default()
+    };
+    // Fault-free reference over the identical configuration: the yardstick
+    // the healed run's p99 is gated against.
+    let clean = faulted_run(&dataset, FaultPlan::default(), fabric_service);
+    conserved(&mut failures, "fault-free reference", &clean);
+    // Healed: transient page faults retried with backoff, and a fabric
+    // worker that wedges after two windows — recovered by the health
+    // monitor's demote → reclaim → respawn cycle.
+    let healed = faulted_run(
+        &dataset,
+        FaultPlan {
+            seed: 1337,
+            transient_page_stride: Some(9),
+            fabric_wedge_after: Some(2),
+            self_heal: true,
+            ..FaultPlan::default()
+        },
+        fabric_service,
+    );
+    conserved(&mut failures, "faulted healed", &healed);
+    // No-recovery baseline: the same storage schedule with healing off
+    // turns every injected fault into a first-attempt typed error. The
+    // wedge site stays unarmed here — a wedged fabric with no monitor
+    // holds its queued work forever by design.
+    let baseline = faulted_run(
+        &dataset,
+        FaultPlan {
+            seed: 1337,
+            transient_page_stride: Some(9),
+            self_heal: false,
+            ..FaultPlan::default()
+        },
+        fabric_service,
+    );
+    conserved(&mut failures, "faulted no-recovery baseline", &baseline);
+
+    let h = &healed.health;
+    println!(
+        "{{\"bench\":\"overload/faulted\",\"clean_p99\":{:.6},\"healed_p99\":{:.6},\"healed_goodput\":{:.1},\"baseline_goodput\":{:.1},\"baseline_errors\":{},\"retries\":{},\"wedges\":{},\"demotions\":{},\"respawns\":{},\"rung\":{}}}",
+        clean.p99_latency_secs,
+        healed.p99_latency_secs,
+        healed.goodput_per_hour,
+        baseline.goodput_per_hour,
+        baseline.errors,
+        h.storage.retries,
+        h.admission.injected_wedges,
+        h.admission.demotions,
+        h.admission.fabric_respawns,
+        h.admission.rung,
+    );
+    if healed.completed + healed.completed_late == 0 {
+        failures.push("healed run produced no goodput".into());
+    }
+    if healed.p99_latency_secs > 3.0 * clean.p99_latency_secs {
+        failures.push(format!(
+            "healed p99 {:.4}s exceeds 3x fault-free p99 {:.4}s",
+            healed.p99_latency_secs, clean.p99_latency_secs
+        ));
+    }
+    if h.storage.retries == 0 {
+        failures.push("healed run recorded no transient retries".into());
+    }
+    if h.admission.injected_wedges == 0 {
+        failures.push("fabric worker never wedged under the plan".into());
+    }
+    if h.admission.demotions == 0 {
+        failures.push("dark fabric never demoted the ladder".into());
+    }
+    if h.admission.fabric_respawns == 0 {
+        failures.push("monitor never respawned the wedged worker".into());
+    }
+    if baseline.errors == 0 {
+        failures.push("no-recovery baseline surfaced no errors".into());
+    }
+    if baseline.goodput_per_hour >= healed.goodput_per_hour {
+        failures.push(format!(
+            "no-recovery goodput {:.1}/h not below healed {:.1}/h",
+            baseline.goodput_per_hour, healed.goodput_per_hour
+        ));
+    }
+
     if !failures.is_empty() {
         for f in &failures {
             eprintln!("FAIL: {f}");

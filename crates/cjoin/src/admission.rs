@@ -26,17 +26,21 @@
 // atomics for model-checked ones (see `workshare_common::sync`).
 use workshare_common::sync::{Arc, AtomicU64, Ordering};
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use workshare_common::fxhash::FxHashMap;
 use workshare_common::value::Row;
 use workshare_common::{BitmapBank, Predicate, QueryBitmap, SelVec};
 
 use workshare_sim::{CostKind, SimCtx};
-use workshare_storage::TableId;
+use workshare_storage::{StorageError, TableId};
 
 use crate::filter::DimEntry;
+use crate::health::{SITE_SCAN_PANIC, SITE_SCAN_STALL};
 use crate::stage::{
-    activate_query, alloc_slot, locate_filter, Admission, StageInner,
+    activate_query, alloc_slot, locate_filter, release_slot, Admission, StageInner,
 };
+use crate::window::ScanAttempt;
 
 /// One pending query's participation in a shared admission scan.
 pub(crate) struct LocalPart {
@@ -215,14 +219,45 @@ pub(crate) fn build_units(prepared: &[PreparedBatch]) -> Vec<ScanUnit> {
 /// stage's `admission_dim_pages` on the per-stage pool path. The logical
 /// per-query volume (`admission_dim_rows`) is always attributed per stage
 /// and is batching-invariant.
+///
+/// **Fault sites** (armed via [`crate::CjoinFaultPlan`], default off):
+/// with `inject` true the unit may stall or panic before scanning, and page
+/// reads go through the storage layer's fault-aware
+/// [`try_read_page`](workshare_storage::StorageManager::try_read_page),
+/// surfacing typed [`StorageError`]s to the caller.
+///
+/// **Re-dispatch claim**: with an `attempt` handle (the fabric's straggler
+/// supervision), every side effect visible outside this call — EWMA folds,
+/// page/row counters, filter-entry merges — happens only after winning the
+/// [`ScanAttempt::try_claim`] race, so a straggler and its re-dispatched
+/// replacement publish exactly once between them (the protocol
+/// model-checked by `tests/interleave_core.rs`).
 pub(crate) fn run_scan_unit(
     ctx: &SimCtx,
     stages: &[&StageInner],
     unit: &ScanUnit,
     fabric_pages: Option<&AtomicU64>,
     pages: Option<(usize, usize)>,
-) {
+    attempt: Option<&ScanAttempt>,
+    inject: bool,
+) -> Result<(), StorageError> {
     let primary = stages[unit.parts[0].stage_idx];
+    let plan = &primary.config.faults;
+    if inject && plan.is_armed() {
+        let tick = primary.scan_tick();
+        if plan.fires(SITE_SCAN_PANIC, plan.scan_panic_stride, tick) {
+            if let Some(h) = &primary.health {
+                h.count_panic();
+            }
+            panic!("injected fault: scan unit over {:?} panicked", unit.dim);
+        }
+        if plan.fires(SITE_SCAN_STALL, plan.scan_stall_stride, tick) {
+            if let Some(h) = &primary.health {
+                h.count_stall();
+            }
+            ctx.sleep(plan.scan_stall_ns);
+        }
+    }
     let dim_schema = primary.storage.schema(unit.dim);
     let stream = primary.storage.new_stream();
     let (page_lo, page_hi) =
@@ -239,10 +274,16 @@ pub(crate) fn run_scan_unit(
     let mut buckets: Vec<((usize, usize), StagedEntries)> = Vec::new();
     let mut bucket_of: FxHashMap<(usize, usize), usize> = FxHashMap::default();
     let mut rows_scanned = 0u64;
+    let mut pages_read = 0u64;
+    // Selectivity samples staged per (stage, sample): folded into the
+    // per-dimension EWMAs only at publish time, behind the claim, so a
+    // re-dispatched straggler never double-folds the governor signal.
+    let mut sel_samples: Vec<(usize, f64)> = Vec::new();
     for p in page_lo..page_hi {
-        let page = primary.storage.read_page(ctx, unit.dim, p, stream);
+        let page = primary.storage.try_read_page(ctx, unit.dim, p, stream)?;
         let rows = page.decode_all(&dim_schema);
         rows_scanned += rows.len() as u64;
+        pages_read += 1;
         // The page is decoded/hashed once for however many stages and
         // pending queries share it; each query pays only its predicate
         // evaluation at the batch rate.
@@ -252,21 +293,12 @@ pub(crate) fn run_scan_unit(
         );
         Predicate::eval_batch_multi(&preds, &rows, &mut bank, &mut scratch, &mut hits);
         if !rows.is_empty() {
-            // Per-(page, query) selectivity signal, folded into the
-            // per-dimension EWMA of the part's own stage (as in the serial
-            // path).
+            // Per-(page, query) selectivity signal for the per-dimension
+            // EWMA of the part's own stage (as in the serial path).
             for (q, part) in unit.parts.iter().enumerate() {
-                fold_dim_selectivity(
-                    stages[part.stage_idx],
-                    unit.dim,
-                    hits[q] as f64 / rows.len() as f64,
-                );
+                sel_samples.push((part.stage_idx, hits[q] as f64 / rows.len() as f64));
             }
         }
-        match fabric_pages {
-            Some(counter) => counter.fetch_add(1, Ordering::Relaxed),
-            None => primary.admission_dim_pages.fetch_add(1, Ordering::Relaxed),
-        };
         for (i, row) in rows.into_iter().enumerate() {
             if !bank.row_any(i) {
                 continue;
@@ -295,6 +327,25 @@ pub(crate) fn run_scan_unit(
             }
         }
     }
+    // ---- publish: everything below is externally visible ----
+    // Under fabric supervision both the original attempt and a straggler
+    // re-dispatch may reach this point; the single-CAS claim picks exactly
+    // one publisher. The loser's staged entries are discarded wholesale —
+    // the scan above only read pages and charged costs.
+    if let Some(att) = attempt {
+        if !att.try_claim() {
+            return Ok(());
+        }
+    }
+    for (si, sample) in sel_samples {
+        fold_dim_selectivity(stages[si], unit.dim, sample);
+    }
+    match fabric_pages {
+        Some(counter) => counter.fetch_add(pages_read, Ordering::Relaxed),
+        None => primary
+            .admission_dim_pages
+            .fetch_add(pages_read, Ordering::Relaxed),
+    };
     // Logical per-query scan volume, attributed per stage: each of a
     // stage's parts evaluated every row of the dimension.
     let mut parts_per_stage = vec![0u64; stages.len()];
@@ -333,6 +384,10 @@ pub(crate) fn run_scan_unit(
             }
         }
     }
+    if let Some(att) = attempt {
+        att.mark_done();
+    }
+    Ok(())
 }
 
 /// Phase 3: activate the whole batch — build each query's sink/runtime and
@@ -373,10 +428,55 @@ pub(crate) fn activate_batch(inner: &StageInner, prepared: PreparedBatch) {
 pub(crate) fn admit_batch_shared(inner: &StageInner, ctx: &SimCtx, pending: Vec<Admission>) {
     let prepared = prepare_batch(inner, ctx, pending);
     let units = build_units(std::slice::from_ref(&prepared));
+    let mut failure: Option<String> = None;
     for unit in &units {
-        run_scan_unit(ctx, &[inner], unit, None, None);
+        // With faults armed, an injected scan-unit panic is caught here and
+        // downgraded to a failed batch with typed per-query errors; with
+        // faults off the legacy propagate-and-crash semantics are kept so a
+        // genuine bug still fails loudly.
+        let outcome = if inner.config.faults.is_armed() {
+            match catch_unwind(AssertUnwindSafe(|| {
+                run_scan_unit(ctx, &[inner], unit, None, None, None, true)
+            })) {
+                Ok(r) => r.map_err(|e| e.to_string()),
+                Err(_) => Err("admission scan unit panicked".to_string()),
+            }
+        } else {
+            run_scan_unit(ctx, &[inner], unit, None, None, None, true)
+                .map_err(|e| e.to_string())
+        };
+        if let Err(msg) = outcome {
+            failure = Some(msg);
+            break;
+        }
     }
-    activate_batch(inner, prepared);
+    match failure {
+        None => activate_batch(inner, prepared),
+        Some(msg) => fail_batch(inner, prepared, &msg),
+    }
+}
+
+/// Roll back a prepared-but-unactivatable batch and surface one typed error
+/// per pending query. Mirrors `finalize_query`'s GQP cleanup for slots that
+/// never activated: clear the slot's bit from every filter (`referencing`
+/// and entry bitmaps, dropping entries that go empty), release the slot,
+/// drop the SP-registry host entry, and fail each query's sink so waiters
+/// wake with an error outcome instead of hanging — a faulted admission is
+/// an *error*, never an abort or a stuck ticket.
+pub(crate) fn fail_batch(inner: &StageInner, prepared: PreparedBatch, msg: &str) {
+    let PreparedBatch { pending, slots, .. } = prepared;
+    {
+        let mut s = inner.state.write();
+        for &slot in &slots {
+            release_slot(&mut s, slot);
+        }
+    }
+    if let Some(h) = &inner.health {
+        h.count_batch_failed(pending.len() as u64);
+    }
+    for adm in &pending {
+        adm.fail(inner, msg);
+    }
 }
 
 /// The retained **serial** admission path (the seed's semantics, kept as
@@ -401,7 +501,11 @@ pub(crate) fn admit_batch_serial(inner: &StageInner, ctx: &SimCtx, pending: Vec<
             alloc_slot(&mut s)
         };
         let mut dim_filters = Vec::with_capacity(q.dims.len());
-        for (k, dj) in q.dims.iter().enumerate() {
+        // A typed storage fault mid-scan fails *this* query (the serial
+        // path's blast radius is one query): its partial filter
+        // registration is rolled back and the error surfaces on its sink.
+        let mut failed: Option<String> = None;
+        'dims: for (k, dj) in q.dims.iter().enumerate() {
             let dim_t = inner.storage.table(&dj.dim);
             let dim_schema = inner.storage.schema(dim_t);
             let fact_schema = inner.storage.schema(inner.fact);
@@ -425,7 +529,13 @@ pub(crate) fn admit_batch_serial(inner: &StageInner, ctx: &SimCtx, pending: Vec<
             let mut sel = SelVec::new();
             let mut staged: Vec<(i64, Row)> = Vec::new();
             for p in 0..npages {
-                let page = inner.storage.read_page(ctx, dim_t, p, stream);
+                let page = match inner.storage.try_read_page(ctx, dim_t, p, stream) {
+                    Ok(page) => page,
+                    Err(e) => {
+                        failed = Some(e.to_string());
+                        break 'dims;
+                    }
+                };
                 let rows = page.decode_all(&dim_schema);
                 scanned += rows.len() as u64;
                 // Decode + per-row hash/bit work, then batch-evaluated like
@@ -472,6 +582,17 @@ pub(crate) fn admit_batch_serial(inner: &StageInner, ctx: &SimCtx, pending: Vec<
                 }
             }
             dim_filters.push((fi, adm.bound.dim_payload_idx[k].clone()));
+        }
+        if let Some(msg) = failed {
+            {
+                let mut s = inner.state.write();
+                release_slot(&mut s, slot);
+            }
+            if let Some(h) = &inner.health {
+                h.count_batch_failed(1);
+            }
+            adm.fail(inner, &msg);
+            continue;
         }
         activate_query(inner, &adm, slot, dim_filters);
         inner.admitted.fetch_add(1, Ordering::Relaxed);

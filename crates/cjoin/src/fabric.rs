@@ -28,20 +28,31 @@ use workshare_common::fxhash::FxHashMap;
 // Concurrent-core primitives come through the swappable sync layer so the
 // `--cfg interleave` build model-checks this module's protocols (see
 // `workshare_common::sync` and docs/TESTING.md).
-use workshare_common::sync::{Arc, AtomicU64, Ordering};
-use workshare_sim::{Machine, SimCtx, SimQueue};
+use workshare_common::sync::{Arc, AtomicBool, AtomicU64, Mutex, Ordering};
+use workshare_sim::{Machine, SimCtx, SimQueue, WaitSet};
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use crate::admission::{
-    activate_batch, build_units, prepare_batch, run_scan_unit, PreparedBatch, ScanUnit,
+    activate_batch, build_units, fail_batch, prepare_batch, run_scan_unit, PreparedBatch,
+    ScanUnit,
 };
+use crate::health::{AdmissionHealth, CjoinFaultPlan};
 use crate::stage::{Admission, CjoinStage, StageInner, ADMISSION_BATCH_WINDOW_NS};
-use crate::window::WindowLedger;
+use crate::window::{ScanAttempt, WindowLedger};
 
 /// Page-range partitions a batching window splits each scan unit into (when
 /// the dimension spans that many pages): the admission latency of a merged
 /// window is bounded by the slowest partition, keeping the fabric's
 /// activation barrier no taller than the per-stage pools it replaces.
 const UNIT_SCAN_PARALLELISM: usize = 4;
+
+/// Virtual deadline a supervised window gives its subscans before
+/// re-dispatching stragglers. Comfortably above a healthy dimension
+/// subscan, comfortably below the default injected stall
+/// ([`CjoinFaultPlan::scan_stall_ns`]), so a stalled subscan is overtaken
+/// by its replacement instead of gating the window on the stall.
+pub const UNIT_REDISPATCH_DEADLINE_NS: f64 = 4_000_000.0;
 
 /// One stage's pending-admission snapshot, queued on the fabric.
 pub(crate) struct FabricRequest {
@@ -83,6 +94,38 @@ struct FabricInner {
     cross_stage_batches: AtomicU64,
     merged_requests: AtomicU64,
     admission_dim_pages: AtomicU64,
+    /// The machine the workers run on, kept so the health monitor can
+    /// spawn replacement workers ([`AdmissionFabric::respawn_worker`]).
+    machine: Machine,
+    /// Seeded fault schedule for the fabric's own sites (worker wedges).
+    faults: CjoinFaultPlan,
+    /// Shared admission-health state; `Some` turns on window supervision
+    /// (subscan deadlines + straggler re-dispatch) and fault accounting.
+    health: Option<Arc<AdmissionHealth>>,
+    /// Batching windows processed across all workers — the wedge site's
+    /// injection tick.
+    windows: AtomicU64,
+    /// Latch making the injected wedge fire at most once per fabric
+    /// lifetime (a respawned replacement worker must not re-wedge).
+    wedge_fired: AtomicBool,
+    /// Raised by [`AdmissionFabric::shutdown`]; wakes wedged workers so
+    /// their carrier threads exit.
+    stop: AtomicBool,
+    /// Parking lot for wedged workers, notified on shutdown.
+    cancel: WaitSet,
+}
+
+impl FabricInner {
+    /// Whether this worker should wedge now (injected fault, fires once).
+    fn wedge_due(&self) -> bool {
+        let Some(n) = self.faults.wedge_after_windows else {
+            return false;
+        };
+        if self.windows.load(Ordering::Relaxed) < n {
+            return false;
+        }
+        !self.wedge_fired.swap(true, Ordering::Relaxed)
+    }
 }
 
 /// Engine-level cross-stage admission worker pool. Cheap to clone; one per
@@ -107,6 +150,24 @@ impl AdmissionFabric {
     /// [`AdmissionFabric::has_capacity`] turns false and the service layer
     /// sheds further submissions instead of enqueueing them forever.
     pub fn with_capacity(machine: &Machine, n_workers: usize, capacity: u64) -> AdmissionFabric {
+        Self::with_recovery(machine, n_workers, capacity, CjoinFaultPlan::default(), None)
+    }
+
+    /// Full-plumbing constructor: [`AdmissionFabric::with_capacity`] plus a
+    /// seeded fault plan (worker-wedge site) and an optional shared
+    /// [`AdmissionHealth`]. With a health handle every window runs under
+    /// **supervision**: subscans get a virtual deadline
+    /// ([`UNIT_REDISPATCH_DEADLINE_NS`]); a straggler (stalled, panicked,
+    /// or wedged-behind) is re-dispatched idempotently through the
+    /// [`ScanAttempt`] claim protocol, and typed storage errors fail the
+    /// window's batches instead of killing the worker.
+    pub fn with_recovery(
+        machine: &Machine,
+        n_workers: usize,
+        capacity: u64,
+        faults: CjoinFaultPlan,
+        health: Option<Arc<AdmissionHealth>>,
+    ) -> AdmissionFabric {
         let fabric = AdmissionFabric {
             inner: Arc::new(FabricInner {
                 queue: SimQueue::unbounded(machine),
@@ -115,6 +176,13 @@ impl AdmissionFabric {
                 cross_stage_batches: AtomicU64::new(0),
                 merged_requests: AtomicU64::new(0),
                 admission_dim_pages: AtomicU64::new(0),
+                machine: machine.clone(),
+                faults,
+                health,
+                windows: AtomicU64::new(0),
+                wedge_fired: AtomicBool::new(false),
+                stop: AtomicBool::new(false),
+                cancel: WaitSet::new(machine),
             }),
         };
         for w in 0..n_workers.max(1) {
@@ -149,9 +217,54 @@ impl AdmissionFabric {
 
     /// Stop the fabric workers (engine shutdown). Stages outlive their
     /// requests; tearing a stage down with a request in flight is benign
-    /// (stage shutdown is cooperative).
+    /// (stage shutdown is cooperative). Wedged workers are woken so their
+    /// carrier threads exit.
     pub fn shutdown(&self) {
+        self.inner.stop.store(true, Ordering::Release);
         self.inner.queue.close();
+        self.inner.cancel.notify_all();
+    }
+
+    /// Spawn a replacement admission worker (the health monitor's answer to
+    /// an observed wedge). The replacement shares the fabric's wedge latch,
+    /// so it never re-fires the injected wedge.
+    pub fn respawn_worker(&self) {
+        let idx = 1000 + self.inner.windows.load(Ordering::Relaxed) as usize;
+        let machine = self.inner.machine.clone();
+        self.spawn_worker(&machine, idx);
+        if let Some(h) = &self.inner.health {
+            h.count_respawn();
+        }
+    }
+
+    /// Drain every request still queued on the fabric and push each back
+    /// onto its owning stage's pending set, waking the stage — the health
+    /// monitor calls this on a ladder demotion so work held by a wedged
+    /// (dark) fabric re-routes through the pool/serial path instead of
+    /// waiting forever. Returns the number of queries requeued.
+    pub fn reclaim(&self) -> u64 {
+        let mut n = 0u64;
+        while let Some(req) = self.inner.queue.try_pop() {
+            let count = req.pending.len() as u64;
+            self.inner.ledger.sub(count);
+            n += count;
+            req.stage.inner.pending.extend(req.pending);
+            req.stage.inner.wake.notify_all();
+        }
+        if n > 0 {
+            if let Some(h) = &self.inner.health {
+                h.count_requeued(n);
+            }
+        }
+        n
+    }
+
+    /// Batching windows processed across all workers. A health monitor
+    /// watching this against [`AdmissionFabric::pending_queries`] can tell
+    /// a busy fabric from a wedged one: pending work with no window
+    /// progress means the pool is dark.
+    pub fn windows_processed(&self) -> u64 {
+        self.inner.windows.load(Ordering::Relaxed)
     }
 
     /// Queue one stage's pending snapshot. Returns `false` when the fabric
@@ -174,7 +287,21 @@ impl AdmissionFabric {
         machine
             .clone()
             .spawn(&format!("admission-fabric-{idx}"), move |ctx| {
-                while let Some(req) = inner.queue.pop() {
+                loop {
+                    // Injected wedge site: checked *before* popping, so a
+                    // wedging worker never takes a request down with it —
+                    // everything it would have served stays on the queue,
+                    // reclaimable by the health monitor.
+                    if inner.wedge_due() {
+                        if let Some(h) = &inner.health {
+                            h.count_wedge();
+                        }
+                        inner
+                            .cancel
+                            .wait_until(|| inner.stop.load(Ordering::Acquire));
+                        return;
+                    }
+                    let Some(req) = inner.queue.pop() else { return };
                     // Short virtual batching window, then merge every
                     // request visible at that instant — from any stage —
                     // plus submissions still sitting in the involved
@@ -192,6 +319,7 @@ impl AdmissionFabric {
                         reqs.iter().map(|r| r.pending.len() as u64).sum();
                     process_window(&inner, ctx, reqs, idx);
                     inner.ledger.sub(counted);
+                    inner.windows.fetch_add(1, Ordering::Relaxed);
                 }
             });
     }
@@ -266,7 +394,9 @@ fn process_window(
                 .collect::<Vec<_>>()
         })
         .collect();
-    if tasks.len() == 1 {
+    let scan_result: Result<(), String> = if let Some(health) = fabric.health.clone() {
+        supervise_subscans(fabric, &stages, tasks, worker_idx, &health)
+    } else if tasks.len() == 1 {
         let inners: Vec<&StageInner> = stages.iter().map(|s| &*s.inner).collect();
         run_scan_unit(
             ctx,
@@ -274,7 +404,10 @@ fn process_window(
             &tasks[0].0,
             Some(&fabric.admission_dim_pages),
             Some(tasks[0].1),
-        );
+            None,
+            true,
+        )
+        .map_err(|e| e.to_string())
     } else {
         let machine = stages[0].inner.machine.clone();
         let handles: Vec<_> = tasks
@@ -294,23 +427,220 @@ fn process_window(
                             &unit,
                             Some(&fabric.admission_dim_pages),
                             Some(range),
-                        );
+                            None,
+                            true,
+                        )
                     },
                 )
             })
             .collect();
+        let mut failure = None;
         for h in handles {
-            h.join().expect("fabric scan subunit panicked");
+            if let Err(e) = h.join().expect("fabric scan subunit panicked") {
+                failure.get_or_insert(e.to_string());
+            }
         }
-    }
-    for (stage, prep) in stages.iter().zip(prepared) {
-        activate_batch(&stage.inner, prep);
-        // The stage's preprocessor may be parked waiting for an active
-        // query; the batch just activated.
-        stage.inner.wake.notify_all();
+        match failure {
+            None => Ok(()),
+            Some(msg) => Err(msg),
+        }
+    };
+    match scan_result {
+        Ok(()) => {
+            for (stage, prep) in stages.iter().zip(prepared) {
+                activate_batch(&stage.inner, prep);
+                // The stage's preprocessor may be parked waiting for an
+                // active query; the batch just activated.
+                stage.inner.wake.notify_all();
+            }
+        }
+        Err(msg) => {
+            // A typed, unrecoverable scan failure fails every batch in the
+            // window with per-query errors — the window never activates
+            // partially-seeded filters, and no submitter hangs.
+            for (stage, prep) in stages.iter().zip(prepared) {
+                fail_batch(&stage.inner, prep, &msg);
+                stage.inner.wake.notify_all();
+            }
+        }
     }
     fabric.batches.fetch_add(1, Ordering::Relaxed);
     if stages.len() > 1 {
         fabric.cross_stage_batches.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One supervised subscan task: the shared claim/done handle, the fatal
+/// (typed storage) error slot, and the recoverable-death flag an injected
+/// panic sets.
+struct SubscanTask {
+    unit: Arc<ScanUnit>,
+    range: (usize, usize),
+    attempt: Arc<ScanAttempt>,
+    err: Arc<Mutex<Option<String>>>,
+    died: Arc<AtomicBool>,
+    /// Attempts spawned and not yet returned. The supervisor only
+    /// activates or fails the window once every task is **quiescent**
+    /// (`live == 0`): a late attempt left running could otherwise publish
+    /// its staged entries after a failed window's slots were rolled back.
+    live: Arc<AtomicU64>,
+}
+
+impl SubscanTask {
+    /// Whether this task needs no further supervision: some attempt
+    /// published (claim + done) or a fatal error was recorded.
+    fn settled(&self) -> bool {
+        self.attempt.is_done() || self.err.lock().is_some()
+    }
+
+    /// Whether every spawned attempt has returned.
+    fn quiescent(&self) -> bool {
+        self.live.load(Ordering::Acquire) == 0
+    }
+}
+
+/// Run a window's subscans under deadline supervision: spawn one attempt
+/// per task, and when a task is still unsettled at the re-dispatch deadline
+/// — or its attempt died to an injected panic — spawn a second,
+/// injection-suppressed attempt over the same unit. The [`ScanAttempt`]
+/// claim makes the pair publish exactly once; typed storage errors settle
+/// the task fatally and fail the window. Every path terminates: a healthy
+/// attempt publishes, a stalled one loses the claim and exits, a re-dispatch
+/// (no injection) either publishes or surfaces a storage error.
+fn supervise_subscans(
+    fabric: &Arc<FabricInner>,
+    stages: &[CjoinStage],
+    tasks: Vec<(Arc<ScanUnit>, (usize, usize))>,
+    worker_idx: usize,
+    health: &Arc<AdmissionHealth>,
+) -> Result<(), String> {
+    let machine = stages[0].inner.machine.clone();
+    let ws = Arc::new(WaitSet::new(&machine));
+    let tasks: Vec<SubscanTask> = tasks
+        .into_iter()
+        .map(|(unit, range)| SubscanTask {
+            unit,
+            range,
+            attempt: Arc::new(ScanAttempt::new()),
+            err: Arc::new(Mutex::new(None)),
+            died: Arc::new(AtomicBool::new(false)),
+            live: Arc::new(AtomicU64::new(0)),
+        })
+        .collect();
+    let spawn_attempt = |task: &SubscanTask, ti: usize, attempt_no: u32, inject: bool| {
+        let stages = stages.to_vec();
+        let fabric = Arc::clone(fabric);
+        let unit = Arc::clone(&task.unit);
+        let range = task.range;
+        let attempt = Arc::clone(&task.attempt);
+        let err = Arc::clone(&task.err);
+        let died = Arc::clone(&task.died);
+        let live = Arc::clone(&task.live);
+        let ws = Arc::clone(&ws);
+        live.fetch_add(1, Ordering::AcqRel);
+        machine.spawn(
+            &format!("admission-fabric-{worker_idx}-scan-{ti}-a{attempt_no}"),
+            move |ctx| {
+                let inners: Vec<&StageInner> = stages.iter().map(|s| &*s.inner).collect();
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    run_scan_unit(
+                        ctx,
+                        &inners,
+                        &unit,
+                        Some(&fabric.admission_dim_pages),
+                        Some(range),
+                        Some(&attempt),
+                        inject,
+                    )
+                }));
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => {
+                        let mut slot = err.lock();
+                        if slot.is_none() {
+                            *slot = Some(e.to_string());
+                        }
+                    }
+                    Err(_) => {
+                        // An injected panic is recoverable — flag the death
+                        // and let the supervisor re-dispatch. A panic on a
+                        // re-dispatched (injection-free) attempt is a
+                        // genuine bug: settle fatally so nothing hangs.
+                        if inject {
+                            died.store(true, Ordering::Release);
+                        } else {
+                            let mut slot = err.lock();
+                            if slot.is_none() {
+                                *slot = Some("fabric subscan panicked".to_string());
+                            }
+                        }
+                    }
+                }
+                live.fetch_sub(1, Ordering::AcqRel);
+                ws.notify_all();
+            },
+        );
+    };
+    for (ti, task) in tasks.iter().enumerate() {
+        spawn_attempt(task, ti, 1, true);
+    }
+    // Deadline timer: WaitSet has no timed wait, so a watchdog vthread
+    // sleeps the deadline away and wakes the supervisor.
+    let timeout = Arc::new(AtomicBool::new(false));
+    {
+        let timeout = Arc::clone(&timeout);
+        let ws = Arc::clone(&ws);
+        machine.spawn(
+            &format!("admission-fabric-{worker_idx}-watchdog"),
+            move |ctx| {
+                ctx.sleep(UNIT_REDISPATCH_DEADLINE_NS);
+                timeout.store(true, Ordering::Release);
+                ws.notify_all();
+            },
+        );
+    }
+    let mut redispatched = vec![false; tasks.len()];
+    loop {
+        {
+            let redispatched = &redispatched;
+            ws.wait_until(|| {
+                tasks.iter().all(SubscanTask::settled)
+                    || tasks.iter().enumerate().any(|(i, t)| {
+                        !redispatched[i]
+                            && !t.settled()
+                            && (t.died.load(Ordering::Acquire)
+                                || timeout.load(Ordering::Acquire))
+                    })
+            });
+        }
+        if tasks.iter().all(SubscanTask::settled) {
+            break;
+        }
+        for (ti, task) in tasks.iter().enumerate() {
+            if !redispatched[ti]
+                && !task.settled()
+                && (task.died.load(Ordering::Acquire) || timeout.load(Ordering::Acquire))
+            {
+                redispatched[ti] = true;
+                health.count_redispatch();
+                spawn_attempt(task, ti, 2, false);
+            }
+        }
+    }
+    let failure = tasks
+        .iter()
+        .find(|t| !t.attempt.is_done())
+        .and_then(|t| t.err.lock().clone());
+    match failure {
+        None => Ok(()),
+        Some(msg) => {
+            // Quiesce before failing: the window's slots are about to be
+            // rolled back, so wait out any still-running attempt — it must
+            // not publish staged entries into a failed (and soon reused)
+            // slot. Success needs no such barrier: a late loser cannot
+            // publish, having lost the claim.
+            ws.wait_until(|| tasks.iter().all(SubscanTask::quiescent));
+            Err(msg)
+        }
     }
 }

@@ -1,0 +1,307 @@
+//! Admission-path fault plan, health counters, and the degradation ladder.
+//!
+//! One shared [`AdmissionHealth`] is created by the governed engine when the
+//! fault plan is armed and handed to every stage and the fabric. It carries
+//! the **degradation ladder** — which of the three admission paths the
+//! preprocessor hands pending batches to — plus the counters the engine's
+//! health monitor and `HealthStats` read:
+//!
+//! ```text
+//! rung 0  Fabric   cross-stage window merge (fastest, shared blast radius)
+//! rung 1  Pool     per-stage admission workers (isolated, still batched)
+//! rung 2  Serial   inline on the preprocessor (slowest, minimal machinery)
+//! ```
+//!
+//! The monitor demotes one rung per observed fault/stall burst and promotes
+//! one rung back per clean window. When no health handle is installed
+//! (faults off) every stage keeps its statically-configured path, preserving
+//! legacy behavior bit-for-bit.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Fault-site ids mixed into the seeded schedule so the sites draw
+/// decorrelated fire patterns from one seed. Storage-level sites live in
+/// `workshare_storage` and use ids 1–3; these continue the sequence. (The
+/// fabric-wedge site needs no id: it fires by window count, not stride.)
+pub const SITE_SCAN_STALL: u64 = 4;
+/// See [`SITE_SCAN_STALL`].
+pub const SITE_SCAN_PANIC: u64 = 5;
+
+/// Seeded fault schedule for the cjoin admission paths. Default: fully off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CjoinFaultPlan {
+    /// Seed mixed into every site's fire decision.
+    pub seed: u64,
+    /// Every ~`stride`-th scan unit stalls for [`scan_stall_ns`] before
+    /// scanning (the fabric's deadline supervision re-dispatches it).
+    ///
+    /// [`scan_stall_ns`]: CjoinFaultPlan::scan_stall_ns
+    pub scan_stall_stride: Option<u64>,
+    /// How long an injected scan-unit stall sleeps (virtual ns). The default
+    /// comfortably exceeds the fabric's re-dispatch deadline.
+    pub scan_stall_ns: f64,
+    /// Every ~`stride`-th scan unit panics instead of scanning. The fabric
+    /// treats the dead subscan as a straggler; the pool/serial drivers catch
+    /// the panic and fail the batch with typed errors.
+    pub scan_panic_stride: Option<u64>,
+    /// A fabric worker wedges (parks until shutdown) at its `n`-th window.
+    /// Fires once per fabric lifetime; the health monitor respawns a
+    /// replacement worker after demoting the ladder.
+    pub wedge_after_windows: Option<u64>,
+}
+
+impl Default for CjoinFaultPlan {
+    fn default() -> Self {
+        CjoinFaultPlan {
+            seed: 0,
+            scan_stall_stride: None,
+            scan_stall_ns: 8_000_000.0,
+            scan_panic_stride: None,
+            wedge_after_windows: None,
+        }
+    }
+}
+
+impl CjoinFaultPlan {
+    /// Whether any admission fault site is armed.
+    pub fn is_armed(&self) -> bool {
+        self.scan_stall_stride.is_some()
+            || self.scan_panic_stride.is_some()
+            || self.wedge_after_windows.is_some()
+    }
+
+    /// Whether `site` fires on `tick` (seeded splitmix-style schedule).
+    pub fn fires(&self, site: u64, stride: Option<u64>, tick: u64) -> bool {
+        stride.is_some_and(|s| s > 0 && mix(self.seed, site, tick).is_multiple_of(s))
+    }
+}
+
+fn mix(seed: u64, site: u64, tick: u64) -> u64 {
+    let mut x = tick
+        .wrapping_add(seed.rotate_left(23))
+        .wrapping_add(site.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The degradation ladder's rungs, fastest to most conservative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LadderRung {
+    /// Engine-level cross-stage admission fabric.
+    Fabric = 0,
+    /// Per-stage admission worker pools.
+    Pool = 1,
+    /// Serial admission inline on each stage's preprocessor.
+    Serial = 2,
+}
+
+impl LadderRung {
+    fn from_u8(v: u8) -> LadderRung {
+        match v {
+            0 => LadderRung::Fabric,
+            1 => LadderRung::Pool,
+            _ => LadderRung::Serial,
+        }
+    }
+
+    /// One rung more conservative (saturates at [`LadderRung::Serial`]).
+    pub fn down(self) -> LadderRung {
+        LadderRung::from_u8((self as u8 + 1).min(2))
+    }
+
+    /// One rung less conservative, bounded by `top` (an engine without a
+    /// fabric cannot promote past [`LadderRung::Pool`]).
+    pub fn up(self, top: LadderRung) -> LadderRung {
+        LadderRung::from_u8((self as u8).saturating_sub(1).max(top as u8))
+    }
+}
+
+/// Shared admission-health state: the live ladder rung plus every fault and
+/// recovery counter the monitor and reports read. All methods are lock-free.
+pub struct AdmissionHealth {
+    rung: AtomicU8,
+    scan_ticks: AtomicU64,
+    injected_stalls: AtomicU64,
+    injected_panics: AtomicU64,
+    injected_wedges: AtomicU64,
+    redispatches: AtomicU64,
+    batches_failed: AtomicU64,
+    queries_failed: AtomicU64,
+    requeued: AtomicU64,
+    demotions: AtomicU64,
+    promotions: AtomicU64,
+    fabric_respawns: AtomicU64,
+}
+
+impl AdmissionHealth {
+    /// Fresh health state starting at `initial`.
+    pub fn new(initial: LadderRung) -> AdmissionHealth {
+        AdmissionHealth {
+            rung: AtomicU8::new(initial as u8),
+            scan_ticks: AtomicU64::new(0),
+            injected_stalls: AtomicU64::new(0),
+            injected_panics: AtomicU64::new(0),
+            injected_wedges: AtomicU64::new(0),
+            redispatches: AtomicU64::new(0),
+            batches_failed: AtomicU64::new(0),
+            queries_failed: AtomicU64::new(0),
+            requeued: AtomicU64::new(0),
+            demotions: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            fabric_respawns: AtomicU64::new(0),
+        }
+    }
+
+    /// The admission path the preprocessor should hand batches to now.
+    pub fn rung(&self) -> LadderRung {
+        LadderRung::from_u8(self.rung.load(Ordering::Relaxed))
+    }
+
+    /// Step one rung down (more conservative); counts a demotion if it
+    /// actually moved. Returns the new rung.
+    pub fn demote(&self) -> LadderRung {
+        let cur = self.rung();
+        let next = cur.down();
+        if next != cur {
+            self.rung.store(next as u8, Ordering::Relaxed);
+            self.demotions.fetch_add(1, Ordering::Relaxed);
+        }
+        next
+    }
+
+    /// Step one rung up (less conservative), bounded by `top`; counts a
+    /// promotion if it actually moved. Returns the new rung.
+    pub fn promote(&self, top: LadderRung) -> LadderRung {
+        let cur = self.rung();
+        let next = cur.up(top);
+        if next != cur {
+            self.rung.store(next as u8, Ordering::Relaxed);
+            self.promotions.fetch_add(1, Ordering::Relaxed);
+        }
+        next
+    }
+
+    /// Draw a scan-unit injection tick.
+    pub fn scan_tick(&self) -> u64 {
+        self.scan_ticks.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Count an injected scan-unit stall.
+    pub fn count_stall(&self) {
+        self.injected_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count an injected scan-unit panic.
+    pub fn count_panic(&self) {
+        self.injected_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count an injected fabric-worker wedge.
+    pub fn count_wedge(&self) {
+        self.injected_wedges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a straggler subscan re-dispatched by the fabric.
+    pub fn count_redispatch(&self) {
+        self.redispatches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count an admission batch failed with `n` typed per-query errors.
+    pub fn count_batch_failed(&self, n: u64) {
+        self.batches_failed.fetch_add(1, Ordering::Relaxed);
+        self.queries_failed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` pending queries reclaimed from a dark fabric and requeued
+    /// onto their stages.
+    pub fn count_requeued(&self, n: u64) {
+        self.requeued.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count a replacement fabric worker spawned by the monitor.
+    pub fn count_respawn(&self) {
+        self.fabric_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot every counter (rung, then the counters in declaration
+    /// order). Used by the engine to assemble `HealthStats`.
+    #[allow(clippy::type_complexity)]
+    pub fn snapshot(&self) -> AdmissionHealthSnapshot {
+        AdmissionHealthSnapshot {
+            rung: self.rung() as u8,
+            injected_stalls: self.injected_stalls.load(Ordering::Relaxed),
+            injected_panics: self.injected_panics.load(Ordering::Relaxed),
+            injected_wedges: self.injected_wedges.load(Ordering::Relaxed),
+            redispatches: self.redispatches.load(Ordering::Relaxed),
+            batches_failed: self.batches_failed.load(Ordering::Relaxed),
+            queries_failed: self.queries_failed.load(Ordering::Relaxed),
+            requeued: self.requeued.load(Ordering::Relaxed),
+            demotions: self.demotions.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
+            fabric_respawns: self.fabric_respawns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`AdmissionHealth`]'s counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionHealthSnapshot {
+    /// Current ladder rung (0 = fabric, 1 = pool, 2 = serial).
+    pub rung: u8,
+    /// Injected scan-unit stalls.
+    pub injected_stalls: u64,
+    /// Injected scan-unit panics.
+    pub injected_panics: u64,
+    /// Injected fabric-worker wedges.
+    pub injected_wedges: u64,
+    /// Straggler subscans re-dispatched.
+    pub redispatches: u64,
+    /// Admission batches failed with typed errors.
+    pub batches_failed: u64,
+    /// Queries that received a typed admission error.
+    pub queries_failed: u64,
+    /// Pending queries reclaimed from a dark fabric and requeued.
+    pub requeued: u64,
+    /// Ladder demotions.
+    pub demotions: u64,
+    /// Ladder promotions.
+    pub promotions: u64,
+    /// Replacement fabric workers spawned.
+    pub fabric_respawns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_off() {
+        assert!(!CjoinFaultPlan::default().is_armed());
+    }
+
+    #[test]
+    fn ladder_saturates_both_ends() {
+        assert_eq!(LadderRung::Serial.down(), LadderRung::Serial);
+        assert_eq!(LadderRung::Fabric.up(LadderRung::Fabric), LadderRung::Fabric);
+        assert_eq!(LadderRung::Fabric.down(), LadderRung::Pool);
+        assert_eq!(LadderRung::Serial.up(LadderRung::Fabric), LadderRung::Pool);
+        // Without a fabric the ladder cannot promote past Pool.
+        assert_eq!(LadderRung::Pool.up(LadderRung::Pool), LadderRung::Pool);
+    }
+
+    #[test]
+    fn demote_promote_count_only_real_moves() {
+        let h = AdmissionHealth::new(LadderRung::Fabric);
+        assert_eq!(h.demote(), LadderRung::Pool);
+        assert_eq!(h.demote(), LadderRung::Serial);
+        assert_eq!(h.demote(), LadderRung::Serial, "saturated");
+        assert_eq!(h.promote(LadderRung::Fabric), LadderRung::Pool);
+        assert_eq!(h.promote(LadderRung::Fabric), LadderRung::Fabric);
+        assert_eq!(h.promote(LadderRung::Fabric), LadderRung::Fabric, "saturated");
+        let s = h.snapshot();
+        assert_eq!(s.demotions, 2);
+        assert_eq!(s.promotions, 2);
+        assert_eq!(s.rung, 0);
+    }
+}

@@ -38,13 +38,19 @@
 mod admission;
 pub mod fabric;
 pub mod filter;
+pub mod health;
 pub mod publish;
 mod stage;
 pub mod window;
 
-pub use fabric::{AdmissionFabric, FabricStats};
+pub use fabric::{AdmissionFabric, FabricStats, UNIT_REDISPATCH_DEADLINE_NS};
 pub use filter::{
     filter_page_scalar, filter_page_vectorized, DimEntry, FilterCore, FilterCounters,
     FilterScratch, FilteredPage,
 };
-pub use stage::{CjoinConfig, CjoinOutput, CjoinRuntimeStats, CjoinStage, CjoinStats};
+pub use health::{
+    AdmissionHealth, AdmissionHealthSnapshot, CjoinFaultPlan, LadderRung,
+};
+pub use stage::{
+    CjoinConfig, CjoinOutput, CjoinRuntimeStats, CjoinStage, CjoinStats, FaultCell,
+};

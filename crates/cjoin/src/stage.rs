@@ -13,6 +13,7 @@ use workshare_common::{CostModel, OrderKey, Predicate, QueryBitmap, SelVec, Star
 
 use crate::admission::{admit_batch_serial, admit_batch_shared};
 use crate::fabric::AdmissionFabric;
+use crate::health::{AdmissionHealth, CjoinFaultPlan, LadderRung};
 use crate::window::PendingSlot;
 use crate::filter::{
     filter_page_scalar, filter_page_vectorized, FilterCore, FilterScratch, FilteredPage,
@@ -72,6 +73,10 @@ pub struct CjoinConfig {
     /// `admission` bench measures the speedup against it. Defaults to
     /// `false` (shared scans).
     pub serial_admission: bool,
+    /// Seeded fault schedule for this stage's admission scans (stalls,
+    /// panics) and the fabric windows serving it. Default: fully off —
+    /// every fault path compiles to the legacy behavior.
+    pub faults: CjoinFaultPlan,
 }
 
 impl Default for CjoinConfig {
@@ -87,6 +92,7 @@ impl Default for CjoinConfig {
             scalar_filter: false,
             n_admission_workers: 1,
             serial_admission: false,
+            faults: CjoinFaultPlan::default(),
         }
     }
 }
@@ -174,16 +180,37 @@ impl CjoinStats {
     }
 }
 
+/// Shared per-query fault cell: `None` while healthy; set (once, first
+/// writer wins) to a typed-error message when a storage or admission fault
+/// fails the query. The same `Arc` is visible on the submission handle
+/// ([`CjoinOutput::fault`]), the in-flight `Admission`, and the activated
+/// `QueryRuntime`, so whichever layer hits the fault, the submitter sees it.
+pub type FaultCell = Arc<Mutex<Option<String>>>;
+
+/// Set `msg` into `cell` unless an earlier fault already claimed it.
+pub(crate) fn set_fault(cell: &FaultCell, msg: &str) {
+    let mut f = cell.lock();
+    if f.is_none() {
+        *f = Some(msg.to_string());
+    }
+}
+
 /// Output of submitting a star query to the stage: a reader over joined rows
 /// in the query's bound layout (`[fks… | fact payload… | dim payloads…]`).
 pub struct CjoinOutput {
     /// Stream of joined tuples for this query.
     pub reader: ExchangeReader,
+    /// Typed-error cell: set when a fault failed the query. The reader
+    /// still drains normally (possibly empty) — check after exhaustion.
+    pub fault: FaultCell,
 }
 
 /// Buffered final result of a shared-aggregation CJOIN query.
 pub struct AggResult {
     rows: Mutex<Option<Arc<Vec<Row>>>>,
+    /// Typed-error message when a fault failed the query (the rows are
+    /// then empty/partial and [`AggResult::error`] is `Some`).
+    err: Mutex<Option<String>>,
     /// Completion flag. **Ordering invariant** (same shape as
     /// [`workshare_core`'s `CompletionCell`]): `complete` publishes `rows`
     /// *before* the `Release` store of `done`, so the `Acquire` load in
@@ -198,6 +225,7 @@ impl AggResult {
     fn new(machine: &Machine) -> Arc<AggResult> {
         Arc::new(AggResult {
             rows: Mutex::new(None),
+            err: Mutex::new(None),
             done: AtomicBool::new(false),
             ws: WaitSet::new(machine),
         })
@@ -207,6 +235,29 @@ impl AggResult {
         *self.rows.lock() = Some(rows);
         self.done.store(true, Ordering::Release);
         self.ws.notify_all();
+    }
+
+    /// Fail the query with a typed error: waiters wake (with empty rows)
+    /// instead of hanging, and [`AggResult::error`] reports the fault. The
+    /// first failure wins; a fail after a normal completion only records
+    /// the message.
+    pub(crate) fn fail(&self, msg: &str) {
+        {
+            let mut e = self.err.lock();
+            if e.is_none() {
+                *e = Some(msg.to_string());
+            }
+        }
+        if !self.is_done() {
+            *self.rows.lock() = Some(Arc::new(Vec::new()));
+            self.done.store(true, Ordering::Release);
+            self.ws.notify_all();
+        }
+    }
+
+    /// The typed-error message, when a fault failed this query.
+    pub fn error(&self) -> Option<String> {
+        self.err.lock().clone()
     }
 
     /// Whether the query finished.
@@ -264,6 +315,8 @@ pub(crate) struct QueryRuntime {
     /// Fact pages still to be processed by the distributor before this
     /// query completes (initialized to one full wrap).
     process_left: AtomicU64,
+    /// Shared with the submission handle; set when a fault fails the query.
+    fault: FaultCell,
 }
 
 pub(crate) struct GqpState {
@@ -290,6 +343,28 @@ pub(crate) struct Admission {
     pub(crate) bound: Arc<BoundQuery>,
     pub(crate) sink: AdmissionSink,
     pub(crate) sig: u64,
+    pub(crate) fault: FaultCell,
+}
+
+impl Admission {
+    /// Surface a typed admission failure on this query: record the error on
+    /// the shared fault cell, drop the SP-registry host entry (so later
+    /// identical queries admit fresh instead of attaching to a dead host),
+    /// and wake the sink's waiters — a closed empty stream or a failed
+    /// [`AggResult`]. Never a hang, never an abort.
+    pub(crate) fn fail(&self, inner: &StageInner, msg: &str) {
+        set_fault(&self.fault, msg);
+        if inner.config.sp {
+            let mut reg = inner.sp_registry.lock();
+            if reg.get(&self.sig).is_some_and(|(qid, _)| *qid == self.query.id) {
+                reg.remove(&self.sig);
+            }
+        }
+        match &self.sink {
+            AdmissionSink::Stream(out) => out.close(),
+            AdmissionSink::Agg(result) => result.fail(msg),
+        }
+    }
 }
 
 /// One fact page stamped with the active query set, flowing from the
@@ -339,6 +414,15 @@ pub(crate) struct StageInner {
     /// a governed engine's registry ([`CjoinStage::with_fabric`]); `None`
     /// for standalone stages, which fall back to their own workers.
     fabric: Option<AdmissionFabric>,
+    /// Shared admission-health state, installed by a governed engine with
+    /// an armed, self-healing fault plan ([`CjoinStage::with_admission`]).
+    /// When present, the preprocessor routes pending batches by the live
+    /// degradation-ladder rung instead of the static config; when `None`
+    /// the stage behaves exactly as before the fault substrate existed.
+    pub(crate) health: Option<Arc<AdmissionHealth>>,
+    /// Injection tick counter for this stage's scan-unit fault sites
+    /// (advances only while a fault plan is armed).
+    scan_ticks: AtomicU64,
     /// Cooperative stop flag. Written once with Release
     /// ([`CjoinStage::shutdown`]) and read with Acquire at the top of every
     /// pipeline-thread loop: a thread that observes the flag also observes
@@ -362,8 +446,17 @@ pub(crate) struct StageInner {
 
 #[derive(Clone)]
 enum HostRef {
-    Stream(Exchange),
+    /// Host's output exchange plus its fault cell, so SP satellites that
+    /// attach to the stream share the host's error outcome too.
+    Stream(Exchange, FaultCell),
     Agg(Arc<AggResult>),
+}
+
+impl StageInner {
+    /// Draw the next injection tick for this stage's scan-unit fault sites.
+    pub(crate) fn scan_tick(&self) -> u64 {
+        self.scan_ticks.fetch_add(1, Ordering::Relaxed)
+    }
 }
 
 /// The CJOIN stage. Cheap to clone.
@@ -399,6 +492,25 @@ impl CjoinStage {
         cost: CostModel,
         fabric: Option<AdmissionFabric>,
     ) -> CjoinStage {
+        Self::with_admission(machine, storage, fact_table, config, cost, fabric, None)
+    }
+
+    /// Create the stage with full admission plumbing: an optional fabric
+    /// plus an optional shared [`AdmissionHealth`] handle. With a health
+    /// handle the preprocessor routes pending batches by the live
+    /// degradation-ladder rung (fabric → pool → serial) and the stage
+    /// spawns its own admission workers even when fabric-served, so the
+    /// pool rung has somewhere to land. Without one this is exactly
+    /// [`CjoinStage::with_fabric`].
+    pub fn with_admission(
+        machine: &Machine,
+        storage: &StorageManager,
+        fact_table: &str,
+        config: CjoinConfig,
+        cost: CostModel,
+        fabric: Option<AdmissionFabric>,
+        health: Option<Arc<AdmissionHealth>>,
+    ) -> CjoinStage {
         let fact = storage.table(fact_table);
         let inner = Arc::new(StageInner {
             machine: machine.clone(),
@@ -422,6 +534,8 @@ impl CjoinStage {
             dist_q: SimQueue::bounded(machine, config.pipeline_depth.max(1)),
             admission_q: SimQueue::unbounded(machine),
             fabric,
+            health,
+            scan_ticks: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             sp_registry: Mutex::new(FxHashMap::default()),
             admitted: AtomicU64::new(0),
@@ -442,8 +556,13 @@ impl CjoinStage {
         }
         // The serial path admits inline on the preprocessor; a
         // fabric-served stage hands batches to the engine-level pool. Only
-        // a standalone shared-scan stage needs its own workers.
-        if !stage.inner.config.serial_admission && stage.inner.fabric.is_none() {
+        // a standalone shared-scan stage needs its own workers — unless a
+        // health handle is installed, in which case the degradation ladder
+        // may demote a fabric-served stage to its own pool at runtime, so
+        // the workers must exist.
+        if !stage.inner.config.serial_admission
+            && (stage.inner.fabric.is_none() || stage.inner.health.is_some())
+        {
             for a in 0..config.n_admission_workers.max(1) {
                 stage.spawn_admission_worker(a);
             }
@@ -477,11 +596,17 @@ impl CjoinStage {
         let sig = q.cjoin_signature();
         if inner.config.sp {
             let registry = inner.sp_registry.lock();
-            if let Some((_, HostRef::Stream(ex))) = registry.get(&sig) {
+            if let Some((_, HostRef::Stream(ex, host_fault))) = registry.get(&sig) {
                 if ex.emitted() == 0 && !ex.is_closed() {
                     let reader = ex.attach(None);
                     inner.sp_shares.fetch_add(1, Ordering::Relaxed);
-                    return CjoinOutput { reader };
+                    // The satellite shares the host's fault cell: if the
+                    // host's admission fails, every attached reader sees
+                    // the same typed error.
+                    return CjoinOutput {
+                        reader,
+                        fault: Arc::clone(host_fault),
+                    };
                 }
             }
         }
@@ -493,22 +618,24 @@ impl CjoinStage {
             inner.config.cap_pages,
         );
         let reader = out.attach(None);
+        let fault: FaultCell = Arc::new(Mutex::new(None));
         if inner.config.sp {
             // Register the host at submit time so that identical queries in
             // the same submission batch can attach before admission runs.
-            inner
-                .sp_registry
-                .lock()
-                .insert(sig, (q.id, HostRef::Stream(out.clone())));
+            inner.sp_registry.lock().insert(
+                sig,
+                (q.id, HostRef::Stream(out.clone(), Arc::clone(&fault))),
+            );
         }
         inner.pending.push(Admission {
             query: q.clone(),
             bound,
             sink: AdmissionSink::Stream(out),
             sig,
+            fault: Arc::clone(&fault),
         });
         inner.wake.notify_all();
-        CjoinOutput { reader }
+        CjoinOutput { reader, fault }
     }
 
     /// Submit a star query with **shared aggregation**: the distributor
@@ -536,7 +663,12 @@ impl CjoinStage {
                     inner.machine.spawn(&format!("cj-agg-sat-q{}", q.id), move |ctx| {
                         let rows = host.wait();
                         ctx.charge(CostKind::Copy, cost.copy_cost(rows.len() * 64));
-                        sat2.complete(rows);
+                        // A host that failed with a typed error fails its
+                        // satellites with the same error.
+                        match host.error() {
+                            Some(msg) => sat2.fail(&msg),
+                            None => sat2.complete(rows),
+                        }
                     });
                     return satellite;
                 }
@@ -555,6 +687,7 @@ impl CjoinStage {
             bound,
             sink: AdmissionSink::Agg(Arc::clone(&result)),
             sig,
+            fault: Arc::new(Mutex::new(None)),
         });
         inner.wake.notify_all();
         result
@@ -647,17 +780,40 @@ impl CjoinStage {
                 // stalling the GQP.
                 let pending = inner.pending.drain();
                 if !pending.is_empty() {
-                    if inner.config.serial_admission {
-                        admit_batch_serial(&inner, ctx, pending);
-                    } else if let Some(fabric) = &inner.fabric {
-                        let stage = CjoinStage {
-                            inner: Arc::clone(&inner),
-                        };
-                        if !fabric.submit(stage, pending) {
-                            return; // fabric (engine) shut down
+                    // With a health handle installed the live degradation
+                    // ladder picks the admission path; otherwise the static
+                    // config does (legacy behavior, bit-for-bit). The
+                    // serial config always means serial — it is the
+                    // behavioral oracle and sits below the ladder.
+                    let rung = match (&inner.health, inner.config.serial_admission) {
+                        (_, true) => LadderRung::Serial,
+                        (Some(h), false) => {
+                            let r = h.rung();
+                            if r == LadderRung::Fabric && inner.fabric.is_none() {
+                                LadderRung::Pool
+                            } else {
+                                r
+                            }
                         }
-                    } else if inner.admission_q.push(pending).is_err() {
-                        return; // shut down
+                        (None, false) if inner.fabric.is_some() => LadderRung::Fabric,
+                        (None, false) => LadderRung::Pool,
+                    };
+                    match rung {
+                        LadderRung::Serial => admit_batch_serial(&inner, ctx, pending),
+                        LadderRung::Fabric => {
+                            let fabric = inner.fabric.as_ref().expect("rung checked");
+                            let stage = CjoinStage {
+                                inner: Arc::clone(&inner),
+                            };
+                            if !fabric.submit(stage, pending) {
+                                return; // fabric (engine) shut down
+                            }
+                        }
+                        LadderRung::Pool => {
+                            if inner.admission_q.push(pending).is_err() {
+                                return; // shut down
+                            }
+                        }
                     }
                 }
                 let has_active = inner.state.read().active_bits.any();
@@ -675,7 +831,20 @@ impl CjoinStage {
                 // the circular-scan thread — tuple decode is deferred to
                 // the parallel filter workers, so the scan thread never
                 // becomes the decode bottleneck of a crowded stage.
-                let page = inner.storage.read_page(ctx, inner.fact, pos, stream);
+                let page = match inner.storage.try_read_page(ctx, inner.fact, pos, stream) {
+                    Ok(page) => page,
+                    Err(e) => {
+                        // Unrecoverable fact-page fault: the page cannot be
+                        // served this lap. Mark every member query with the
+                        // typed error and advance the wrap/process
+                        // bookkeeping as if the page had flowed through, so
+                        // each in-flight query still completes — with an
+                        // error outcome — instead of hanging the scan.
+                        fail_fact_page(&inner, ctx, &e.to_string());
+                        pos = (pos + 1) % npages;
+                        continue;
+                    }
+                };
                 ctx.charge(CostKind::Scan, inner.cost.scan_page_fixed_ns);
                 // One snapshot of the active-query set per page, shared by
                 // `Arc` with every downstream stage (workers and the
@@ -1029,6 +1198,7 @@ pub(crate) fn activate_query(
         dim_filters,
         sink,
         process_left: AtomicU64::new(inner.fact_pages.max(1)),
+        fault: Arc::clone(&adm.fault),
     });
     let mut s = inner.state.write();
     s.queries.insert(slot, Arc::clone(&qrt));
@@ -1036,7 +1206,67 @@ pub(crate) fn activate_query(
     s.active_bits.set(slot as usize);
 }
 
+/// Unrecoverable fact-page fault on the circular scan: set the typed error
+/// on every member query's fault cell, then advance the wrap (`emit_left`)
+/// and completion (`process_left`) bookkeeping exactly as a served page
+/// would have, so the in-flight queries run to completion with an error
+/// outcome instead of waiting forever for a page that cannot be read.
+fn fail_fact_page(inner: &Arc<StageInner>, ctx: &SimCtx, msg: &str) {
+    let (members, runtimes): (QueryBitmap, Vec<Arc<QueryRuntime>>) = {
+        let s = inner.state.read();
+        let members = s.active_bits.clone();
+        let runtimes = members
+            .iter_ones()
+            .filter_map(|slot| s.queries.get(&(slot as u32)).cloned())
+            .collect();
+        (members, runtimes)
+    };
+    for qrt in &runtimes {
+        set_fault(&qrt.fault, msg);
+    }
+    {
+        let mut s = inner.state.write();
+        let done: Vec<u32> = members
+            .iter_ones()
+            .filter_map(|slot| {
+                let left = s.emit_left.get_mut(&(slot as u32))?;
+                *left -= 1;
+                (*left == 0).then_some(slot as u32)
+            })
+            .collect();
+        for slot in done {
+            s.active_bits.clear(slot as usize);
+            s.emit_left.remove(&slot);
+        }
+    }
+    for qrt in &runtimes {
+        if qrt.process_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+            finalize_query(inner, ctx, qrt);
+        }
+    }
+}
+
+/// Remove a never-activated (or failed) slot from the GQP: clear its bit
+/// from every filter's `referencing` set and entry bitmaps (dropping
+/// entries that go empty) and release the slot for reuse. The rollback
+/// mirror of `finalize_query`'s cleanup, shared by the admission failure
+/// paths.
+pub(crate) fn release_slot(s: &mut GqpState, slot: u32) {
+    let sl = slot as usize;
+    for f in &mut s.filters {
+        if f.referencing.get(sl) {
+            f.referencing.clear(sl);
+            f.hash.retain(|_, e| {
+                e.bits.clear(sl);
+                e.bits.any()
+            });
+        }
+    }
+    s.free_slots.push(slot);
+}
+
 fn finalize_query(inner: &StageInner, ctx: &SimCtx, qrt: &QueryRuntime) {
+    let fault = qrt.fault.lock().clone();
     match &qrt.sink {
         Sink::Stream { out, builder } => {
             // Flush the tail page and close the packet's output.
@@ -1057,7 +1287,13 @@ fn finalize_query(inner: &StageInner, ctx: &SimCtx, qrt: &QueryRuntime) {
             if !order.is_empty() {
                 ctx.charge(CostKind::Sort, inner.cost.sort_cost(groups));
             }
-            result.complete(Arc::new(done.finish(order)));
+            match &fault {
+                // A faulted query's partial aggregate is unsound — fail the
+                // result (waiters wake with the typed error) instead of
+                // publishing it.
+                Some(msg) => result.fail(msg),
+                None => result.complete(Arc::new(done.finish(order))),
+            }
         }
     }
     // Remove from the GQP: clear its bit from every filter entry, drop
@@ -1508,6 +1744,7 @@ mod tests {
                                 1,
                             )),
                             sig: q.cjoin_signature(),
+                            fault: Arc::new(Mutex::new(None)),
                         })
                         .collect()
                 };

@@ -20,7 +20,7 @@
 //! Built on [`workshare_common::sync`], so an `--cfg interleave` build swaps
 //! the primitives for the model-checked shim.
 
-use workshare_common::sync::{AtomicU64, Mutex, Ordering};
+use workshare_common::sync::{AtomicBool, AtomicU64, Mutex, Ordering};
 
 /// Test-only protocol mutations, compiled only under `--cfg interleave`.
 #[cfg(interleave)]
@@ -147,6 +147,104 @@ impl WindowLedger {
     }
 }
 
+/// Test-only mutations of the re-dispatch claim protocol, compiled only
+/// under `--cfg interleave`.
+#[cfg(interleave)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RedispatchMutation {
+    /// The faithful protocol.
+    #[default]
+    None,
+    /// Claim with a load-then-store instead of one CAS: two attempts can
+    /// both observe `claimed == false` and both publish — the
+    /// duplicate-dispatch race.
+    TornClaim,
+}
+
+/// The fabric's straggler re-dispatch handshake for one scan-unit task.
+///
+/// When a subscan outlives its deadline (stalled, wedged, or dead), the
+/// window supervisor spawns a second attempt over the same unit. Both
+/// attempts race to **claim** the task before publishing their staged
+/// entries; the single-CAS claim guarantees exactly one publisher, so
+/// neither the filter entries nor the admission counters are applied twice
+/// (duplicate-dispatch), and the supervisor's wait on `done` guarantees the
+/// unit is never silently dropped (lost-unit). Protocol invariants, checked
+/// by `tests/interleave_core.rs`:
+///
+/// * `try_claim` succeeds exactly once across all attempts: one atomic
+///   compare-exchange, not a load-then-store (that is the
+///   `RedispatchMutation::TornClaim` mutation, compiled only under
+///   `--cfg interleave`).
+/// * `mark_done` is a `Release` store after the publish, paired with the
+///   supervisor's `Acquire` load in [`ScanAttempt::is_done`], so when the
+///   supervisor observes completion the published entries are visible.
+pub struct ScanAttempt {
+    claimed: AtomicBool,
+    done: AtomicBool,
+    #[cfg(interleave)]
+    mutation: RedispatchMutation,
+}
+
+impl ScanAttempt {
+    /// Fresh unclaimed task.
+    pub fn new() -> ScanAttempt {
+        ScanAttempt {
+            claimed: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+            #[cfg(interleave)]
+            mutation: RedispatchMutation::None,
+        }
+    }
+
+    /// Test-only constructor selecting a deliberately broken protocol
+    /// variant (see [`RedispatchMutation`]).
+    #[cfg(interleave)]
+    pub fn with_mutation(mutation: RedispatchMutation) -> ScanAttempt {
+        ScanAttempt {
+            claimed: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+            mutation,
+        }
+    }
+
+    /// Race for the right to publish this task's results. Exactly one
+    /// attempt wins; losers must discard their staged entries.
+    pub fn try_claim(&self) -> bool {
+        #[cfg(interleave)]
+        if self.mutation == RedispatchMutation::TornClaim {
+            // Torn: check-then-set in two operations; a second attempt
+            // between them also "wins".
+            if self.claimed.load(Ordering::Acquire) {
+                return false;
+            }
+            self.claimed.store(true, Ordering::Release);
+            return true;
+        }
+        self.claimed
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Mark the task published. `Release`: everything the winning attempt
+    /// wrote (staged entries, counters) happens-before a supervisor that
+    /// observes `is_done`.
+    pub fn mark_done(&self) {
+        self.done.store(true, Ordering::Release);
+    }
+
+    /// Whether some attempt has published (supervisor side, `Acquire`).
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+}
+
+impl Default for ScanAttempt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,5 +278,15 @@ mod tests {
         let ledger = WindowLedger::new(u64::MAX);
         ledger.add(1 << 40);
         assert!(ledger.has_capacity());
+    }
+
+    #[test]
+    fn scan_attempt_claim_is_exactly_once() {
+        let a = ScanAttempt::new();
+        assert!(!a.is_done());
+        assert!(a.try_claim(), "first attempt wins");
+        assert!(!a.try_claim(), "second attempt loses");
+        a.mark_done();
+        assert!(a.is_done());
     }
 }

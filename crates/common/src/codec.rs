@@ -35,35 +35,85 @@ pub fn encode_row(schema: &Schema, row: &[Value], buf: &mut Vec<u8>) {
     }
 }
 
-/// Decode one row starting at `buf[offset..]`.
-pub fn decode_row(schema: &Schema, buf: &[u8], offset: usize) -> Row {
+/// A typed decode failure: the page bytes do not match the schema. Surfaced
+/// instead of a panic so storage-level corruption maps to per-query error
+/// outcomes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// What was wrong with the bytes.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt page: {}", self.reason)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Decode one row starting at `buf[offset..]`, surfacing corruption as a
+/// typed [`CodecError`].
+pub fn try_decode_row(
+    schema: &Schema,
+    buf: &[u8],
+    offset: usize,
+) -> Result<Row, CodecError> {
     let mut pos = offset;
     let mut row = Row::with_capacity(schema.arity());
     for c in schema.columns() {
         match c.ty {
             ColType::Int => {
-                let mut b = [0u8; 8];
-                b.copy_from_slice(&buf[pos..pos + 8]);
+                let b: [u8; 8] = buf
+                    .get(pos..pos + 8)
+                    .and_then(|s| s.try_into().ok())
+                    .ok_or(CodecError {
+                        reason: "row overruns page",
+                    })?;
                 row.push(Value::Int(i64::from_le_bytes(b)));
                 pos += 8;
             }
             ColType::Float => {
-                let mut b = [0u8; 8];
-                b.copy_from_slice(&buf[pos..pos + 8]);
+                let b: [u8; 8] = buf
+                    .get(pos..pos + 8)
+                    .and_then(|s| s.try_into().ok())
+                    .ok_or(CodecError {
+                        reason: "row overruns page",
+                    })?;
                 row.push(Value::Float(f64::from_le_bytes(b)));
                 pos += 8;
             }
             ColType::Str(n) => {
-                let len = u16::from_le_bytes([buf[pos], buf[pos + 1]]) as usize;
-                assert!(len <= n, "corrupt page: string length {len} > {n}");
-                let s = std::str::from_utf8(&buf[pos + 2..pos + 2 + len])
-                    .expect("corrupt page: invalid utf-8");
+                let hdr = buf.get(pos..pos + 2).ok_or(CodecError {
+                    reason: "row overruns page",
+                })?;
+                let len = u16::from_le_bytes([hdr[0], hdr[1]]) as usize;
+                if len > n {
+                    return Err(CodecError {
+                        reason: "string length exceeds declared width",
+                    });
+                }
+                let raw = buf.get(pos + 2..pos + 2 + len).ok_or(CodecError {
+                    reason: "row overruns page",
+                })?;
+                let s = std::str::from_utf8(raw).map_err(|_| CodecError {
+                    reason: "invalid utf-8",
+                })?;
                 row.push(Value::str(s));
                 pos += 2 + n;
             }
         }
     }
-    row
+    Ok(row)
+}
+
+/// Decode one row starting at `buf[offset..]`; panics on corrupt bytes
+/// (hot-path variant — storage verifies page checksums upstream).
+pub fn decode_row(schema: &Schema, buf: &[u8], offset: usize) -> Row {
+    match try_decode_row(schema, buf, offset) {
+        Ok(row) => row,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// An immutable storage page: packed rows plus the owning table's schema
@@ -84,6 +134,21 @@ impl Page {
     /// table may be shorter).
     pub fn byte_len(&self) -> usize {
         self.bytes.len()
+    }
+
+    /// Raw encoded bytes (header + packed rows) — checksummed by storage.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Decode every row in the page, surfacing corruption as a typed error.
+    pub fn try_decode_all(&self, schema: &Schema) -> Result<Vec<Row>, CodecError> {
+        let width = schema.row_width();
+        let mut out = Vec::with_capacity(self.rows as usize);
+        for i in 0..self.rows as usize {
+            out.push(try_decode_row(schema, &self.bytes, 4 + i * width)?);
+        }
+        Ok(out)
     }
 
     /// Decode every row in the page.

@@ -1,10 +1,10 @@
 //! Engine configurations matching the paper's §5.1 experimental matrix.
 
-use workshare_cjoin::CjoinConfig;
+use workshare_cjoin::{CjoinConfig, CjoinFaultPlan};
 use workshare_common::CostModel;
 use workshare_qpipe::{ExchangeKind, QpipeConfig};
 use workshare_sim::{DiskConfig, MachineConfig};
-use workshare_storage::{IoMode, StorageConfig};
+use workshare_storage::{IoMode, StorageConfig, StorageFaultPlan};
 
 use crate::governor::GovernorConfig;
 
@@ -116,13 +116,16 @@ pub struct ServiceConfig {
     /// so heavy tenants cannot starve light ones, and zero-weight tenants
     /// are locked out.
     pub tenant_weights: [f64; MAX_TENANTS],
-    /// Fault injection for conservation tests: panic inside the producer
-    /// vthread of every query whose id is a multiple of the stride,
-    /// *after* admission (the completion guard and permit drop must turn
-    /// the panic into an error outcome that still balances
+    /// Deprecated alias for
+    /// [`FaultPlan::worker_panic_stride`](FaultPlan::worker_panic_stride):
+    /// panic inside the producer vthread of every query whose id is a
+    /// multiple of the stride, *after* admission (the completion guard and
+    /// permit drop must turn the panic into an error outcome that still
+    /// balances
     /// [`ThroughputReport::is_conserved`](crate::ThroughputReport::is_conserved)).
-    /// `None` (the default) injects nothing. Test-only knob — not a
-    /// service feature.
+    /// `None` (the default) injects nothing. Kept so existing tests pass
+    /// unchanged; new code should set the stride on
+    /// [`RunConfig::faults`](RunConfig::faults) instead.
     #[doc(hidden)]
     pub fault_panic_stride: Option<u64>,
 }
@@ -173,6 +176,121 @@ impl ServiceConfig {
     /// falling back to the p99 target when only that is set).
     pub fn slo_target_secs(&self) -> Option<f64> {
         self.deadline_secs.or(self.slo_p99_secs)
+    }
+}
+
+/// The seeded, deterministic fault-injection schedule, threaded from
+/// [`RunConfig::faults`] into every layer's fault sites. The default is
+/// **fully off**: no site fires, no recovery machinery is built, and the
+/// engine behaves bit-for-bit as before.
+///
+/// Sites (see `docs/FAULTS.md` for the full table):
+///
+/// * storage — transient page-read errors (recovered by bounded retry with
+///   exponential backoff), permanent read errors (typed `StorageError`
+///   after retries), torn pages (checksum verify + quarantine).
+/// * cjoin admission — scan-unit stalls and panics; fabric-worker wedges.
+/// * core engine — stage-build failures (quarantined and rebuilt through
+///   the `LeaseRegistry` retired ledger) and mid-execution worker panics.
+///
+/// With any site armed the governed engine also arms the **self-healing**
+/// machinery: the health monitor, the fabric's straggler re-dispatch, and
+/// the fabric → pool → serial degradation ladder. Set
+/// [`self_heal`](FaultPlan::self_heal) to `false` to measure the
+/// no-recovery baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed mixed into every site's fire schedule; a chaos failure replays
+    /// from its seed.
+    pub seed: u64,
+    /// Every ~`stride`-th page read fails transiently.
+    pub transient_page_stride: Option<u64>,
+    /// Consecutive attempts a transient page fault poisons (the retry
+    /// budget is 4 attempts, so the default 2 always recovers).
+    pub transient_page_burst: u32,
+    /// Every ~`stride`-th page read fails on every attempt.
+    pub permanent_page_stride: Option<u64>,
+    /// Every ~`stride`-th page read returns a torn page.
+    pub torn_page_stride: Option<u64>,
+    /// Every ~`stride`-th admission scan unit stalls past the fabric's
+    /// re-dispatch deadline.
+    pub scan_stall_stride: Option<u64>,
+    /// Every ~`stride`-th admission scan unit panics.
+    pub scan_panic_stride: Option<u64>,
+    /// A fabric worker wedges (parks until shutdown) at its `n`-th window;
+    /// fires once per fabric lifetime.
+    pub fabric_wedge_after: Option<u64>,
+    /// Every ~`stride`-th stage build fails; the engine quarantines the
+    /// carcass through the lease registry's retired ledger and rebuilds.
+    pub stage_build_stride: Option<u64>,
+    /// Panic inside the producer vthread of every query whose id is a
+    /// multiple of the stride (the PR 7 knob, folded in; the
+    /// `ServiceConfig::fault_panic_stride` alias still works).
+    pub worker_panic_stride: Option<u64>,
+    /// Whether the recovery machinery runs (retry/backoff, re-dispatch,
+    /// health monitor, ladder). `false` = no-recovery baseline: the first
+    /// failure of each injected fault is final.
+    pub self_heal: bool,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            transient_page_stride: None,
+            transient_page_burst: 2,
+            permanent_page_stride: None,
+            torn_page_stride: None,
+            scan_stall_stride: None,
+            scan_panic_stride: None,
+            fabric_wedge_after: None,
+            stage_build_stride: None,
+            worker_panic_stride: None,
+            self_heal: true,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Whether any fault site is armed.
+    pub fn is_armed(&self) -> bool {
+        self.transient_page_stride.is_some()
+            || self.permanent_page_stride.is_some()
+            || self.torn_page_stride.is_some()
+            || self.scan_stall_stride.is_some()
+            || self.scan_panic_stride.is_some()
+            || self.fabric_wedge_after.is_some()
+            || self.stage_build_stride.is_some()
+            || self.worker_panic_stride.is_some()
+    }
+
+    /// Whether the governed engine should build the self-healing machinery
+    /// (health monitor, ladder, re-dispatch supervision).
+    pub fn heals(&self) -> bool {
+        self.is_armed() && self.self_heal
+    }
+
+    /// The storage layer's slice of the plan.
+    pub fn storage_faults(&self) -> StorageFaultPlan {
+        StorageFaultPlan {
+            seed: self.seed,
+            transient_stride: self.transient_page_stride,
+            transient_burst: self.transient_page_burst,
+            permanent_stride: self.permanent_page_stride,
+            torn_stride: self.torn_page_stride,
+            retry: self.self_heal,
+        }
+    }
+
+    /// The cjoin admission layer's slice of the plan.
+    pub fn cjoin_faults(&self) -> CjoinFaultPlan {
+        CjoinFaultPlan {
+            seed: self.seed,
+            scan_stall_stride: self.scan_stall_stride,
+            scan_panic_stride: self.scan_panic_stride,
+            wedge_after_windows: self.fabric_wedge_after,
+            ..CjoinFaultPlan::default()
+        }
     }
 }
 
@@ -247,6 +365,9 @@ pub struct RunConfig {
     /// Overload-control knobs (queue cap, deadline shedding, SLO target,
     /// tenant weights). Default **off**: legacy unbounded admission.
     pub service: ServiceConfig,
+    /// Seeded fault-injection schedule plus the self-healing machinery it
+    /// arms. Default **off**: legacy behavior bit-for-bit.
+    pub faults: FaultPlan,
 }
 
 impl Default for RunConfig {
@@ -270,6 +391,7 @@ impl Default for RunConfig {
             admission_fabric_workers: 1,
             governor: GovernorConfig::default(),
             service: ServiceConfig::default(),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -328,6 +450,7 @@ impl RunConfig {
     pub fn storage_config(&self) -> StorageConfig {
         let mut sc = StorageConfig {
             io_mode: self.io_mode,
+            faults: self.faults.storage_faults(),
             ..Default::default()
         };
         if let Some(p) = self.buffer_pool_pages {
@@ -363,8 +486,15 @@ impl RunConfig {
             shared_aggregation: self.cjoin_shared_agg,
             scalar_filter: self.cjoin_scalar_filter,
             serial_admission: self.cjoin_serial_admission,
+            faults: self.faults.cjoin_faults(),
             ..Default::default()
         }
+    }
+
+    /// Effective mid-execution worker-panic stride: the fault plan's site,
+    /// with the deprecated `ServiceConfig::fault_panic_stride` alias.
+    pub fn worker_panic_stride(&self) -> Option<u64> {
+        self.faults.worker_panic_stride.or(self.service.fault_panic_stride)
     }
 }
 
@@ -456,6 +586,52 @@ mod tests {
         sc.deadline_secs = Some(0.2);
         assert_eq!(sc.slo_target_secs(), Some(0.2));
         assert!(sc.is_active());
+    }
+
+    #[test]
+    fn fault_plan_defaults_off() {
+        let rc = RunConfig::default();
+        assert!(!rc.faults.is_armed(), "fault injection must default off");
+        assert!(!rc.faults.heals(), "no machinery without armed sites");
+        assert!(!rc.storage_config().faults.is_armed());
+        assert!(!rc.cjoin_config().faults.is_armed());
+        assert_eq!(rc.worker_panic_stride(), None);
+    }
+
+    #[test]
+    fn fault_plan_threads_into_layer_configs() {
+        let mut rc = RunConfig::governed(ExecPolicy::Shared);
+        rc.faults = FaultPlan {
+            seed: 42,
+            transient_page_stride: Some(5),
+            torn_page_stride: Some(9),
+            scan_stall_stride: Some(7),
+            fabric_wedge_after: Some(3),
+            ..Default::default()
+        };
+        let sf = rc.storage_config().faults;
+        assert_eq!(sf.seed, 42);
+        assert_eq!(sf.transient_stride, Some(5));
+        assert_eq!(sf.torn_stride, Some(9));
+        assert!(sf.retry, "self-heal arms the retry path");
+        let cf = rc.cjoin_config().faults;
+        assert_eq!(cf.seed, 42);
+        assert_eq!(cf.scan_stall_stride, Some(7));
+        assert_eq!(cf.wedge_after_windows, Some(3));
+        assert!(rc.faults.heals());
+        // The no-recovery baseline disables the retry machinery.
+        rc.faults.self_heal = false;
+        assert!(!rc.storage_config().faults.retry);
+        assert!(!rc.faults.heals());
+    }
+
+    #[test]
+    fn worker_panic_stride_folds_legacy_alias() {
+        let mut rc = RunConfig::default();
+        rc.service.fault_panic_stride = Some(3);
+        assert_eq!(rc.worker_panic_stride(), Some(3), "deprecated alias");
+        rc.faults.worker_panic_stride = Some(5);
+        assert_eq!(rc.worker_panic_stride(), Some(5), "plan wins over alias");
     }
 
     #[test]

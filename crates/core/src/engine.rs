@@ -11,7 +11,8 @@
 //! surfaced as [`StageRow`]s.
 
 use workshare_cjoin::{
-    AdmissionFabric, CjoinConfig, CjoinRuntimeStats, CjoinStage, CjoinStats, FabricStats,
+    AdmissionFabric, AdmissionHealth, CjoinConfig, CjoinRuntimeStats, CjoinStage, CjoinStats,
+    FabricStats, LadderRung,
 };
 use workshare_common::bind::try_bind;
 use workshare_common::fxhash::FxHashMap;
@@ -27,10 +28,33 @@ use workshare_storage::{StorageManager, TableId};
 
 use crate::config::{ExecPolicy, NamedConfig, RunConfig, ServiceConfig};
 use crate::governor::{GovernorStats, Route, SharingGovernor, SloDecision};
+use crate::health::HealthStats;
 use crate::lease::{LeaseRegistry, Leased};
 use crate::slots::{ServiceSlots, SlotPermit};
 use crate::ticket::{CompletionGuard, SlotResult, Ticket};
-use crate::volcano::run_volcano_query;
+use crate::volcano::try_run_volcano_query;
+
+/// Fault-site id of the engine's stage-build site in the seeded injection
+/// schedule (storage uses 1–3, the cjoin admission layer 4–5).
+const SITE_STAGE_BUILD: u64 = 6;
+
+/// Virtual nanoseconds between health-monitor ticks while admission work is
+/// outstanding. Two ticks bracket a wedged fabric well under the default
+/// injected stall (8 ms), so a dark pool is demoted before a full stall
+/// elapses.
+const MONITOR_TICK_NS: f64 = 500_000.0;
+
+/// Injected-fault / failed-batch delta within one monitor tick that demotes
+/// the admission ladder one rung.
+const MONITOR_FAULT_BURST: u64 = 2;
+
+/// Consecutive ticks of pending fabric work with zero window progress
+/// before the fabric is declared dark (demote + reclaim + respawn).
+const MONITOR_STALL_TICKS: u32 = 2;
+
+/// Consecutive clean ticks (no new faults, no stall) before the ladder is
+/// promoted one rung back toward the top.
+const MONITOR_PROMOTE_TICKS: u32 = 16;
 
 /// Why a submission was shed by [`Engine::try_submit`] instead of admitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -145,6 +169,25 @@ struct StageRegistry {
     /// Stage lifecycle: lease-counted lazy checkout, teardown at refcount
     /// zero with counters absorbed into the retired ledger.
     leases: LeaseRegistry<TableId, FactStage>,
+    /// Shared admission-health state (ladder rung + fault/recovery
+    /// counters), present iff [`FaultPlan::heals`](crate::config::FaultPlan)
+    /// — stages route pending batches by its live rung, the fabric runs
+    /// supervised windows under it, and the health monitor drives it.
+    health: Option<Arc<AdmissionHealth>>,
+    /// Stride of the injected stage-build fault site
+    /// ([`FaultPlan::stage_build_stride`](crate::config::FaultPlan)).
+    stage_build_stride: Option<u64>,
+    /// Injection tick of the stage-build site (one per actual build).
+    stage_builds: AtomicU64,
+    /// Builds that failed by injection: the carcass was quarantined through
+    /// the retired ledger and the stage rebuilt.
+    stage_rebuilds: AtomicU64,
+    /// Wakes the health monitor when admission work appears (it blocks
+    /// while no stage is live and the fabric is empty, so an idle engine's
+    /// virtual clock never advances on monitor ticks).
+    monitor_ws: WaitSet,
+    /// Stops the health monitor (engine shutdown).
+    monitor_stop: AtomicBool,
 }
 
 /// One shared star query's claim on its fact's stage: released on
@@ -167,6 +210,8 @@ impl StageRegistry {
         config: CjoinConfig,
         cost: CostModel,
         fabric: Option<AdmissionFabric>,
+        health: Option<Arc<AdmissionHealth>>,
+        stage_build_stride: Option<u64>,
     ) -> StageRegistry {
         StageRegistry {
             machine: machine.clone(),
@@ -175,6 +220,29 @@ impl StageRegistry {
             cost,
             fabric,
             leases: LeaseRegistry::new(),
+            health,
+            stage_build_stride,
+            stage_builds: AtomicU64::new(0),
+            stage_rebuilds: AtomicU64::new(0),
+            monitor_ws: WaitSet::new(machine),
+            monitor_stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Build one stage pipeline over `fact_name` (the lease registry's
+    /// build closure).
+    fn build_stage(&self, fact_name: &str) -> FactStage {
+        FactStage {
+            fact_name: fact_name.to_string(),
+            stage: CjoinStage::with_admission(
+                &self.machine,
+                &self.storage,
+                fact_name,
+                self.config,
+                self.cost,
+                self.fabric.clone(),
+                self.health.clone(),
+            ),
         }
     }
 
@@ -191,18 +259,134 @@ impl StageRegistry {
             registry: Arc::clone(self),
             fact,
         };
-        let fs = self.leases.checkout(fact, || FactStage {
-            fact_name: fact_name.to_string(),
-            stage: CjoinStage::with_fabric(
-                &self.machine,
-                &self.storage,
-                fact_name,
-                self.config,
-                self.cost,
-                self.fabric.clone(),
-            ),
+        let mut built = false;
+        let fs = self.leases.checkout(fact, || {
+            built = true;
+            self.build_stage(fact_name)
         });
+        // The health monitor parks while no stage is live; a checkout is
+        // the arrival of admission work.
+        self.monitor_ws.notify_all();
+        if built {
+            let tick = self.stage_builds.fetch_add(1, Ordering::Relaxed);
+            // Injected stage-build failure: the fresh pipeline is treated
+            // as a bad build — quarantined through the lease registry's
+            // retired ledger exactly like a torn-down incarnation (release
+            // at refcount one retires its counters and shuts it down) —
+            // and the stage is rebuilt. A concurrent checkout that already
+            // holds a lease suppresses the fault (the incumbent build is
+            // proven good). This site recovers regardless of `self_heal`:
+            // the failure is synchronous and rebuild is its only sane
+            // continuation.
+            if self
+                .config
+                .faults
+                .fires(SITE_STAGE_BUILD, self.stage_build_stride, tick)
+            {
+                self.leases.release(fact);
+                self.stage_rebuilds.fetch_add(1, Ordering::Relaxed);
+                let fs2 = self.leases.checkout(fact, || self.build_stage(fact_name));
+                return (fs2.stage, lease);
+            }
+        }
         (fs.stage, lease)
+    }
+
+    /// Whether the health monitor has anything to watch: a live stage or
+    /// queued fabric work.
+    fn monitor_idle(&self) -> bool {
+        let mut live = 0usize;
+        self.leases.for_each_live(|_, _| live += 1);
+        live == 0 && self.fabric_pending() == 0
+    }
+
+    /// Spawn the self-healing monitor vthread: while admission work is
+    /// outstanding it ticks every [`MONITOR_TICK_NS`], demoting the
+    /// fabric → pool → serial ladder on fault bursts, detecting a dark
+    /// fabric (pending work, zero window progress) and answering it with
+    /// reclaim + a replacement worker, and promoting back toward the top
+    /// after a clean window. Parks on [`StageRegistry::monitor_ws`] while
+    /// idle so it never advances the virtual clock of a quiet engine.
+    fn spawn_health_monitor(self: &Arc<Self>, health: Arc<AdmissionHealth>) {
+        let registry = Arc::clone(self);
+        let top = if registry.fabric.is_some() {
+            LadderRung::Fabric
+        } else {
+            LadderRung::Pool
+        };
+        self.machine.clone().spawn("health-monitor", move |ctx| {
+            let mut last_score = 0u64;
+            let mut last_windows = 0u64;
+            let mut stall_ticks = 0u32;
+            let mut clean_ticks = 0u32;
+            loop {
+                if registry.monitor_stop.load(Ordering::Acquire) {
+                    return;
+                }
+                if registry.monitor_idle() {
+                    registry.monitor_ws.wait_until(|| {
+                        registry.monitor_stop.load(Ordering::Acquire)
+                            || !registry.monitor_idle()
+                    });
+                    continue;
+                }
+                ctx.sleep(MONITOR_TICK_NS);
+                let snap = health.snapshot();
+                let score = snap.injected_stalls
+                    + snap.injected_panics
+                    + snap.injected_wedges
+                    + snap.batches_failed;
+                let delta = score.saturating_sub(last_score);
+                last_score = score;
+                // Dark-fabric detection: queued admissions with no window
+                // progress across consecutive ticks means the pool is
+                // wedged (not merely busy).
+                let mut stalled = false;
+                if let Some(fabric) = &registry.fabric {
+                    if health.rung() == LadderRung::Fabric {
+                        let windows = fabric.windows_processed();
+                        if fabric.pending_queries() > 0 && windows == last_windows {
+                            stall_ticks += 1;
+                        } else {
+                            stall_ticks = 0;
+                        }
+                        last_windows = windows;
+                        if stall_ticks >= MONITOR_STALL_TICKS {
+                            stalled = true;
+                            stall_ticks = 0;
+                        }
+                    } else {
+                        stall_ticks = 0;
+                    }
+                }
+                if stalled {
+                    health.demote();
+                    if let Some(fabric) = &registry.fabric {
+                        // Re-route the dark pool's held work through the
+                        // pool/serial rung and stand up a replacement
+                        // worker so a later promotion has a live fabric.
+                        fabric.reclaim();
+                        fabric.respawn_worker();
+                    }
+                    clean_ticks = 0;
+                    continue;
+                }
+                if delta >= MONITOR_FAULT_BURST {
+                    health.demote();
+                    clean_ticks = 0;
+                    continue;
+                }
+                if delta == 0 {
+                    clean_ticks += 1;
+                    if clean_ticks >= MONITOR_PROMOTE_TICKS {
+                        health.promote(top);
+                        clean_ticks = 0;
+                    }
+                } else {
+                    clean_ticks = 0;
+                }
+            }
+        });
     }
 
     /// Drop one in-flight claim on `fact`'s stage; tears the stage down
@@ -300,8 +484,11 @@ impl StageRegistry {
     }
 
     /// Shut every live stage down, then the shared admission fabric
-    /// (engine shutdown).
+    /// (engine shutdown). The health monitor is stopped first so it cannot
+    /// act on the dying fabric.
     fn shutdown_all(&self) {
+        self.monitor_stop.store(true, Ordering::Release);
+        self.monitor_ws.notify_all();
         for fs in self.leases.drain_live() {
             fs.stage.shutdown();
         }
@@ -364,8 +551,10 @@ struct EngineInner {
     kind: EngineKind,
     gate_ws: WaitSet,
     gate_open: Arc<AtomicBool>,
-    /// Test-only fault injection
-    /// ([`ServiceConfig::fault_panic_stride`]): panic inside the producer
+    /// Worker-panic fault site
+    /// ([`crate::config::FaultPlan::worker_panic_stride`], with the
+    /// deprecated [`ServiceConfig::fault_panic_stride`] alias folded in via
+    /// [`RunConfig::worker_panic_stride`]): panic inside the producer
     /// vthread of every query whose id is a multiple of the stride, after
     /// admission. Exercises the unwind path end to end — the completion
     /// guard poisons the slot, the permit and lease drops release their
@@ -420,31 +609,50 @@ impl Engine {
         config: &RunConfig,
         fact_table: &str,
     ) -> Engine {
+        // Self-healing machinery (ladder + supervised fabric windows +
+        // monitor) is built only when the fault plan asks for it; the
+        // default plan leaves `health` at `None` and every constructor
+        // below degrades to its legacy form bit-for-bit.
+        let has_fabric = config.admission_fabric && !config.cjoin_serial_admission;
+        let health = config.faults.heals().then(|| {
+            Arc::new(AdmissionHealth::new(if has_fabric {
+                LadderRung::Fabric
+            } else {
+                LadderRung::Pool
+            }))
+        });
         let kind = match config.policy {
             Some(policy) => EngineKind::Governed(Governed {
                 policy,
-                registry: Arc::new(StageRegistry::new(
-                    machine,
-                    storage,
-                    config.cjoin_config(),
-                    config.cost,
-                    // One cross-stage admission pool for every stage the
-                    // registry will build. The serial oracle admits inline
-                    // on the preprocessor, so it never uses a fabric. With
-                    // a service queue cap, the fabric advertises the same
-                    // cap as its pending depth so try_submit sheds before
-                    // the backlog grows unbounded.
-                    (config.admission_fabric && !config.cjoin_serial_admission).then(|| {
-                        match config.service.queue_cap {
-                            Some(cap) => AdmissionFabric::with_capacity(
+                registry: {
+                    let registry = Arc::new(StageRegistry::new(
+                        machine,
+                        storage,
+                        config.cjoin_config(),
+                        config.cost,
+                        // One cross-stage admission pool for every stage the
+                        // registry will build. The serial oracle admits inline
+                        // on the preprocessor, so it never uses a fabric. With
+                        // a service queue cap, the fabric advertises the same
+                        // cap as its pending depth so try_submit sheds before
+                        // the backlog grows unbounded.
+                        has_fabric.then(|| {
+                            AdmissionFabric::with_recovery(
                                 machine,
                                 config.admission_fabric_workers,
-                                cap as u64,
-                            ),
-                            None => AdmissionFabric::new(machine, config.admission_fabric_workers),
-                        }
-                    }),
-                )),
+                                config.service.queue_cap.map_or(u64::MAX, |cap| cap as u64),
+                                config.faults.cjoin_faults(),
+                                health.clone(),
+                            )
+                        }),
+                        health.clone(),
+                        config.faults.stage_build_stride,
+                    ));
+                    if let Some(h) = &health {
+                        registry.spawn_health_monitor(Arc::clone(h));
+                    }
+                    registry
+                },
                 qpipe: QpipeEngine::new(
                     machine,
                     storage,
@@ -489,7 +697,7 @@ impl Engine {
                 kind,
                 gate_ws: WaitSet::new(machine),
                 gate_open: Arc::new(AtomicBool::new(true)),
-                fault_panic_stride: config.service.fault_panic_stride,
+                fault_panic_stride: config.worker_panic_stride(),
             }),
         }
     }
@@ -807,10 +1015,27 @@ impl Engine {
                 }
                 let rows = agg.wait();
                 let now = ctx.machine().now_ns();
-                slot2.complete(rows, now);
-                guard.disarm();
-                if let Some(fb) = &feedback {
-                    fb.complete((now - start_ns) / 1e9);
+                // An admission fault surfaced into the aggregate result
+                // (see `AggResult::fail`) turns this query into a typed
+                // error outcome — never a hang, never a partial aggregate.
+                match agg.error() {
+                    Some(msg) => {
+                        slot2.complete_error(format!("query {qid}: {msg}"), now);
+                        guard.disarm();
+                        if let Some(fb) = &feedback {
+                            // Faulted queries complete abnormally fast;
+                            // keep their non-latency out of the
+                            // calibration EWMAs.
+                            fb.abandon();
+                        }
+                    }
+                    None => {
+                        slot2.complete(rows, now);
+                        guard.disarm();
+                        if let Some(fb) = &feedback {
+                            fb.complete((now - start_ns) / 1e9);
+                        }
+                    }
                 }
                 if let Some(l) = &lease {
                     l.release();
@@ -858,10 +1083,25 @@ impl Engine {
             }
             let rows = agg.finish(&order);
             let now = ctx.machine().now_ns();
-            slot2.complete(Arc::new(rows), now);
-            guard.disarm();
-            if let Some(fb) = &feedback {
-                fb.complete((now - start_ns) / 1e9);
+            // A fault recorded on the query's cell (admission failure,
+            // unreadable fact page) is checked after the stream drains:
+            // the reader sees a normal end-of-stream, the waiter a typed
+            // error outcome instead of a silently partial result.
+            match output.fault.lock().clone() {
+                Some(msg) => {
+                    slot2.complete_error(format!("query {qid}: {msg}"), now);
+                    guard.disarm();
+                    if let Some(fb) = &feedback {
+                        fb.abandon();
+                    }
+                }
+                None => {
+                    slot2.complete(Arc::new(rows), now);
+                    guard.disarm();
+                    if let Some(fb) = &feedback {
+                        fb.complete((now - start_ns) / 1e9);
+                    }
+                }
             }
             if let Some(l) = &lease {
                 l.release();
@@ -916,12 +1156,26 @@ impl Engine {
             if fault.is_some_and(|s| s > 0 && q.id.is_multiple_of(s)) {
                 panic!("injected fault: query {}", q.id);
             }
-            let rows = run_volcano_query(ctx, &storage, &q, &cost);
-            let now = ctx.machine().now_ns();
-            slot2.complete(Arc::new(rows), now);
-            guard.disarm();
-            if let Some(fb) = &feedback {
-                fb.complete((now - start_ns) / 1e9);
+            match try_run_volcano_query(ctx, &storage, &q, &cost) {
+                Ok(rows) => {
+                    let now = ctx.machine().now_ns();
+                    slot2.complete(Arc::new(rows), now);
+                    guard.disarm();
+                    if let Some(fb) = &feedback {
+                        fb.complete((now - start_ns) / 1e9);
+                    }
+                }
+                Err(e) => {
+                    // An unrecoverable page read (permanent fault, torn
+                    // page past rebuild) ends the query in a typed error
+                    // outcome instead of a vthread panic.
+                    let now = ctx.machine().now_ns();
+                    slot2.complete_error(format!("query {}: {e}", q.id), now);
+                    guard.disarm();
+                    if let Some(fb) = &feedback {
+                        fb.abandon();
+                    }
+                }
             }
             drop(permit);
         });
@@ -965,6 +1219,31 @@ impl Engine {
         match &self.inner.kind {
             EngineKind::Governed(g) => g.registry.fabric.as_ref().map(|f| f.stats()),
             _ => None,
+        }
+    }
+
+    /// Fault-injection and self-healing accounting across every layer of
+    /// this engine: storage retry/quarantine counters, the admission
+    /// ladder's counters and current rung, and stage quarantine/rebuilds.
+    /// All-zero ([`HealthStats::is_quiet`]) for runs with the default
+    /// (off) fault plan.
+    pub fn health_stats(&self) -> HealthStats {
+        let storage = self.inner.storage.fault_stats();
+        match &self.inner.kind {
+            EngineKind::Governed(g) => HealthStats {
+                storage,
+                admission: g
+                    .registry
+                    .health
+                    .as_ref()
+                    .map(|h| h.snapshot())
+                    .unwrap_or_default(),
+                stage_rebuilds: g.registry.stage_rebuilds.load(Ordering::Relaxed),
+            },
+            _ => HealthStats {
+                storage,
+                ..HealthStats::default()
+            },
         }
     }
 

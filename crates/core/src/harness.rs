@@ -52,6 +52,9 @@ pub struct RunReport {
     pub stages: Vec<crate::engine::StageRow>,
     /// Sharing-governor routing statistics (if the run was governed).
     pub governor: Option<crate::governor::GovernorStats>,
+    /// Fault-injection and self-healing accounting (all-zero with the
+    /// default, fully-off [`crate::config::FaultPlan`]).
+    pub health: crate::health::HealthStats,
     /// Query results (kept only when requested).
     pub results: Option<Vec<Arc<Vec<Row>>>>,
 }
@@ -147,6 +150,7 @@ pub fn run_batch_on(
         fabric: engine.fabric_stats(),
         stages: engine.stage_rows(),
         governor: engine.governor_stats(),
+        health: engine.health_stats(),
         results: keep_results.then_some(rows),
     };
     engine.shutdown();
@@ -215,6 +219,7 @@ pub fn run_staggered(
         fabric: engine.fabric_stats(),
         stages: engine.stage_rows(),
         governor: engine.governor_stats(),
+        health: engine.health_stats(),
         results: keep_results.then_some(rows),
     };
     engine.shutdown();
@@ -273,6 +278,9 @@ pub struct ThroughputReport {
     pub stages: Vec<crate::engine::StageRow>,
     /// Cross-stage admission-fabric counters, when the engine ran one.
     pub fabric: Option<workshare_cjoin::FabricStats>,
+    /// Fault-injection and self-healing accounting (all-zero with the
+    /// default, fully-off [`crate::config::FaultPlan`]).
+    pub health: crate::health::HealthStats,
 }
 
 impl ThroughputReport {
@@ -558,6 +566,7 @@ where
         governor: engine.governor_stats(),
         stages: engine.stage_rows(),
         fabric: engine.fabric_stats(),
+        health: engine.health_stats(),
     };
     engine.shutdown();
     report

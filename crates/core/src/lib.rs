@@ -39,13 +39,14 @@ pub mod dataset;
 pub mod engine;
 pub mod governor;
 pub mod harness;
+pub mod health;
 pub mod lease;
 pub mod slots;
 pub mod ticket;
 pub mod volcano;
 pub mod workload;
 
-pub use config::{ExecPolicy, NamedConfig, RunConfig, ServiceConfig, MAX_TENANTS};
+pub use config::{ExecPolicy, FaultPlan, NamedConfig, RunConfig, ServiceConfig, MAX_TENANTS};
 pub use dataset::Dataset;
 pub use engine::{Engine, Outcome, ShedReason, StageRow};
 pub use governor::{GovernorConfig, GovernorStats, Route, SharingGovernor, SloDecision};
@@ -53,9 +54,10 @@ pub use harness::{
     run_batch, run_clients, run_service, run_staggered, RunReport, ServiceLoad, TenantCounts,
     ThroughputReport,
 };
+pub use health::HealthStats;
 pub use ticket::Ticket;
 
-pub use workshare_cjoin::FabricStats;
+pub use workshare_cjoin::{AdmissionHealthSnapshot, FabricStats, LadderRung};
 pub use workshare_common::{CostModel, StarQuery};
 pub use workshare_qpipe::ExchangeKind;
-pub use workshare_storage::IoMode;
+pub use workshare_storage::{IoMode, StorageError, StorageFaultStats};

@@ -20,15 +20,32 @@ use workshare_common::fxhash::FxHashMap;
 use workshare_common::value::Row;
 use workshare_common::{CostModel, StarQuery};
 use workshare_sim::{CostKind, SimCtx};
-use workshare_storage::StorageManager;
+use workshare_storage::{StorageError, StorageManager};
 
 /// Execute `q` start-to-finish on the calling vthread; returns result rows.
+/// Panics on an unrecoverable page read — use [`try_run_volcano_query`]
+/// where a typed error outcome is wanted (the engine's submission path).
 pub fn run_volcano_query(
     ctx: &SimCtx,
     storage: &StorageManager,
     q: &StarQuery,
     cost: &CostModel,
 ) -> Vec<Row> {
+    match try_run_volcano_query(ctx, storage, q, cost) {
+        Ok(rows) => rows,
+        Err(e) => panic!("volcano query {}: {e}", q.id),
+    }
+}
+
+/// [`run_volcano_query`] with unrecoverable page reads surfaced as typed
+/// [`StorageError`]s instead of panics (transient faults are already
+/// retried with backoff inside the storage manager).
+pub fn try_run_volcano_query(
+    ctx: &SimCtx,
+    storage: &StorageManager,
+    q: &StarQuery,
+    cost: &CostModel,
+) -> Result<Vec<Row>, StorageError> {
     let fact_t = storage.table(&q.fact);
     let fact_schema = storage.schema(fact_t);
     let dim_ts: Vec<_> = q.dims.iter().map(|d| storage.table(&d.dim)).collect();
@@ -49,7 +66,7 @@ pub fn run_volcano_query(
         let payload = &bound.dim_payload_idx[k];
         let mut table = FxHashMap::default();
         for p in 0..storage.page_count(t) {
-            let page = storage.read_page(ctx, t, p, stream);
+            let page = storage.try_read_page(ctx, t, p, stream)?;
             let rows = page.decode_all(schema);
             ctx.charge(
                 CostKind::Scan,
@@ -82,7 +99,7 @@ pub fn run_volcano_query(
     let stream = storage.new_stream();
     let fact_terms = q.fact_pred.term_count();
     for p in 0..storage.page_count(fact_t) {
-        let page = storage.read_page(ctx, fact_t, p, stream);
+        let page = storage.try_read_page(ctx, fact_t, p, stream)?;
         let rows = page.decode_all(&fact_schema);
         ctx.charge(
             CostKind::Scan,
@@ -129,7 +146,7 @@ pub fn run_volcano_query(
     if !q.order_by.is_empty() {
         ctx.charge(CostKind::Sort, cost.sort_cost(groups));
     }
-    agg.finish(&q.order_by)
+    Ok(agg.finish(&q.order_by))
 }
 
 /// Convenience wrapper: run a Volcano query to completion and return an

@@ -111,7 +111,17 @@ impl ScanService {
                     exchange.close();
                     return;
                 }
-                let page = storage.read_page(ctx, table, pos, stream);
+                // Fail-stop on an unrecoverable page read (transient
+                // faults were already retried with backoff inside the
+                // manager): close the exchange so attached consumers see
+                // end-of-stream instead of hanging behind a dead scanner.
+                let page = match storage.try_read_page(ctx, table, pos, stream) {
+                    Ok(p) => p,
+                    Err(_) => {
+                        exchange.close();
+                        return;
+                    }
+                };
                 let rows = page.decode_all(&schema);
                 ctx.charge(
                     CostKind::Scan,
@@ -175,7 +185,12 @@ pub fn spawn_independent_scan(
         let schema = storage.schema(table);
         let stream = storage.new_stream();
         for pos in 0..storage.page_count(table) {
-            let page = storage.read_page(ctx, table, pos, stream);
+            // Same fail-stop shape as the shared scanner: an unrecoverable
+            // read closes the exchange rather than panicking the producer.
+            let page = match storage.try_read_page(ctx, table, pos, stream) {
+                Ok(p) => p,
+                Err(_) => break,
+            };
             let rows = page.decode_all(&schema);
             ctx.charge(
                 CostKind::Scan,

@@ -125,6 +125,7 @@ impl BufferPool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use workshare_common::codec::PageBuilder;

@@ -18,10 +18,26 @@
 //! All methods take the calling vthread's `SimCtx` so CPU costs (latching)
 //! and I/O waits land on the virtual timeline.
 
+//!
+//! Page reads are fallible ([`StorageManager::try_read_page`]): transient
+//! faults recover via bounded retry with exponential backoff, torn pages are
+//! caught by per-page checksums and quarantined, and unrecoverable faults
+//! surface as a typed [`StorageError`] — never a panic on query paths. The
+//! seeded [`StorageFaultPlan`] (default off) drives deterministic fault
+//! injection for the chaos tests (`docs/FAULTS.md`).
+
+// Query-path code must surface typed errors, not unwrap; tests may unwrap.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 mod bufferpool;
+mod fault;
 mod fscache;
 mod manager;
 
 pub use bufferpool::BufferPool;
+pub use fault::{StorageError, StorageFaultPlan, StorageFaultStats};
 pub use fscache::FsCache;
-pub use manager::{IoMode, StorageConfig, StorageManager, TableId};
+pub use manager::{
+    IoMode, StorageConfig, StorageManager, TableId, MAX_PAGE_ATTEMPTS,
+    PAGE_RETRY_BACKOFF_NS,
+};

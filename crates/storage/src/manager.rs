@@ -11,7 +11,15 @@ use workshare_sim::disk::StreamId;
 use workshare_sim::{CostKind, SimCtx};
 
 use crate::bufferpool::BufferPool;
+use crate::fault::{page_checksum, FaultSite, FaultState};
 use crate::fscache::FsCache;
+use crate::{StorageError, StorageFaultPlan, StorageFaultStats};
+
+/// Attempts (first try + retries) before a failing page read gives up.
+pub const MAX_PAGE_ATTEMPTS: u32 = 4;
+
+/// Virtual-time backoff before the first page-read retry; doubles per retry.
+pub const PAGE_RETRY_BACKOFF_NS: f64 = 20_000.0;
 
 /// Identifies a registered table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -39,6 +47,8 @@ pub struct StorageConfig {
     pub fs_extent_pages: usize,
     /// FS-cache capacity in extents.
     pub fs_cache_extents: usize,
+    /// Seeded page-fault schedule (default fully off).
+    pub faults: StorageFaultPlan,
 }
 
 impl Default for StorageConfig {
@@ -51,6 +61,7 @@ impl Default for StorageConfig {
             buffer_pool_pages: 1 << 20,
             fs_extent_pages: 32,
             fs_cache_extents: 1 << 16,
+            faults: StorageFaultPlan::default(),
         }
     }
 }
@@ -59,6 +70,8 @@ struct TableData {
     name: String,
     schema: Arc<Schema>,
     pages: Arc<Vec<Page>>,
+    /// Per-page FNV-1a checksums, verified on read when faults are armed.
+    sums: Arc<Vec<u64>>,
     rows: usize,
 }
 
@@ -75,6 +88,7 @@ struct StorageInner {
     pool: Mutex<BufferPool>,
     fs: Mutex<FsCache>,
     stream_counter: AtomicU64,
+    fault: FaultState,
 }
 
 impl StorageManager {
@@ -88,6 +102,7 @@ impl StorageManager {
                 pool: Mutex::new(BufferPool::new(config.buffer_pool_pages)),
                 fs: Mutex::new(FsCache::new(config.fs_cache_extents)),
                 stream_counter: AtomicU64::new(1),
+                fault: FaultState::new(),
             }),
         }
     }
@@ -116,10 +131,12 @@ impl StorageManager {
             "table '{name}' already exists"
         );
         let id = TableId(tables.len() as u32);
+        let sums = pages.iter().map(|p| page_checksum(p.bytes())).collect();
         tables.push(TableData {
             name: name.to_string(),
             schema: Arc::new(schema),
             pages: Arc::new(pages),
+            sums: Arc::new(sums),
             rows,
         });
         id
@@ -177,8 +194,102 @@ impl StorageManager {
     }
 
     /// Read one page on behalf of `ctx`, charging latch CPU and blocking on
-    /// simulated I/O according to the configured [`IoMode`].
+    /// simulated I/O according to the configured [`IoMode`]. Panics on an
+    /// unrecovered fault — use [`StorageManager::try_read_page`] on paths
+    /// that surface per-query errors.
     pub fn read_page(
+        &self,
+        ctx: &SimCtx,
+        t: TableId,
+        page_no: usize,
+        stream: StreamId,
+    ) -> Page {
+        match self.try_read_page(ctx, t, page_no, stream) {
+            Ok(page) => page,
+            Err(e) => panic!("unrecovered storage fault: {e}"),
+        }
+    }
+
+    /// Fallible page read: retries transient faults with exponential backoff,
+    /// verifies the per-page checksum (quarantining torn pages), and surfaces
+    /// unrecoverable faults as a typed [`StorageError`]. With the default
+    /// (unarmed) fault plan this is exactly the legacy read path.
+    pub fn try_read_page(
+        &self,
+        ctx: &SimCtx,
+        t: TableId,
+        page_no: usize,
+        stream: StreamId,
+    ) -> Result<Page, StorageError> {
+        let plan = &self.inner.config.faults;
+        if !plan.is_armed() {
+            return Ok(self.read_page_raw(ctx, t, page_no, stream));
+        }
+        let cost = self.inner.cost;
+        let key = (t.0, page_no as u32);
+        // A quarantined page is rebuilt from the replica before serving:
+        // modeled as one page copy of CPU work.
+        if self.inner.fault.rebuild(key) {
+            let bytes = self.inner.tables.read()[t.0 as usize].pages[page_no].byte_len();
+            ctx.charge(CostKind::Misc, cost.copy_cost(bytes));
+        }
+        // Decide this read's fate up front (seeded, counter-driven), so the
+        // schedule replays from the plan's seed.
+        let tick = self.inner.fault.tick();
+        let permanent = FaultState::fires(plan, FaultSite::Permanent, tick);
+        let transient =
+            !permanent && FaultState::fires(plan, FaultSite::Transient, tick);
+        let torn = !permanent
+            && !transient
+            && FaultState::fires(plan, FaultSite::Torn, tick);
+        if permanent {
+            self.inner.fault.count_injected(FaultSite::Permanent);
+        } else if transient {
+            self.inner.fault.count_injected(FaultSite::Transient);
+        } else if torn {
+            self.inner.fault.count_injected(FaultSite::Torn);
+        }
+        let max_attempts = if plan.retry { MAX_PAGE_ATTEMPTS } else { 1 };
+        let burst = plan.transient_burst.clamp(1, MAX_PAGE_ATTEMPTS - 1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            // Every attempt pays the physical read (I/O + latches).
+            let page = self.read_page_raw(ctx, t, page_no, stream);
+            if permanent || (transient && attempt <= burst) {
+                if attempt >= max_attempts {
+                    return Err(StorageError::PageUnreadable {
+                        table: t.0,
+                        page: page_no as u32,
+                        attempts: attempt,
+                    });
+                }
+                // Bounded retry with exponential backoff.
+                self.inner.fault.count_retry();
+                ctx.sleep(PAGE_RETRY_BACKOFF_NS * (1u64 << (attempt - 1)) as f64);
+                continue;
+            }
+            // Verify the per-page checksum; a torn read mismatches.
+            let expected = self.inner.tables.read()[t.0 as usize].sums[page_no];
+            let actual = page_checksum(page.bytes()) ^ if torn { 1 } else { 0 };
+            if actual != expected {
+                self.inner.fault.quarantine(key);
+                return Err(StorageError::TornPage {
+                    table: t.0,
+                    page: page_no as u32,
+                });
+            }
+            return Ok(page);
+        }
+    }
+
+    /// Fault-injection and recovery counters (all zero when faults are off).
+    pub fn fault_stats(&self) -> StorageFaultStats {
+        self.inner.fault.stats()
+    }
+
+    /// The unconditional physical read path.
+    fn read_page_raw(
         &self,
         ctx: &SimCtx,
         t: TableId,
@@ -252,6 +363,7 @@ impl StorageManager {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use workshare_common::codec::PageBuilder;
@@ -281,6 +393,7 @@ mod tests {
                 buffer_pool_pages: pool_pages,
                 fs_extent_pages: 4,
                 fs_cache_extents: 1024,
+                ..Default::default()
             },
             CostModel::default(),
         )
@@ -398,5 +511,115 @@ mod tests {
         let a = sm.new_stream();
         let b = sm.new_stream();
         assert_ne!(a, b);
+    }
+
+    fn faulted_manager(faults: StorageFaultPlan) -> StorageManager {
+        StorageManager::new(
+            StorageConfig {
+                io_mode: IoMode::Memory,
+                faults,
+                ..Default::default()
+            },
+            CostModel::default(),
+        )
+    }
+
+    fn try_scan_all(
+        m: &Machine,
+        sm: &StorageManager,
+        t: TableId,
+    ) -> (usize, Vec<StorageError>) {
+        let sm = sm.clone();
+        let pages = sm.page_count(t);
+        m.spawn("scan", move |ctx| {
+            let stream = sm.new_stream();
+            let mut ok = 0;
+            let mut errs = Vec::new();
+            for p in 0..pages {
+                match sm.try_read_page(ctx, t, p, stream) {
+                    Ok(_) => ok += 1,
+                    Err(e) => errs.push(e),
+                }
+            }
+            (ok, errs)
+        })
+        .join()
+        .unwrap()
+    }
+
+    #[test]
+    fn transient_faults_recover_via_retry() {
+        let m = machine();
+        let sm = faulted_manager(StorageFaultPlan {
+            seed: 7,
+            transient_stride: Some(3),
+            ..Default::default()
+        });
+        let t = sm.create_table("t", schema(), build_table(5000));
+        let (ok, errs) = try_scan_all(&m, &sm, t);
+        assert_eq!(ok, sm.page_count(t), "every read recovers");
+        assert!(errs.is_empty(), "{errs:?}");
+        let fs = sm.fault_stats();
+        assert!(fs.injected_transient > 0, "{fs:?}");
+        assert!(fs.retries >= fs.injected_transient, "{fs:?}");
+        assert!(m.now_ns() > 0.0, "backoff advanced virtual time");
+    }
+
+    #[test]
+    fn transient_faults_without_retry_surface_errors() {
+        let m = machine();
+        let sm = faulted_manager(StorageFaultPlan {
+            seed: 7,
+            transient_stride: Some(3),
+            retry: false,
+            ..Default::default()
+        });
+        let t = sm.create_table("t", schema(), build_table(5000));
+        let (_, errs) = try_scan_all(&m, &sm, t);
+        assert_eq!(errs.len() as u64, sm.fault_stats().injected_transient);
+        assert!(!errs.is_empty());
+    }
+
+    #[test]
+    fn permanent_faults_error_after_bounded_attempts() {
+        let m = machine();
+        let sm = faulted_manager(StorageFaultPlan {
+            seed: 11,
+            permanent_stride: Some(4),
+            ..Default::default()
+        });
+        let t = sm.create_table("t", schema(), build_table(5000));
+        let (ok, errs) = try_scan_all(&m, &sm, t);
+        assert!(ok > 0 && !errs.is_empty());
+        for e in &errs {
+            assert!(
+                matches!(
+                    e,
+                    StorageError::PageUnreadable { attempts, .. }
+                        if *attempts == MAX_PAGE_ATTEMPTS
+                ),
+                "{e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn torn_pages_quarantine_then_rebuild() {
+        let m = machine();
+        let sm = faulted_manager(StorageFaultPlan {
+            seed: 3,
+            torn_stride: Some(5),
+            ..Default::default()
+        });
+        let t = sm.create_table("t", schema(), build_table(5000));
+        let (_, errs) = try_scan_all(&m, &sm, t);
+        assert!(!errs.is_empty());
+        assert!(errs.iter().all(|e| matches!(e, StorageError::TornPage { .. })));
+        let fs = sm.fault_stats();
+        assert_eq!(fs.pages_quarantined, errs.len() as u64);
+        // A second scan rebuilds the quarantined pages (new ticks may tear
+        // other pages, but the first scan's casualties all heal).
+        try_scan_all(&m, &sm, t);
+        assert!(sm.fault_stats().pages_rebuilt >= fs.pages_quarantined, "{fs:?}");
     }
 }

@@ -19,6 +19,10 @@
 //! 5. [`CompletionCell`] complete vs racing error-complete vs polling
 //!    waiter: exactly one completion wins and `done` never precedes the
 //!    outcome.
+//! 6. [`ScanAttempt`] straggler re-dispatch claim (the fabric's
+//!    exactly-once handshake): racing original and re-dispatched attempts
+//!    publish a scan unit exactly once, never zero times, and `done` never
+//!    precedes the publish.
 //!
 //! Every faithful scenario must *exhaust* its schedule space
 //! (`report.complete`) and explore at least 1 000 distinct schedules; every
@@ -31,7 +35,9 @@ use loom::thread;
 use loom::{Builder, Report};
 
 use workshare_cjoin::publish::{FilterSpec, PublishMutation};
-use workshare_cjoin::window::{PendingSlot, WindowLedger, WindowMutation};
+use workshare_cjoin::window::{
+    PendingSlot, RedispatchMutation, ScanAttempt, WindowLedger, WindowMutation,
+};
 use workshare_common::sync::{Arc, AtomicBool, AtomicU64, Ordering};
 use workshare_core::cell::{CellMutation, CompletionCell};
 use workshare_core::lease::{LeaseMutation, LeaseRegistry, Leased};
@@ -391,6 +397,86 @@ fn cell_mutation_flag_before_value_is_caught() {
 #[test]
 fn cell_mutation_blind_error_overwrite_is_caught() {
     assert!(catches(cell_scenario(CellMutation::BlindErrorOverwrite)));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 6: straggler re-dispatch claim protocol
+// ---------------------------------------------------------------------------
+
+/// The fabric's re-dispatch shape: when a subscan outlives its deadline the
+/// window supervisor spawns a second (and under repeated stalls a third)
+/// attempt over the same scan unit. All attempts stage their entries, then
+/// race [`ScanAttempt::try_claim`] for the right to publish; losers discard.
+/// Invariants: the unit is published exactly once (no duplicate-dispatch),
+/// never zero times (no lost-unit), every losing attempt discards, and a
+/// supervisor that observes `is_done` sees the publish (Release/Acquire
+/// pairing).
+fn redispatch_scenario(mutation: RedispatchMutation) -> impl Fn() + Send + Sync + 'static {
+    const ATTEMPTS: u64 = 3;
+    move || {
+        let attempt = Arc::new(ScanAttempt::with_mutation(mutation));
+        let published = Arc::new(AtomicU64::new(0));
+        let discarded = Arc::new(AtomicU64::new(0));
+        let run = |attempt: Arc<ScanAttempt>, published: Arc<AtomicU64>, discarded: Arc<AtomicU64>| {
+            // Each attempt stages its entries privately, then races for the
+            // publish right; exactly one may apply them.
+            if attempt.try_claim() {
+                published.fetch_add(1, Ordering::AcqRel);
+                attempt.mark_done();
+            } else {
+                discarded.fetch_add(1, Ordering::AcqRel);
+            }
+        };
+        let ts: Vec<_> = (1..ATTEMPTS)
+            .map(|_| {
+                let (a, p, d) = (
+                    Arc::clone(&attempt),
+                    Arc::clone(&published),
+                    Arc::clone(&discarded),
+                );
+                thread::spawn(move || run(a, p, d))
+            })
+            .collect();
+        // The original attempt runs on this thread, racing the re-dispatches.
+        run(
+            Arc::clone(&attempt),
+            Arc::clone(&published),
+            Arc::clone(&discarded),
+        );
+        // Supervisor's mid-race view: done ⇒ the publish is visible, and
+        // only one attempt ever made it.
+        if attempt.is_done() {
+            assert_eq!(
+                published.load(Ordering::Acquire),
+                1,
+                "done observed without exactly one visible publish"
+            );
+        }
+        for t in ts {
+            t.join().unwrap();
+        }
+        assert!(attempt.is_done(), "scan unit silently dropped (lost-unit)");
+        assert_eq!(
+            published.load(Ordering::Acquire),
+            1,
+            "duplicate dispatch: more than one attempt published"
+        );
+        assert_eq!(
+            discarded.load(Ordering::Acquire),
+            ATTEMPTS - 1,
+            "a losing attempt failed to discard its staged entries"
+        );
+    }
+}
+
+#[test]
+fn redispatch_claim_is_exactly_once_holds() {
+    check_exhaustive(redispatch_scenario(RedispatchMutation::None));
+}
+
+#[test]
+fn redispatch_mutation_torn_claim_is_caught() {
+    assert!(catches(redispatch_scenario(RedispatchMutation::TornClaim)));
 }
 
 // ---------------------------------------------------------------------------

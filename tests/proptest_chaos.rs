@@ -1,0 +1,225 @@
+//! Chaos property tests of the **fault-injection substrate and the
+//! self-healing admission ladder**: for random seeded [`FaultPlan`]s —
+//! transient / permanent / torn page faults, scan-unit stalls and panics,
+//! fabric-worker wedges, stage-build failures, mid-execution worker panics
+//! — at any ladder rung the load lands on, every submitted query must end
+//! in exactly one of {completed, shed, error}. Faults degrade answers into
+//! typed per-query error outcomes; they never lose a query, wedge the
+//! admission queue, or hang the run.
+//!
+//! A chaos failure replays deterministically from the printed proptest
+//! seed: the fault schedule is a pure function of `FaultPlan::seed` and the
+//! per-site tick counters (see `docs/FAULTS.md`).
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use workshare::harness::{run_service, ServiceLoad};
+use workshare::{workload, Dataset, ExecPolicy, FaultPlan, RunConfig, ServiceConfig};
+
+fn ssb() -> &'static Dataset {
+    static D: OnceLock<Dataset> = OnceLock::new();
+    D.get_or_init(|| Dataset::ssb(0.05, 4321))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Conservation under random seeded fault schedules, with the
+    /// self-healing machinery armed.
+    #[test]
+    fn every_submission_is_accounted_under_any_fault_schedule(
+        arm_transient in proptest::bool::ANY,
+        transient_stride in 7u64..40,
+        arm_permanent in proptest::bool::ANY,
+        permanent_stride in 50u64..200,
+        arm_torn in proptest::bool::ANY,
+        torn_stride in 60u64..200,
+        arm_stall in proptest::bool::ANY,
+        stall_stride in 5u64..20,
+        arm_panic in proptest::bool::ANY,
+        panic_stride in 5u64..20,
+        arm_wedge in proptest::bool::ANY,
+        wedge_after in 1u64..3,
+        arm_stage_build in proptest::bool::ANY,
+        stage_build_stride in 2u64..5,
+        arm_worker_panic in proptest::bool::ANY,
+        worker_panic_stride in 3u64..6,
+        fault_seed in 0u64..1_000_000,
+        fabric in proptest::bool::ANY,
+        capped in proptest::bool::ANY,
+        cap in 2usize..6,
+        open_loop in proptest::bool::ANY,
+        rate in 100.0f64..1200.0,
+        clients in 1usize..4,
+        tenants in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let faults = FaultPlan {
+            seed: fault_seed,
+            transient_page_stride: arm_transient.then_some(transient_stride),
+            permanent_page_stride: arm_permanent.then_some(permanent_stride),
+            torn_page_stride: arm_torn.then_some(torn_stride),
+            scan_stall_stride: arm_stall.then_some(stall_stride),
+            scan_panic_stride: arm_panic.then_some(panic_stride),
+            // A wedge is only recoverable through the monitor's reclaim +
+            // respawn, so it rides with `self_heal: true` (below).
+            fabric_wedge_after: arm_wedge.then_some(wedge_after),
+            stage_build_stride: arm_stage_build.then_some(stage_build_stride),
+            worker_panic_stride: arm_worker_panic.then_some(worker_panic_stride),
+            self_heal: true,
+            ..FaultPlan::default()
+        };
+        let mut cfg = RunConfig::governed(ExecPolicy::Adaptive);
+        cfg.admission_fabric = fabric;
+        cfg.faults = faults;
+        cfg.service = ServiceConfig {
+            queue_cap: capped.then_some(cap),
+            ..ServiceConfig::default()
+        };
+        let load = ServiceLoad {
+            clients,
+            arrivals_per_sec: open_loop.then_some(rate),
+            tenants,
+            window_secs: 0.2,
+            seed,
+        };
+        let rep = run_service(ssb(), &cfg, "lineorder", load, |id, rng| {
+            workload::ssb_q3_2(id, rng)
+        });
+
+        // The load-bearing invariant: conserved at any rung, under any
+        // schedule.
+        prop_assert!(rep.is_conserved(), "{rep:?}");
+        for row in &rep.tenants {
+            prop_assert_eq!(
+                row.submitted,
+                row.completed + row.shed + row.errors,
+                "tenant {} unbalanced: {row:?}",
+                row.tenant
+            );
+        }
+
+        let h = &rep.health;
+        // The ladder never leaves its three rungs, and can only have
+        // climbed back up where it first stepped down.
+        prop_assert!(h.admission.rung <= 2, "{h:?}");
+        prop_assert!(h.admission.promotions <= h.admission.demotions, "{h:?}");
+        // Errors only ever come from injected faults.
+        if !faults.is_armed() {
+            prop_assert_eq!(rep.errors, 0, "{rep:?}");
+            prop_assert!(h.is_quiet(), "unarmed plan must stay quiet: {h:?}");
+        }
+        // Un-healed permanent faults aside, transient faults must be
+        // retried, not surfaced (self_heal is on).
+        if h.storage.injected_transient > 0 {
+            prop_assert!(h.storage.retries > 0, "{h:?}");
+        }
+        // A torn page is always quarantined when detected.
+        prop_assert!(h.storage.pages_quarantined >= h.storage.pages_rebuilt, "{h:?}");
+    }
+}
+
+/// Deterministic heavy-fault companion: every site armed at aggressive
+/// strides over the fabric path. The run must stay conserved, surface real
+/// typed errors, and account every recovery action — including at least
+/// one wedge → demotion → reclaim/respawn cycle of the degradation ladder.
+#[test]
+fn heavy_fault_schedule_recovers_and_accounts_every_action() {
+    let mut cfg = RunConfig::governed(ExecPolicy::Shared);
+    cfg.admission_fabric = true;
+    cfg.faults = FaultPlan {
+        seed: 42,
+        transient_page_stride: Some(9),
+        permanent_page_stride: Some(160),
+        torn_page_stride: Some(200),
+        scan_stall_stride: Some(6),
+        scan_panic_stride: Some(7),
+        fabric_wedge_after: Some(2),
+        stage_build_stride: Some(2),
+        worker_panic_stride: Some(11),
+        self_heal: true,
+        ..FaultPlan::default()
+    };
+    cfg.service = ServiceConfig {
+        queue_cap: Some(6),
+        ..ServiceConfig::default()
+    };
+    let load = ServiceLoad {
+        clients: 4,
+        arrivals_per_sec: None,
+        tenants: 2,
+        window_secs: 0.4,
+        seed: 11,
+    };
+    let rep = run_service(ssb(), &cfg, "lineorder", load, |id, rng| {
+        workload::ssb_q3_2(id, rng)
+    });
+    let h = &rep.health;
+
+    assert!(rep.is_conserved(), "{rep:?}");
+    assert!(rep.submitted > 0, "{rep:?}");
+    assert!(
+        rep.completed + rep.completed_late > 0,
+        "healing must keep goodput nonzero: {rep:?}"
+    );
+    // Injection really fired across layers…
+    assert!(h.storage.injected_transient > 0, "{h:?}");
+    assert!(h.faults_injected() > 0, "{h:?}");
+    // …and every class of recovery ran and was accounted.
+    assert!(h.storage.retries > 0, "transient retries must fire: {h:?}");
+    assert!(h.stage_rebuilds > 0, "stage-build site must fire: {h:?}");
+    assert!(
+        h.admission.injected_wedges >= 1,
+        "the fabric worker must wedge: {h:?}"
+    );
+    assert!(
+        h.admission.demotions >= 1,
+        "the dark fabric must demote the ladder: {h:?}"
+    );
+    assert!(
+        h.admission.fabric_respawns >= 1,
+        "the monitor must stand up a replacement worker: {h:?}"
+    );
+    assert!(h.admission.promotions <= h.admission.demotions, "{h:?}");
+}
+
+/// No-recovery baseline: the same storage fault schedule with `self_heal`
+/// off turns every injected transient fault into a first-attempt typed
+/// error — queries fail instead of healing, but conservation still holds
+/// (degraded, never wrong: no lost queries, no hang). The wedge site stays
+/// unarmed here: a wedged fabric with no monitor holds its queued work
+/// forever by design, which is exactly what the healed variant above — and
+/// the faulted overload gate — measure against.
+#[test]
+fn no_recovery_baseline_fails_queries_but_conserves() {
+    let faults = FaultPlan {
+        seed: 42,
+        transient_page_stride: Some(9),
+        self_heal: false,
+        ..FaultPlan::default()
+    };
+    let mut cfg = RunConfig::governed(ExecPolicy::Shared);
+    cfg.admission_fabric = true;
+    cfg.faults = faults;
+    let load = ServiceLoad {
+        clients: 3,
+        arrivals_per_sec: None,
+        tenants: 1,
+        window_secs: 0.3,
+        seed: 11,
+    };
+    let rep = run_service(ssb(), &cfg, "lineorder", load, |id, rng| {
+        workload::ssb_q3_2(id, rng)
+    });
+    let h = &rep.health;
+
+    assert!(rep.is_conserved(), "{rep:?}");
+    assert!(rep.errors > 0, "unretried faults must fail queries: {rep:?}");
+    assert_eq!(h.storage.retries, 0, "self_heal off must not retry: {h:?}");
+    assert_eq!(
+        h.admission.demotions, 0,
+        "no monitor without self_heal: {h:?}"
+    );
+}
