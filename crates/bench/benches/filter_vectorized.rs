@@ -28,7 +28,7 @@ const DIM_KEYS: i64 = 64;
 /// A shared filter where query `q` selects key `k` iff `k % (2 + q % 7) == 0`
 /// — overlapping but distinct per-query selections, as produced by a mix of
 /// star queries over one dimension.
-fn mk_filter(fact_fk_idx: usize, n_queries: usize) -> FilterCore {
+fn mk_filter(fact_fk_idx: usize, n_queries: usize) -> Arc<FilterCore> {
     let mut hash = FxHashMap::default();
     let mut referencing = QueryBitmap::zeros(n_queries);
     for q in 0..n_queries {
@@ -53,13 +53,13 @@ fn mk_filter(fact_fk_idx: usize, n_queries: usize) -> FilterCore {
             );
         }
     }
-    FilterCore {
+    Arc::new(FilterCore {
         dim: workshare_storage::TableId(0),
         fact_fk_idx,
         dim_pk_idx: 0,
         hash,
         referencing,
-    }
+    })
 }
 
 /// One fact page with physically correlated FKs (runs of 8 and 4): the

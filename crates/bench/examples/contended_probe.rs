@@ -1,0 +1,80 @@
+//! Scratch profiler for the `lockfree_contended/8w` bench section: times
+//! each role's per-page cost single-threaded so regressions in the gate
+//! can be attributed to a specific path. Not CI-wired.
+
+use std::sync::Arc;
+use std::time::Instant;
+use workshare_cjoin::{EpochCell, WrapLedger};
+use workshare_common::fxhash::FxHashMap;
+use workshare_common::sync::RwLock;
+use workshare_common::QueryBitmap;
+
+const PAGES: usize = 2_000_000;
+const SLOTS: usize = 16;
+const FILTER_WORDS: usize = 64;
+// probe payload: one shared word per page (see bench section docs)
+const BUDGET: u64 = u64::MAX / 2;
+
+struct OldState {
+    active_bits: QueryBitmap,
+    emit_left: FxHashMap<u32, u64>,
+    filters: Vec<u64>,
+}
+
+fn time(label: &str, f: impl FnOnce()) {
+    let start = Instant::now();
+    f();
+    let secs = start.elapsed().as_secs_f64();
+    println!("{label}: {:.1} ns/page ({secs:.3}s total)", secs * 1e9 / PAGES as f64);
+}
+
+fn main() {
+    let mut active_bits = QueryBitmap::zeros(64);
+    let mut emit_left = FxHashMap::default();
+    for slot in 0..SLOTS {
+        active_bits.set(slot);
+        emit_left.insert(slot as u32, BUDGET);
+    }
+    let state = Arc::new(RwLock::new(OldState {
+        active_bits,
+        emit_left,
+        filters: vec![3; FILTER_WORDS],
+    }));
+    let cell = Arc::new(EpochCell::new(vec![3u64; FILTER_WORDS]));
+    let wrap = Arc::new(WrapLedger::new(64));
+    for slot in 0..SLOTS {
+        wrap.activate(slot, BUDGET);
+    }
+
+    time("rwlock_scan  ", || {
+        for _ in 0..PAGES {
+            let members = state.read().active_bits.clone();
+            let mut s = state.write();
+            for slot in members.iter_ones() {
+                if let Some(left) = s.emit_left.get_mut(&(slot as u32)) {
+                    *left -= 1;
+                }
+            }
+        }
+    });
+    time("lockfree_scan", || {
+        let mut stamp = Arc::new(QueryBitmap::default());
+        for _ in 0..PAGES {
+            wrap.snapshot_cached(&mut stamp);
+            wrap.record_page(&stamp);
+        }
+    });
+    time("rwlock_work  ", || {
+        for page in 0..PAGES {
+            let s = state.read();
+            std::hint::black_box(s.filters[page & (FILTER_WORDS - 1)]);
+        }
+    });
+    time("lockfree_work", || {
+        let mut reader = cell.reader();
+        for page in 0..PAGES {
+            let epoch = reader.current(&cell);
+            std::hint::black_box(epoch[page & (FILTER_WORDS - 1)]);
+        }
+    });
+}

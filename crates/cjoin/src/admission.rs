@@ -19,7 +19,7 @@
 //! unit scans the dimension once, evaluates every predicate per decoded
 //! page via [`Predicate::eval_batch_multi`], and stages one merged
 //! [`DimEntry`] insert per selected row **per stage filter**, delivered
-//! under a single state write per stage.
+//! as a single filter-epoch publish per stage ([`crate::epoch`]).
 
 // Atomics come through the swappable sync layer: `run_scan_unit` shares
 // page counters with the fabric, whose `--cfg interleave` build swaps the
@@ -102,7 +102,7 @@ pub(crate) fn fold_dim_selectivity(inner: &StageInner, dim: TableId, sample: f64
 }
 
 /// Phase 1 of a shared admission batch: slots, shared-filter registration
-/// and `referencing` bits for the whole batch under one state write, plus
+/// and `referencing` bits for the whole batch under one epoch publish, plus
 /// the batch-fixed and per-query bookkeeping charges. `referencing` is
 /// idempotent per scan; the slots are not active yet, so no in-flight page
 /// carries their bits.
@@ -139,15 +139,16 @@ pub(crate) fn prepare_batch(
     let mut slots = Vec::with_capacity(pending.len());
     let mut dim_filters: Vec<Vec<(usize, Vec<usize>)>> = Vec::with_capacity(pending.len());
     let mut parts: Vec<LocalPart> = Vec::new();
-    {
-        let mut s = inner.state.write();
+    inner.mutate_epoch(|control, epoch| {
         for (qi, adm) in pending.iter().enumerate() {
-            let slot = alloc_slot(&mut s);
+            let slot = alloc_slot(control, &inner.wrap);
             let mut dfs = Vec::with_capacity(adm.query.dims.len());
             for (k, dj) in adm.query.dims.iter().enumerate() {
                 let (dim_t, fk_idx, pk_idx) = metas[qi][k];
-                let fi = locate_filter(&mut s, dim_t, fk_idx, pk_idx);
-                s.filters[fi].referencing.set(slot as usize);
+                let fi = locate_filter(control, epoch, dim_t, fk_idx, pk_idx);
+                Arc::make_mut(&mut epoch.filters[fi])
+                    .referencing
+                    .set(slot as usize);
                 parts.push(LocalPart {
                     fi,
                     dim: dim_t,
@@ -161,7 +162,7 @@ pub(crate) fn prepare_batch(
             slots.push(slot);
             dim_filters.push(dfs);
         }
-    }
+    });
     PreparedBatch {
         pending,
         slots,
@@ -204,9 +205,9 @@ pub(crate) fn build_units(prepared: &[PreparedBatch]) -> Vec<ScanUnit> {
 /// Each page is decoded once, all predicates are evaluated over it in one
 /// pass into a per-query selection bank, and each selected row is staged as
 /// one merged insert per `(stage, filter)` carrying every selecting query's
-/// slot bit. Staged inserts are merged into each stage's live filter under
-/// a single state write per stage at the end of the scan (no virtual-time
-/// operation happens while a lock is held).
+/// slot bit. Staged inserts are merged into each stage's live filters via a
+/// single epoch publish per stage at the end of the scan (no virtual-time
+/// operation happens while the writer lock is held).
 ///
 /// `pages` restricts the scan to a page subrange: the fabric partitions a
 /// large unit across parallel subscans (dimension primary keys are unique,
@@ -359,30 +360,34 @@ pub(crate) fn run_scan_unit(
                 .fetch_add(rows_scanned * count, Ordering::Relaxed);
         }
     }
-    // One state write per participating stage: merge its staged entries.
-    // Entries merge *before* the batch's slots activate (`activate_batch`
-    // sets the distributor-visible bits afterwards) — the
-    // publish-entries-then-activate order model-checked on
-    // [`crate::publish::FilterSpec`] by `tests/interleave_core.rs`.
+    // One epoch publish per participating stage: merge its staged entries
+    // into a copy of the live filters and swap it in. Entries merge
+    // *before* the batch's slots activate (`activate_batch` sets the
+    // scan-visible bits afterwards) — the publish-entries-then-activate
+    // order model-checked on [`crate::publish::FilterSpec`] and
+    // [`crate::epoch::EpochFilterSpec`] by `tests/interleave_core.rs`.
     for (si, stage) in stages.iter().enumerate() {
         if !buckets.iter().any(|((s, _), _)| *s == si) {
             continue;
         }
-        let mut s = stage.state.write();
-        for ((bs, fi), entries) in buckets.iter_mut().filter(|((s, _), _)| *s == si) {
-            debug_assert_eq!(*bs, si);
-            let filter = &mut s.filters[*fi];
-            for (key, row, bits) in entries.drain(..) {
-                match filter.hash.entry(key) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        e.get_mut().bits.or_assign(&bits);
-                    }
-                    std::collections::hash_map::Entry::Vacant(v) => {
-                        v.insert(DimEntry { row, bits });
+        stage.mutate_epoch(|_, e| {
+            for ((bs, fi), entries) in
+                buckets.iter_mut().filter(|((s, _), _)| *s == si)
+            {
+                debug_assert_eq!(*bs, si);
+                let filter = Arc::make_mut(&mut e.filters[*fi]);
+                for (key, row, bits) in entries.drain(..) {
+                    match filter.hash.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            e.get_mut().bits.or_assign(&bits);
+                        }
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            v.insert(DimEntry { row, bits });
+                        }
                     }
                 }
             }
-        }
+        });
     }
     if let Some(att) = attempt {
         att.mark_done();
@@ -415,7 +420,7 @@ pub(crate) fn activate_batch(inner: &StageInner, prepared: PreparedBatch) {
 /// thread:
 ///
 /// 1. Slot allocation and shared-filter registration for the whole batch
-///    under one state write ([`prepare_batch`]).
+///    under one epoch publish ([`prepare_batch`]).
 /// 2. One physical scan per distinct dimension table referenced by the
 ///    batch, evaluating *all* pending predicates against each decoded page
 ///    ([`run_scan_unit`]).
@@ -465,12 +470,11 @@ pub(crate) fn admit_batch_shared(inner: &StageInner, ctx: &SimCtx, pending: Vec<
 /// an *error*, never an abort or a stuck ticket.
 pub(crate) fn fail_batch(inner: &StageInner, prepared: PreparedBatch, msg: &str) {
     let PreparedBatch { pending, slots, .. } = prepared;
-    {
-        let mut s = inner.state.write();
+    inner.mutate_epoch(|control, epoch| {
         for &slot in &slots {
-            release_slot(&mut s, slot);
+            release_slot(control, epoch, slot);
         }
-    }
+    });
     if let Some(h) = &inner.health {
         h.count_batch_failed(pending.len() as u64);
     }
@@ -496,9 +500,11 @@ pub(crate) fn admit_batch_serial(inner: &StageInner, ctx: &SimCtx, pending: Vec<
             inner.cost.admission_query_fixed_ns / 10.0,
         );
         let q = &adm.query;
+        // Allocation touches only the control plane — no epoch publish
+        // needed until the filters actually change below.
         let slot = {
-            let mut s = inner.state.write();
-            alloc_slot(&mut s)
+            let mut c = inner.control.lock();
+            alloc_slot(&mut c, &inner.wrap)
         };
         let mut dim_filters = Vec::with_capacity(q.dims.len());
         // A typed storage fault mid-scan fails *this* query (the serial
@@ -511,15 +517,16 @@ pub(crate) fn admit_batch_serial(inner: &StageInner, ctx: &SimCtx, pending: Vec<
             let fact_schema = inner.storage.schema(inner.fact);
             let fk_idx = fact_schema.col(&dj.fact_fk);
             let pk_idx = dim_schema.col(&dj.dim_pk);
-            let fi = {
-                let mut s = inner.state.write();
-                let fi = locate_filter(&mut s, dim_t, fk_idx, pk_idx);
+            let fi = inner.mutate_epoch(|control, epoch| {
+                let fi = locate_filter(control, epoch, dim_t, fk_idx, pk_idx);
                 // `referencing` is idempotent per scan: set once up front
                 // instead of once per page. The slot is not active yet, so
                 // no in-flight page carries its bit.
-                s.filters[fi].referencing.set(slot as usize);
+                Arc::make_mut(&mut epoch.filters[fi])
+                    .referencing
+                    .set(slot as usize);
                 fi
-            };
+            });
             // Scan the dimension table, evaluate this query's predicate,
             // extend entry bitmaps (the admission cost SP avoids, §3.1).
             let stream = inner.storage.new_stream();
@@ -568,11 +575,10 @@ pub(crate) fn admit_batch_serial(inner: &StageInner, ctx: &SimCtx, pending: Vec<
             inner
                 .admission_dim_pages
                 .fetch_add(npages as u64, Ordering::Relaxed);
-            // One state write per scan: merge the staged entries instead of
-            // re-taking the lock once per page.
-            {
-                let mut s = inner.state.write();
-                let filter = &mut s.filters[fi];
+            // One epoch publish per scan: merge the staged entries instead
+            // of publishing once per page.
+            inner.mutate_epoch(|_, epoch| {
+                let filter = Arc::make_mut(&mut epoch.filters[fi]);
                 for (key, row) in staged {
                     let entry = filter.hash.entry(key).or_insert_with(|| DimEntry {
                         row: Arc::new(row),
@@ -580,14 +586,13 @@ pub(crate) fn admit_batch_serial(inner: &StageInner, ctx: &SimCtx, pending: Vec<
                     });
                     entry.bits.set(slot as usize);
                 }
-            }
+            });
             dim_filters.push((fi, adm.bound.dim_payload_idx[k].clone()));
         }
         if let Some(msg) = failed {
-            {
-                let mut s = inner.state.write();
-                release_slot(&mut s, slot);
-            }
+            inner.mutate_epoch(|control, epoch| {
+                release_slot(control, epoch, slot);
+            });
             if let Some(h) = &inner.health {
                 h.count_batch_failed(1);
             }

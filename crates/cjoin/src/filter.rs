@@ -37,7 +37,11 @@ use workshare_common::{BitmapBank, QueryBitmap, SelVec};
 use workshare_storage::TableId;
 
 /// One dimension tuple admitted into a shared filter: the row payload plus
-/// the bitmap of queries whose dimension predicate selected it.
+/// the bitmap of queries whose dimension predicate selected it. `Clone` is
+/// cheap-ish (one `Arc` bump plus the bitmap words) and exists for the
+/// copy-on-write epoch publication in `crate::stage`: admission clones
+/// only the filter cores it touches via `Arc::make_mut`.
+#[derive(Clone)]
 pub struct DimEntry {
     /// The dimension row (shared with every joined output).
     pub row: Arc<Row>,
@@ -49,7 +53,11 @@ pub struct DimEntry {
 /// `(dimension, fk, pk)` triple): identity plus probe-side state. The
 /// kernels only read `fact_fk_idx` / `hash` / `referencing`; the identity
 /// fields let admission deduplicate filters without a parallel metadata
-/// vector.
+/// vector. Shared as `Arc<FilterCore>` inside the epoch-published filter
+/// state ([`crate::epoch`]); `Clone` backs the `Arc::make_mut`
+/// copy-on-write that admission uses to build the next epoch without
+/// blocking readers.
+#[derive(Clone)]
 pub struct FilterCore {
     /// The dimension table this filter joins.
     pub dim: TableId,
@@ -129,7 +137,7 @@ pub struct FilterCounters {
 /// the page bitmap per tuple, probe every filter per tuple, AND via
 /// [`QueryBitmap::and_filtered`].
 pub fn filter_page_scalar(
-    filters: &[FilterCore],
+    filters: &[Arc<FilterCore>],
     rows: &[Row],
     members: &QueryBitmap,
 ) -> (FilteredPage, FilterCounters) {
@@ -195,7 +203,7 @@ pub fn filter_page_scalar(
 /// (atomic RMWs) are paid only for survivors, never for tuples the filters
 /// kill.
 pub fn filter_page_vectorized(
-    filters: &[FilterCore],
+    filters: &[Arc<FilterCore>],
     rows: &[Row],
     members: &QueryBitmap,
     scratch: &mut FilterScratch,
@@ -331,7 +339,7 @@ mod tests {
 
     /// Build a filter over `dim_size` keys where a key is selected by query
     /// `q` iff `key % (q + 2) == 0`.
-    fn mk_filter(fact_fk_idx: usize, dim_size: i64, queries: &[usize]) -> FilterCore {
+    fn mk_filter(fact_fk_idx: usize, dim_size: i64, queries: &[usize]) -> Arc<FilterCore> {
         let mut hash = FxHashMap::default();
         let mut referencing = QueryBitmap::zeros(64);
         for &q in queries {
@@ -356,13 +364,13 @@ mod tests {
                 );
             }
         }
-        FilterCore {
+        Arc::new(FilterCore {
             dim: TableId(0),
             fact_fk_idx,
             dim_pk_idx: 0,
             hash,
             referencing,
-        }
+        })
     }
 
     fn mk_rows(n: i64) -> Vec<Row> {

@@ -17,6 +17,10 @@
 //! (faults off) every stage keeps its statically-configured path, preserving
 //! legacy behavior bit-for-bit.
 
+// Std atomics directly, not the swappable `workshare_common::sync` layer:
+// the interleave shim has no `AtomicU8`, and nothing here participates in a
+// model-checked protocol — the rung is a routing knob and the counters are
+// monotone tallies (orderings documented per site below).
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// Fault-site ids mixed into the seeded schedule so the sites draw
@@ -154,33 +158,52 @@ impl AdmissionHealth {
     }
 
     /// The admission path the preprocessor should hand batches to now.
+    /// `Relaxed`: a momentarily stale rung routes one batch through the
+    /// previous path, and every path is correct — the ladder trades speed,
+    /// not safety.
     pub fn rung(&self) -> LadderRung {
         LadderRung::from_u8(self.rung.load(Ordering::Relaxed))
     }
 
     /// Step one rung down (more conservative); counts a demotion if it
     /// actually moved. Returns the new rung.
+    ///
+    /// One CAS loop, not load-then-store: concurrent demoters (or a racing
+    /// promoter) each move the rung by exactly one step and tally exactly
+    /// the moves that happened — the former split read/write could both
+    /// lose a step and over-count it. `AcqRel` on the winning exchange
+    /// pairs the movers with each other so the steps serialize.
     pub fn demote(&self) -> LadderRung {
-        let cur = self.rung();
-        let next = cur.down();
-        if next != cur {
-            self.rung.store(next as u8, Ordering::Relaxed);
-            self.demotions.fetch_add(1, Ordering::Relaxed);
-        }
-        next
+        self.step(LadderRung::down, &self.demotions)
     }
 
     /// Step one rung up (less conservative), bounded by `top`; counts a
-    /// promotion if it actually moved. Returns the new rung.
+    /// promotion if it actually moved. Returns the new rung. Same CAS
+    /// protocol as [`AdmissionHealth::demote`].
     pub fn promote(&self, top: LadderRung) -> LadderRung {
-        let cur = self.rung();
-        let next = cur.up(top);
-        if next != cur {
-            self.rung.store(next as u8, Ordering::Relaxed);
-            self.promotions.fetch_add(1, Ordering::Relaxed);
-        }
-        next
+        self.step(|r| r.up(top), &self.promotions)
     }
+
+    fn step(&self, next_of: impl Fn(LadderRung) -> LadderRung, moves: &AtomicU64) -> LadderRung {
+        match self
+            .rung
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                let next = next_of(LadderRung::from_u8(cur)) as u8;
+                (next != cur).then_some(next)
+            }) {
+            Ok(prev) => {
+                moves.fetch_add(1, Ordering::Relaxed);
+                next_of(LadderRung::from_u8(prev))
+            }
+            // The closure returned `None`: already saturated, no move.
+            Err(cur) => LadderRung::from_u8(cur),
+        }
+    }
+
+    // The count_* tallies below are all `Relaxed`: each is a monotone
+    // counter bumped on its own, read only by snapshot observers that
+    // tolerate staleness; no decision reads one counter expecting to see
+    // writes published through another.
 
     /// Draw a scan-unit injection tick.
     pub fn scan_tick(&self) -> u64 {

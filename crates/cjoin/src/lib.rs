@@ -36,13 +36,16 @@
 //!   bitwise work.
 
 mod admission;
+pub mod epoch;
 pub mod fabric;
 pub mod filter;
 pub mod health;
 pub mod publish;
 mod stage;
 pub mod window;
+pub mod wrap;
 
+pub use epoch::{EpochCell, EpochReader};
 pub use fabric::{AdmissionFabric, FabricStats, UNIT_REDISPATCH_DEADLINE_NS};
 pub use filter::{
     filter_page_scalar, filter_page_vectorized, DimEntry, FilterCore, FilterCounters,
@@ -54,3 +57,4 @@ pub use health::{
 pub use stage::{
     CjoinConfig, CjoinOutput, CjoinRuntimeStats, CjoinStage, CjoinStats, FaultCell,
 };
+pub use wrap::WrapLedger;

@@ -20,6 +20,16 @@
 //! exists to rule out. `admission.rs` cross-references this module at its
 //! merge and activation sites.
 //!
+//! This spec models the discipline over a *locked* state — the seed
+//! design. Production now carries the same discipline over the lock-free
+//! epoch machinery: the merge is an atomic one-pointer epoch swap
+//! ([`crate::epoch::EpochCell::publish`]) and activation is a `Release`
+//! bit-set in the wrap ledger ([`crate::wrap::WrapLedger::activate`]);
+//! [`crate::epoch::EpochFilterSpec`] is the lock-free twin of this spec,
+//! with its own mutations (`TornSwap`, `ActivateBeforePublish`). Both are
+//! kept checked: the ordering obligation is the same, the mechanism
+//! differs.
+//!
 //! Built on [`workshare_common::sync`], so an `--cfg interleave` build swaps
 //! the lock for the model-checked shim.
 //!

@@ -3,7 +3,7 @@
 // Concurrent-core primitives come through the swappable sync layer so the
 // `--cfg interleave` build model-checks this module's protocols (see
 // `workshare_common::sync` and docs/TESTING.md).
-use workshare_common::sync::{Arc, AtomicBool, AtomicU64, Mutex, Ordering, RwLock};
+use workshare_common::sync::{Arc, AtomicBool, AtomicU64, Mutex, Ordering};
 
 use workshare_common::agg::Aggregator;
 use workshare_common::bind::{bind, BoundQuery};
@@ -12,9 +12,11 @@ use workshare_common::value::Row;
 use workshare_common::{CostModel, OrderKey, Predicate, QueryBitmap, SelVec, StarQuery};
 
 use crate::admission::{admit_batch_serial, admit_batch_shared};
+use crate::epoch::EpochCell;
 use crate::fabric::AdmissionFabric;
 use crate::health::{AdmissionHealth, CjoinFaultPlan, LadderRung};
-use crate::window::PendingSlot;
+use crate::window::ShardedSlot;
+use crate::wrap::WrapLedger;
 use crate::filter::{
     filter_page_scalar, filter_page_vectorized, FilterCore, FilterScratch, FilteredPage,
 };
@@ -319,16 +321,43 @@ pub(crate) struct QueryRuntime {
     fault: FaultCell,
 }
 
-pub(crate) struct GqpState {
-    pub(crate) filters: Vec<FilterCore>,
-    /// `(dim, fact_fk_idx, dim_pk_idx)` → index into `filters`: O(1)
-    /// shared-filter lookup during admission (filters are never removed, so
-    /// indices are stable).
-    pub(crate) filter_index: FxHashMap<(TableId, usize, usize), usize>,
+/// Slot capacity of a stage's [`WrapLedger`]. Slots are recycled on query
+/// completion, so this bounds *concurrently resident* queries (active or
+/// mid-admission), not lifetime admissions; [`alloc_slot`] asserts it.
+/// Sized for the worst observed crowd — the overload bench's unbounded
+/// baseline holds several thousand queries in flight at 4× capacity —
+/// with generous headroom. Cost is memory only (512 KiB of budget words
+/// per stage): every per-page walk is bounded by the ledger's live
+/// high-water mark, not this capacity.
+const WRAP_SLOT_CAPACITY: usize = 65_536;
+
+/// The epoch-published hot-path state: everything the filter workers and
+/// the distributor probe per page. Each published snapshot is immutable;
+/// admission builds the next one copy-on-write (`Arc`-shared filter cores,
+/// [`Arc::make_mut`] on the touched ones) under the control mutex and
+/// publishes it through the stage's [`EpochCell`] as one pointer swap —
+/// the protocol model-checked in [`crate::epoch`]. The former `GqpState`
+/// `RwLock` (read by every worker on every page, written by every
+/// admission) is retired: readers now pay one `Acquire` load per page.
+///
+/// The active-query mask and per-slot wrap budgets deliberately live
+/// *outside* the epoch, in the stage's atomic [`WrapLedger`] — the
+/// preprocessor mutates them once per fact page, far too hot to re-publish
+/// an epoch for.
+#[derive(Clone, Default)]
+pub(crate) struct FilterEpoch {
+    pub(crate) filters: Vec<Arc<FilterCore>>,
     pub(crate) queries: FxHashMap<u32, Arc<QueryRuntime>>,
-    pub(crate) active_bits: QueryBitmap,
-    /// Pages the preprocessor still stamps for each active slot.
-    pub(crate) emit_left: FxHashMap<u32, u64>,
+}
+
+/// The admission control plane: slot bookkeeping plus the filter index.
+/// Off the hot path — only writers (admission, finalize) touch it, under
+/// [`StageInner::control`], which doubles as the epoch writer lock.
+pub(crate) struct GqpControl {
+    /// `(dim, fact_fk_idx, dim_pk_idx)` → index into the epoch's `filters`:
+    /// O(1) shared-filter lookup during admission. Filters are append-only,
+    /// so indices are stable across epochs.
+    pub(crate) filter_index: FxHashMap<(TableId, usize, usize), usize>,
     pub(crate) free_slots: Vec<u32>,
     pub(crate) next_slot: u32,
 }
@@ -395,12 +424,26 @@ pub(crate) struct StageInner {
     pub(crate) config: CjoinConfig,
     pub(crate) fact: TableId,
     pub(crate) fact_pages: u64,
-    pub(crate) state: RwLock<GqpState>,
-    /// Pending admissions awaiting the next batch window. The
-    /// atomic-drain protocol lives in [`PendingSlot`] (model-checked by
+    /// The epoch-published filter state ([`FilterEpoch`]): hot-path readers
+    /// hold a per-thread [`crate::epoch::EpochReader`] and pay one `Acquire`
+    /// load per page at steady state; writers publish the next snapshot via
+    /// [`StageInner::mutate_epoch`].
+    pub(crate) epoch: EpochCell<FilterEpoch>,
+    /// Lock-free active mask + per-slot wrap budgets ([`crate::wrap`]): the
+    /// circular scan's per-page bookkeeping, formerly a `state.write()` on
+    /// every fact page.
+    pub(crate) wrap: WrapLedger,
+    /// Control plane **and** epoch writer lock: every read-copy-publish of
+    /// `epoch` runs under this mutex ([`StageInner::mutate_epoch`]), so
+    /// concurrent admissions cannot lose each other's updates. Never taken
+    /// on the per-page hot path.
+    pub(crate) control: Mutex<GqpControl>,
+    /// Pending admissions awaiting the next batch window, sharded so
+    /// concurrent submitters don't serialize on one mutex. The atomic
+    /// per-shard drain protocol lives in [`ShardedSlot`] (model-checked by
     /// `tests/interleave_core.rs`): a submission either rides the window
     /// that drained it or stays for the next — never lost, never doubled.
-    pub(crate) pending: PendingSlot<Admission>,
+    pub(crate) pending: ShardedSlot<Admission>,
     pub(crate) wake: WaitSet,
     worker_q: SimQueue<Arc<WorkBatch>>,
     dist_q: SimQueue<Arc<DistBatch>>,
@@ -456,6 +499,26 @@ impl StageInner {
     /// Draw the next injection tick for this stage's scan-unit fault sites.
     pub(crate) fn scan_tick(&self) -> u64 {
         self.scan_ticks.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Read-copy-publish the filter epoch: run `f` over the control plane
+    /// and a clone of the current epoch, then publish the clone as the next
+    /// epoch (one pointer swap, [`EpochCell::publish`]). The control mutex
+    /// serializes writers; the clone is cheap — filter cores are
+    /// `Arc`-shared, `f` uses [`Arc::make_mut`] on the ones it mutates.
+    ///
+    /// **No virtual-time operation (charge/emit) may happen inside `f`**:
+    /// the closure runs under the control lock, and a parked holder would
+    /// block admission in real time and freeze the virtual clock.
+    pub(crate) fn mutate_epoch<R>(
+        &self,
+        f: impl FnOnce(&mut GqpControl, &mut FilterEpoch) -> R,
+    ) -> R {
+        let mut control = self.control.lock();
+        let mut next = (*self.epoch.load()).clone();
+        let r = f(&mut control, &mut next);
+        self.epoch.publish(Arc::new(next));
+        r
     }
 }
 
@@ -519,16 +582,14 @@ impl CjoinStage {
             config,
             fact,
             fact_pages: storage.page_count(fact) as u64,
-            state: RwLock::new(GqpState {
-                filters: Vec::new(),
+            epoch: EpochCell::new(FilterEpoch::default()),
+            wrap: WrapLedger::new(WRAP_SLOT_CAPACITY),
+            control: Mutex::new(GqpControl {
                 filter_index: FxHashMap::default(),
-                queries: FxHashMap::default(),
-                active_bits: QueryBitmap::zeros(64),
-                emit_left: FxHashMap::default(),
                 free_slots: Vec::new(),
                 next_slot: 0,
             }),
-            pending: PendingSlot::new(),
+            pending: ShardedSlot::new(4),
             wake: WaitSet::new(machine),
             worker_q: SimQueue::bounded(machine, config.pipeline_depth.max(1)),
             dist_q: SimQueue::bounded(machine, config.pipeline_depth.max(1)),
@@ -712,7 +773,7 @@ impl CjoinStage {
 
     /// Number of queries currently in the GQP.
     pub fn active_queries(&self) -> usize {
-        self.inner.state.read().queries.len()
+        self.inner.epoch.load().queries.len()
     }
 
     /// Submissions sitting in this stage's pending-admission snapshot (not
@@ -765,6 +826,11 @@ impl CjoinStage {
             let stream = inner.storage.new_stream();
             let npages = inner.fact_pages.max(1) as usize;
             let mut pos = 0usize;
+            // Reused page stamp: refreshed by `snapshot_cached` only when
+            // the active mask moved (admission/completion), so the
+            // steady-state per-page cost is a few mask-word loads, not a
+            // bitmap allocation.
+            let mut stamp: Arc<QueryBitmap> = Arc::new(QueryBitmap::default());
             loop {
                 if inner.shutdown.load(Ordering::Acquire) {
                     inner.worker_q.close();
@@ -816,14 +882,14 @@ impl CjoinStage {
                         }
                     }
                 }
-                let has_active = inner.state.read().active_bits.any();
+                let has_active = inner.wrap.any();
                 if !has_active {
                     // Park until a query arrives, an off-thread admission
                     // batch activates, or shutdown.
                     inner.wake.wait_until(|| {
                         inner.shutdown.load(Ordering::Acquire)
                             || !inner.pending.is_empty()
-                            || inner.state.read().active_bits.any()
+                            || inner.wrap.any()
                     });
                     continue;
                 }
@@ -849,10 +915,10 @@ impl CjoinStage {
                 // One snapshot of the active-query set per page, shared by
                 // `Arc` with every downstream stage (workers and the
                 // distributor read the same copy; nothing re-clones it).
-                let members = {
-                    let s = inner.state.read();
-                    Arc::new(s.active_bits.clone())
-                };
+                // `Acquire` per mask word: a slot observed here has its
+                // budget and filter entries visible (entries-then-activate).
+                inner.wrap.snapshot_cached(&mut stamp);
+                let members = Arc::clone(&stamp);
                 // Preprocessor bookkeeping: stamping the page with the
                 // active-query set and maintaining per-query entry/exit
                 // watermarks ("these responsibilities slow down the circular
@@ -869,22 +935,11 @@ impl CjoinStage {
                     return; // shut down
                 }
                 // Wrap bookkeeping: queries whose full wrap has been emitted
-                // stop receiving pages.
-                {
-                    let mut s = inner.state.write();
-                    let done: Vec<u32> = members
-                        .iter_ones()
-                        .filter_map(|slot| {
-                            let left = s.emit_left.get_mut(&(slot as u32))?;
-                            *left -= 1;
-                            (*left == 0).then_some(slot as u32)
-                        })
-                        .collect();
-                    for slot in done {
-                        s.active_bits.clear(slot as usize);
-                        s.emit_left.remove(&slot);
-                    }
-                }
+                // stop receiving pages. Lock-free — one checked atomic
+                // decrement per member ([`WrapLedger::record_page`]); the
+                // seed took `state.write()` here on *every* page even when
+                // nothing completed.
+                inner.wrap.record_page(&members);
                 pos = (pos + 1) % npages;
             }
         });
@@ -939,6 +994,10 @@ impl CjoinStage {
                 // tuple (allocations grow to the high-water batch size and
                 // stay).
                 let mut scratch = FilterScratch::default();
+                // Per-thread epoch reader: one `Acquire` version load per
+                // page at steady state; the slot lock is touched only when
+                // an admission published a new epoch.
+                let mut reader = inner.epoch.reader();
                 while let Some(batch) = inner.worker_q.pop() {
                     // Decode the page here, in the parallel tier (once per
                     // page — each page is popped by exactly one worker),
@@ -949,17 +1008,18 @@ impl CjoinStage {
                         CostKind::Scan,
                         inner.cost.scan_tuple_ns * rows.len() as f64,
                     );
-                    // NOTE: no virtual-time operations (charge/emit) may
-                    // happen while the state lock is held — a parked holder
-                    // would block admission in real time and freeze the
-                    // virtual clock.
+                    // Lock-free filter probe: the epoch observed here is at
+                    // least as new as the one whose activation stamped this
+                    // page's members (publish happens-before activate
+                    // happens-before the stamp), so every stamped slot's
+                    // entries are present.
                     let (page, counters) = {
-                        let s = inner.state.read();
+                        let epoch = reader.current(&inner.epoch);
                         if scalar {
-                            filter_page_scalar(&s.filters, &rows, &batch.members)
+                            filter_page_scalar(&epoch.filters, &rows, &batch.members)
                         } else {
                             filter_page_vectorized(
-                                &s.filters,
+                                &epoch.filters,
                                 &rows,
                                 &batch.members,
                                 &mut scratch,
@@ -1029,14 +1089,17 @@ impl CjoinStage {
                 // predicate selection (both over survivor positions).
                 let mut slot_sel = SelVec::new();
                 let mut pred_sel = SelVec::new();
+                // Per-thread epoch reader (see the filter worker): the
+                // runtime snapshot below is lock-free at steady state.
+                let mut reader = inner.epoch.reader();
                 while let Some(batch) = inner.dist_q.pop() {
                     // Snapshot the runtimes of the member queries.
                     let runtimes: Vec<Arc<QueryRuntime>> = {
-                        let s = inner.state.read();
+                        let epoch = reader.current(&inner.epoch);
                         batch
                             .members
                             .iter_ones()
-                            .filter_map(|slot| s.queries.get(&(slot as u32)).cloned())
+                            .filter_map(|slot| epoch.queries.get(&(slot as u32)).cloned())
                             .collect()
                     };
                     let page = &batch.page;
@@ -1135,43 +1198,52 @@ impl CjoinStage {
     }
 }
 
-/// Allocate a query slot (recycling freed slots first).
-pub(crate) fn alloc_slot(s: &mut GqpState) -> u32 {
-    let slot = s.free_slots.pop().unwrap_or_else(|| {
-        let sl = s.next_slot;
-        s.next_slot += 1;
+/// Allocate a query slot (recycling freed slots first). Slots index the
+/// stage's fixed-capacity [`WrapLedger`]; the assertion replaces the seed's
+/// unbounded `active_bits.grow`.
+pub(crate) fn alloc_slot(c: &mut GqpControl, wrap: &WrapLedger) -> u32 {
+    let slot = c.free_slots.pop().unwrap_or_else(|| {
+        let sl = c.next_slot;
+        c.next_slot += 1;
         sl
     });
-    s.active_bits.grow(slot as usize + 1);
+    assert!(
+        (slot as usize) < wrap.capacity(),
+        "slot {slot} exceeds the wrap ledger capacity {} — raise WRAP_SLOT_CAPACITY",
+        wrap.capacity()
+    );
     slot
 }
 
 /// Locate or create the shared filter for `(dim, fk, pk)` through the keyed
 /// filter index — O(1) instead of the former linear scan over `filters`.
 pub(crate) fn locate_filter(
-    s: &mut GqpState,
+    c: &mut GqpControl,
+    e: &mut FilterEpoch,
     dim: TableId,
     fact_fk_idx: usize,
     dim_pk_idx: usize,
 ) -> usize {
-    if let Some(&fi) = s.filter_index.get(&(dim, fact_fk_idx, dim_pk_idx)) {
+    if let Some(&fi) = c.filter_index.get(&(dim, fact_fk_idx, dim_pk_idx)) {
         return fi;
     }
-    s.filters.push(FilterCore {
+    e.filters.push(Arc::new(FilterCore {
         dim,
         fact_fk_idx,
         dim_pk_idx,
         hash: FxHashMap::default(),
         referencing: QueryBitmap::zeros(64),
-    });
-    let fi = s.filters.len() - 1;
-    s.filter_index.insert((dim, fact_fk_idx, dim_pk_idx), fi);
+    }));
+    let fi = e.filters.len() - 1;
+    c.filter_index.insert((dim, fact_fk_idx, dim_pk_idx), fi);
     fi
 }
 
-/// Activate one admitted query: build its sink/runtime and, under a single
-/// state write, make it visible to the preprocessor (`active_bits`), the
-/// distributor (`queries`) and the wrap bookkeeping (`emit_left`) at once.
+/// Activate one admitted query: build its sink/runtime, publish it in the
+/// next filter epoch (distributor visibility), then raise its wrap-ledger
+/// bit (preprocessor visibility). The publish is sequenced **before** the
+/// activation — entries-then-activate ([`crate::epoch`]): a scan that
+/// stamps the slot always finds its runtime and filter entries.
 pub(crate) fn activate_query(
     inner: &StageInner,
     adm: &Admission,
@@ -1200,10 +1272,13 @@ pub(crate) fn activate_query(
         process_left: AtomicU64::new(inner.fact_pages.max(1)),
         fault: Arc::clone(&adm.fault),
     });
-    let mut s = inner.state.write();
-    s.queries.insert(slot, Arc::clone(&qrt));
-    s.emit_left.insert(slot, inner.fact_pages.max(1));
-    s.active_bits.set(slot as usize);
+    inner.mutate_epoch(|_, e| {
+        e.queries.insert(slot, Arc::clone(&qrt));
+    });
+    // Budget-then-activate inside, publish-then-activate outside: the
+    // `Release` bit-set pairs with the scan's `Acquire` snapshot, carrying
+    // the epoch publish above with it.
+    inner.wrap.activate(slot as usize, inner.fact_pages.max(1));
 }
 
 /// Unrecoverable fact-page fault on the circular scan: set the typed error
@@ -1212,33 +1287,18 @@ pub(crate) fn activate_query(
 /// would have, so the in-flight queries run to completion with an error
 /// outcome instead of waiting forever for a page that cannot be read.
 fn fail_fact_page(inner: &Arc<StageInner>, ctx: &SimCtx, msg: &str) {
-    let (members, runtimes): (QueryBitmap, Vec<Arc<QueryRuntime>>) = {
-        let s = inner.state.read();
-        let members = s.active_bits.clone();
-        let runtimes = members
+    let members = inner.wrap.snapshot();
+    let runtimes: Vec<Arc<QueryRuntime>> = {
+        let epoch = inner.epoch.load();
+        members
             .iter_ones()
-            .filter_map(|slot| s.queries.get(&(slot as u32)).cloned())
-            .collect();
-        (members, runtimes)
+            .filter_map(|slot| epoch.queries.get(&(slot as u32)).cloned())
+            .collect()
     };
     for qrt in &runtimes {
         set_fault(&qrt.fault, msg);
     }
-    {
-        let mut s = inner.state.write();
-        let done: Vec<u32> = members
-            .iter_ones()
-            .filter_map(|slot| {
-                let left = s.emit_left.get_mut(&(slot as u32))?;
-                *left -= 1;
-                (*left == 0).then_some(slot as u32)
-            })
-            .collect();
-        for slot in done {
-            s.active_bits.clear(slot as usize);
-            s.emit_left.remove(&slot);
-        }
-    }
+    inner.wrap.record_page(&members);
     for qrt in &runtimes {
         if qrt.process_left.fetch_sub(1, Ordering::AcqRel) == 1 {
             finalize_query(inner, ctx, qrt);
@@ -1251,18 +1311,19 @@ fn fail_fact_page(inner: &Arc<StageInner>, ctx: &SimCtx, msg: &str) {
 /// entries that go empty) and release the slot for reuse. The rollback
 /// mirror of `finalize_query`'s cleanup, shared by the admission failure
 /// paths.
-pub(crate) fn release_slot(s: &mut GqpState, slot: u32) {
+pub(crate) fn release_slot(c: &mut GqpControl, e: &mut FilterEpoch, slot: u32) {
     let sl = slot as usize;
-    for f in &mut s.filters {
+    for f in &mut e.filters {
         if f.referencing.get(sl) {
+            let f = Arc::make_mut(f);
             f.referencing.clear(sl);
-            f.hash.retain(|_, e| {
-                e.bits.clear(sl);
-                e.bits.any()
+            f.hash.retain(|_, entry| {
+                entry.bits.clear(sl);
+                entry.bits.any()
             });
         }
     }
-    s.free_slots.push(slot);
+    c.free_slots.push(slot);
 }
 
 fn finalize_query(inner: &StageInner, ctx: &SimCtx, qrt: &QueryRuntime) {
@@ -1296,22 +1357,24 @@ fn finalize_query(inner: &StageInner, ctx: &SimCtx, qrt: &QueryRuntime) {
             }
         }
     }
-    // Remove from the GQP: clear its bit from every filter entry, drop
-    // empty entries, release the slot.
-    let mut s = inner.state.write();
-    let slot = qrt.slot as usize;
-    for f in &mut s.filters {
-        if f.referencing.get(slot) {
-            f.referencing.clear(slot);
-            f.hash.retain(|_, e| {
-                e.bits.clear(slot);
-                e.bits.any()
-            });
+    // Remove from the GQP: publish an epoch without the query — its bit
+    // cleared from every filter entry, empty entries dropped, the slot
+    // released for reuse.
+    inner.mutate_epoch(|control, epoch| {
+        let slot = qrt.slot as usize;
+        for f in &mut epoch.filters {
+            if f.referencing.get(slot) {
+                let f = Arc::make_mut(f);
+                f.referencing.clear(slot);
+                f.hash.retain(|_, entry| {
+                    entry.bits.clear(slot);
+                    entry.bits.any()
+                });
+            }
         }
-    }
-    s.queries.remove(&qrt.slot);
-    s.free_slots.push(qrt.slot);
-    drop(s);
+        epoch.queries.remove(&qrt.slot);
+        control.free_slots.push(qrt.slot);
+    });
     if inner.config.sp {
         let mut reg = inner.sp_registry.lock();
         if reg.get(&qrt.sig).is_some_and(|(qid, _)| *qid == qrt.qid) {
@@ -1683,8 +1746,8 @@ mod tests {
     fn filter_snapshot(
         stage: &CjoinStage,
     ) -> Vec<(Vec<usize>, std::collections::BTreeMap<i64, (Row, Vec<usize>)>)> {
-        let s = stage.inner.state.read();
-        s.filters
+        let e = stage.inner.epoch.load();
+        e.filters
             .iter()
             .map(|f| {
                 (
@@ -1906,7 +1969,7 @@ mod tests {
             }
             assert_eq!(st.active_queries(), 0);
             // Slots were reused: next_slot never exceeded round count 1.
-            assert!(st.inner.state.read().next_slot <= 2);
+            assert!(st.inner.control.lock().next_slot <= 2);
         })
         .join()
         .unwrap();

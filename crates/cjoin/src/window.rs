@@ -105,6 +105,154 @@ impl<A> Default for PendingSlot<A> {
     }
 }
 
+/// Test-only mutations of the sharded pending protocol, compiled only
+/// under `--cfg interleave`.
+#[cfg(interleave)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardMutation {
+    /// The faithful protocol.
+    #[default]
+    None,
+    /// Drain each shard with a size-then-take in two lock acquisitions
+    /// instead of one atomic take per shard: a submission landing in the
+    /// gap is silently dropped — the sharded relapse of
+    /// [`WindowMutation::TornDrain`].
+    TornDrain,
+}
+
+/// An MPMC **sharded** pending set: submissions spread over `n` independent
+/// lock shards by an atomic ticket, so concurrent producers (stage
+/// preprocessors, fabric submitters, re-queued reclaims) no longer
+/// serialize on one mutex the way [`PendingSlot`] does. Used for the
+/// stages' pending-admission sets and as the storage of the fabric's
+/// request queue ([`crate::fabric`]).
+///
+/// Protocol invariants, checked by the model:
+///
+/// * **Per-shard drains are atomic takes.** The drain visits every shard
+///   once and takes each shard's contents in one lock acquisition:
+///   cross-shard ordering is free (windows merge whatever they drain), but
+///   within a shard every submission either rides the draining window or
+///   stays for the next — none is lost, none runs twice
+///   (the interleave-only `ShardMutation::TornDrain` re-introduces the
+///   torn variant).
+/// * **Gated pushes linearize against [`ShardedSlot::barrier`].** A
+///   [`ShardedSlot::push_unless`] checks its gate flag *inside* the shard
+///   critical section; a closer that raises the flag and then takes every
+///   shard lock once ([`ShardedSlot::barrier`]) therefore observes every
+///   push that was accepted before the flag — the closed-queue handshake
+///   of the fabric's request queue, replacing `SimQueue`'s single-mutex
+///   close.
+pub struct ShardedSlot<A> {
+    shards: Box<[Mutex<Vec<A>>]>,
+    /// Round-robin ticket spreading producers over shards; `Relaxed` — it
+    /// only picks a shard, the shard lock orders the items.
+    tickets: AtomicU64,
+    #[cfg(interleave)]
+    mutation: ShardMutation,
+}
+
+impl<A> ShardedSlot<A> {
+    /// Empty sharded pending set with `n_shards` lock shards (min 1).
+    pub fn new(n_shards: usize) -> Self {
+        ShardedSlot {
+            shards: (0..n_shards.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
+            tickets: AtomicU64::new(0),
+            #[cfg(interleave)]
+            mutation: ShardMutation::None,
+        }
+    }
+
+    /// Test-only constructor selecting a deliberately broken protocol
+    /// variant (see [`ShardMutation`]).
+    #[cfg(interleave)]
+    pub fn with_mutation(n_shards: usize, mutation: ShardMutation) -> Self {
+        ShardedSlot {
+            shards: (0..n_shards.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
+            tickets: AtomicU64::new(0),
+            mutation,
+        }
+    }
+
+    fn next_shard(&self) -> usize {
+        (self.tickets.fetch_add(1, Ordering::Relaxed) % self.shards.len() as u64) as usize
+    }
+
+    /// Queue one submission for the next window.
+    pub fn push(&self, item: A) {
+        self.shards[self.next_shard()].lock().push(item);
+    }
+
+    /// Queue a batch of submissions. One ticket — the batch lands on one
+    /// shard, so a single drain takes it whole.
+    pub fn extend(&self, items: impl IntoIterator<Item = A>) {
+        self.shards[self.next_shard()].lock().extend(items);
+    }
+
+    /// Queue one submission unless `closed` reads true inside the shard
+    /// critical section; returns the item back on a closed queue. Pair
+    /// with [`ShardedSlot::barrier`] on the closing side — see the module
+    /// invariants.
+    pub fn push_unless(&self, item: A, closed: &AtomicBool) -> Result<(), A> {
+        let mut shard = self.shards[self.next_shard()].lock();
+        if closed.load(Ordering::Acquire) {
+            return Err(item);
+        }
+        shard.push(item);
+        Ok(())
+    }
+
+    /// Acquire and release every shard lock once. After this returns, any
+    /// [`ShardedSlot::push_unless`] that read its gate flag before the
+    /// caller raised it has fully landed and is visible to a drain.
+    pub fn barrier(&self) {
+        for shard in self.shards.iter() {
+            drop(shard.lock());
+        }
+    }
+
+    /// Take everything pending: one atomic take per shard, in shard order.
+    pub fn drain(&self) -> Vec<A> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            #[cfg(interleave)]
+            if self.mutation == ShardMutation::TornDrain {
+                // Torn: the shard lock is released between sizing and
+                // taking, so a submission landing in the gap is dropped.
+                let snapshot = shard.lock().len();
+                let mut items = shard.lock();
+                out.extend(items.drain(..).take(snapshot));
+                continue;
+            }
+            out.append(&mut shard.lock());
+        }
+        out
+    }
+
+    /// Dequeue one submission (FIFO within its shard), scanning shards in
+    /// order. `None` when every shard is empty.
+    pub fn take_one(&self) -> Option<A> {
+        for shard in self.shards.iter() {
+            let mut items = shard.lock();
+            if !items.is_empty() {
+                return Some(items.remove(0));
+            }
+        }
+        None
+    }
+
+    /// Submissions currently pending (sum over shards; advisory under
+    /// concurrent pushes).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether nothing is pending (advisory under concurrent pushes).
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+}
+
 /// The fabric's pending-depth ledger: queries queued across all stages and
 /// not yet activated, with the depth cap behind
 /// [`crate::AdmissionFabric::has_capacity`].
@@ -258,6 +406,47 @@ mod tests {
         assert_eq!(slot.drain(), vec![1, 2, 3]);
         assert!(slot.is_empty());
         assert!(slot.drain().is_empty(), "second drain finds nothing");
+    }
+
+    #[test]
+    fn sharded_drain_takes_everything_once() {
+        let slot: ShardedSlot<u32> = ShardedSlot::new(4);
+        for i in 0..10 {
+            slot.push(i);
+        }
+        slot.extend([10, 11]);
+        assert_eq!(slot.len(), 12);
+        let mut drained = slot.drain();
+        drained.sort_unstable();
+        assert_eq!(drained, (0..12).collect::<Vec<_>>());
+        assert!(slot.is_empty());
+        assert!(slot.drain().is_empty(), "second drain finds nothing");
+    }
+
+    #[test]
+    fn sharded_take_one_empties_fifo_per_shard() {
+        let slot: ShardedSlot<u32> = ShardedSlot::new(2);
+        slot.push(1);
+        slot.push(2);
+        slot.push(3);
+        let mut taken = Vec::new();
+        while let Some(x) = slot.take_one() {
+            taken.push(x);
+        }
+        taken.sort_unstable();
+        assert_eq!(taken, vec![1, 2, 3]);
+        assert!(slot.take_one().is_none());
+    }
+
+    #[test]
+    fn gated_push_respects_the_flag() {
+        let slot: ShardedSlot<u32> = ShardedSlot::new(2);
+        let closed = AtomicBool::new(false);
+        assert!(slot.push_unless(7, &closed).is_ok());
+        closed.store(true, Ordering::Release);
+        slot.barrier();
+        assert_eq!(slot.push_unless(8, &closed), Err(8), "closed queue rejects");
+        assert_eq!(slot.drain(), vec![7], "accepted push survived the close");
     }
 
     #[test]

@@ -26,6 +26,15 @@ impl QueryBitmap {
         b
     }
 
+    /// Bitmap adopting `words` as its backing storage — word-level
+    /// construction for hot paths that already hold the words (the
+    /// preprocessor's per-page mask snapshot), skipping per-bit `set`.
+    pub fn from_words(words: Vec<u64>) -> QueryBitmap {
+        QueryBitmap {
+            words: words.into_boxed_slice(),
+        }
+    }
+
     /// Capacity in bits (a multiple of 64).
     pub fn capacity(&self) -> usize {
         self.words.len() * 64

@@ -23,6 +23,17 @@
 //!    exactly-once handshake): racing original and re-dispatched attempts
 //!    publish a scan unit exactly once, never zero times, and `done` never
 //!    precedes the publish.
+//! 7. [`EpochFilterSpec`] lock-free epoch publish vs probing reader (the
+//!    stage's epoch-published filter state): publish is one pointer swap,
+//!    and a probe gated on the active mask never observes an active slot
+//!    whose keys are missing.
+//! 8. [`WrapLedger`] atomic wrap bookkeeping (the circular scan's lock-free
+//!    `active_bits`/`emit_left`): racing page recorders consume the page
+//!    budget exactly, complete a slot exactly once, and an observed active
+//!    bit always comes with an initialized budget.
+//! 9. [`ShardedSlot`] MPMC sharded drain vs concurrent pushes (the stages'
+//!    pending sets and the fabric's request queue): every submission rides
+//!    exactly one window across the racing drain and the final sweep.
 //!
 //! Every faithful scenario must *exhaust* its schedule space
 //! (`report.complete`) and explore at least 1 000 distinct schedules; every
@@ -34,11 +45,15 @@
 use loom::thread;
 use loom::{Builder, Report};
 
+use workshare_cjoin::epoch::{EpochFilterSpec, EpochMutation};
 use workshare_cjoin::publish::{FilterSpec, PublishMutation};
 use workshare_cjoin::window::{
-    PendingSlot, RedispatchMutation, ScanAttempt, WindowLedger, WindowMutation,
+    PendingSlot, RedispatchMutation, ScanAttempt, ShardMutation, ShardedSlot, WindowLedger,
+    WindowMutation,
 };
+use workshare_cjoin::wrap::{WrapLedger, WrapMutation};
 use workshare_common::sync::{Arc, AtomicBool, AtomicU64, Ordering};
+use workshare_common::QueryBitmap;
 use workshare_core::cell::{CellMutation, CompletionCell};
 use workshare_core::lease::{LeaseMutation, LeaseRegistry, Leased};
 use workshare_core::slots::{ServiceSlots, SlotMutation};
@@ -477,6 +492,201 @@ fn redispatch_claim_is_exactly_once_holds() {
 #[test]
 fn redispatch_mutation_torn_claim_is_caught() {
     assert!(catches(redispatch_scenario(RedispatchMutation::TornClaim)));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 7: lock-free epoch publish vs probing reader
+// ---------------------------------------------------------------------------
+
+/// The stage's epoch-published filter state: slot 0 is established before
+/// the race, then an admitter publishes slot 1 (clone entries → one-swap
+/// publish → `Release` active bit) while a reader with a cached
+/// [`EpochReader`] probes both slots. Invariants: a probe that observes a
+/// slot active always finds its published keys (entries-then-activate
+/// carried by the `Acquire` mask / `Release` publish pairing), and
+/// established entries never vanish mid-publish. The TornSwap mutation is
+/// caught through the reader's cache: a refresh between the torn version
+/// bump and the value swap pins the stale entries under the new version
+/// forever.
+fn epoch_scenario(mutation: EpochMutation) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let spec = Arc::new(EpochFilterSpec::with_mutation(mutation));
+        spec.admit(0, &[10]);
+        let admitter = {
+            let spec = Arc::clone(&spec);
+            thread::spawn(move || spec.admit(1, &[20]))
+        };
+        let prober = {
+            let spec = Arc::clone(&spec);
+            thread::spawn(move || {
+                let mut reader = spec.reader();
+                for _ in 0..2 {
+                    assert_eq!(
+                        spec.probe_if_active(&mut reader, 0, 10),
+                        Some(true),
+                        "established slot 0 lost its key mid-publish"
+                    );
+                    if let Some(hit) = spec.probe_if_active(&mut reader, 1, 20) {
+                        assert!(hit, "slot 1 active without its published key");
+                    }
+                }
+            })
+        };
+        admitter.join().unwrap();
+        prober.join().unwrap();
+        // Post-join: both slots active with their keys, through a fresh
+        // reader and through a reader that lived across the race.
+        let mut reader = spec.reader();
+        assert_eq!(spec.probe_if_active(&mut reader, 0, 10), Some(true));
+        assert_eq!(
+            spec.probe_if_active(&mut reader, 1, 20),
+            Some(true),
+            "slot 1's keys must be published once its bit is set"
+        );
+    }
+}
+
+#[test]
+fn epoch_publish_before_activate_holds() {
+    check_exhaustive(epoch_scenario(EpochMutation::None));
+}
+
+#[test]
+fn epoch_mutation_torn_swap_is_caught() {
+    assert!(catches(epoch_scenario(EpochMutation::TornSwap)));
+}
+
+#[test]
+fn epoch_mutation_activate_before_publish_is_caught() {
+    assert!(catches(epoch_scenario(EpochMutation::ActivateBeforePublish)));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 8: atomic wrap bookkeeping
+// ---------------------------------------------------------------------------
+
+/// The circular scan's lock-free wrap ledger: slot 0 enters with a budget
+/// of two pages and two recorders race to consume it (the shape of a fault
+/// re-dispatch racing the scan), while an admitter activates slot 1
+/// mid-wrap and the main thread stamps from a mask snapshot. Invariants:
+/// the budget is consumed exactly (no lost decrement), exactly one
+/// recorder observes the completing 1→0 edge and clears the bit, and a
+/// snapshot that observes an active bit always sees the slot's initialized
+/// budget (budget-then-activate).
+fn wrap_scenario(mutation: WrapMutation) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let ledger = Arc::new(WrapLedger::with_mutation(64, mutation));
+        ledger.activate(0, 2);
+        let members = {
+            let mut b = QueryBitmap::zeros(64);
+            b.set(0);
+            b
+        };
+        let completions = Arc::new(AtomicU64::new(0));
+        let recorders: Vec<_> = (0..2)
+            .map(|_| {
+                let (ledger, completions, members) = (
+                    Arc::clone(&ledger),
+                    Arc::clone(&completions),
+                    members.clone(),
+                );
+                thread::spawn(move || {
+                    let done = ledger.record_page(&members);
+                    completions.fetch_add(done.len() as u64, Ordering::AcqRel);
+                })
+            })
+            .collect();
+        let admitter = {
+            let ledger = Arc::clone(&ledger);
+            thread::spawn(move || ledger.activate(1, 1))
+        };
+        // The scan's view: stamp from a mask snapshot; an observed bit must
+        // come with its page budget already stored.
+        let snapshot = ledger.snapshot();
+        if snapshot.get(1) {
+            assert!(
+                ledger.emit_left(1) >= 1,
+                "active slot observed without an initialized budget"
+            );
+            let mut stamp = QueryBitmap::zeros(64);
+            stamp.set(1);
+            assert_eq!(ledger.record_page(&stamp), vec![1u32]);
+        }
+        for t in recorders {
+            t.join().unwrap();
+        }
+        admitter.join().unwrap();
+        assert_eq!(ledger.emit_left(0), 0, "a page decrement was lost");
+        assert!(!ledger.is_active(0), "completed slot still active");
+        assert_eq!(
+            completions.load(Ordering::Acquire),
+            1,
+            "the 1→0 completion edge must be observed exactly once"
+        );
+    }
+}
+
+#[test]
+fn wrap_bookkeeping_holds() {
+    check_exhaustive(wrap_scenario(WrapMutation::None));
+}
+
+#[test]
+fn wrap_mutation_lost_decrement_is_caught() {
+    assert!(catches(wrap_scenario(WrapMutation::LostDecrement)));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 9: sharded MPMC pending drain
+// ---------------------------------------------------------------------------
+
+/// [`window_scenario`] re-run against the sharded pending set that replaces
+/// the single-mutex [`PendingSlot`] on the stages and under the fabric
+/// queue: a window worker drains all shards while two submitters race
+/// their pushes onto different shards. Invariants: every submission rides
+/// exactly one window across the racing drain and the final sweep, and the
+/// depth ledger balances.
+fn sharded_scenario(mutation: ShardMutation) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let slot: Arc<ShardedSlot<u32>> = Arc::new(ShardedSlot::with_mutation(2, mutation));
+        let ledger = Arc::new(WindowLedger::new(u64::MAX));
+        let drained = Arc::new(AtomicU64::new(0));
+        let submitter = {
+            let (slot, ledger) = (Arc::clone(&slot), Arc::clone(&ledger));
+            thread::spawn(move || {
+                ledger.add(1);
+                slot.push(7);
+            })
+        };
+        let window = {
+            let (slot, ledger, drained) =
+                (Arc::clone(&slot), Arc::clone(&ledger), Arc::clone(&drained));
+            thread::spawn(move || {
+                let batch = slot.drain();
+                ledger.sub(batch.len() as u64);
+                drained.fetch_add(batch.len() as u64, Ordering::AcqRel);
+            })
+        };
+        ledger.add(1);
+        slot.push(8);
+        submitter.join().unwrap();
+        window.join().unwrap();
+        let batch = slot.drain();
+        ledger.sub(batch.len() as u64);
+        let total = drained.load(Ordering::Acquire) + batch.len() as u64;
+        assert_eq!(total, 2, "a submission was lost or drained twice");
+        assert_eq!(ledger.pending(), 0, "depth ledger out of balance");
+    }
+}
+
+#[test]
+fn sharded_drain_vs_submission_holds() {
+    check_exhaustive(sharded_scenario(ShardMutation::None));
+}
+
+#[test]
+fn sharded_mutation_torn_drain_is_caught() {
+    assert!(catches(sharded_scenario(ShardMutation::TornDrain)));
 }
 
 // ---------------------------------------------------------------------------
